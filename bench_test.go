@@ -1,0 +1,305 @@
+// Package repro's benchmark harness: one testing.B target per table and
+// figure of the paper (micro scale, so `go test -bench=.` terminates in
+// minutes) plus micro-benchmarks of the primitives on JWINS's hot path.
+// Full-scale regeneration is cmd/jwins-bench's job; recorded outputs live in
+// EXPERIMENTS.md.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/dwt"
+	"repro/internal/experiments"
+	"repro/internal/fourier"
+	"repro/internal/nn"
+	"repro/internal/sparsify"
+	"repro/internal/topology"
+	"repro/internal/vec"
+)
+
+const benchSeed = 42
+
+// --- One benchmark per table/figure ----------------------------------------
+
+func BenchmarkFigure2Reconstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(experiments.Micro, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(r.Epochs) - 1
+		b.ReportMetric(r.Wavelet[last], "waveletMSE")
+		b.ReportMetric(r.Random[last], "randomMSE")
+	}
+}
+
+func BenchmarkFigure3RandomizedCutoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(experiments.Micro, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mean float64
+		for _, m := range r.MeanPerRound {
+			mean += m
+		}
+		b.ReportMetric(mean/float64(len(r.MeanPerRound))*100, "meanAlpha%")
+	}
+}
+
+// benchTable1Dataset runs one dataset's Table I row.
+func benchTable1Dataset(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(experiments.Micro, benchSeed, []string{name})
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := r.Rows[0]
+		b.ReportMetric(row.AccJWINS, "jwinsAcc%")
+		b.ReportMetric(row.NetworkSavings*100, "savings%")
+	}
+}
+
+func BenchmarkTable1CIFAR10(b *testing.B)     { benchTable1Dataset(b, "cifar10") }
+func BenchmarkTable1MovieLens(b *testing.B)   { benchTable1Dataset(b, "movielens") }
+func BenchmarkTable1Shakespeare(b *testing.B) { benchTable1Dataset(b, "shakespeare") }
+func BenchmarkTable1CelebA(b *testing.B)      { benchTable1Dataset(b, "celeba") }
+func BenchmarkTable1FEMNIST(b *testing.B)     { benchTable1Dataset(b, "femnist") }
+
+func BenchmarkFigure5RunToTarget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(experiments.Micro, benchSeed, []string{"cifar10"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Rows[0].RoundsSaved), "roundsSaved")
+	}
+}
+
+func BenchmarkFigure6VsChoco(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(experiments.Micro, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[1].AccJWINS-r.Rows[1].AccChoco, "accGain10%budget")
+	}
+}
+
+func BenchmarkFigure7DynamicTopology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(experiments.Micro, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.FullDynamic-r.FullStatic, "dynamicGain%")
+	}
+}
+
+func BenchmarkFigure8Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(experiments.Micro, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Acc[string(experiments.AlgoJWINS)]-r.Acc[string(experiments.AlgoJWINSNoWavelet)], "waveletGain%")
+	}
+}
+
+func BenchmarkFigure9Metadata(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(experiments.Micro, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Compression, "gammaCompressionX")
+	}
+}
+
+func BenchmarkFigure10Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(experiments.Micro, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[len(r.Rows)-1].AccGain, "accGainLargestN%")
+	}
+}
+
+// --- Primitive micro-benchmarks ---------------------------------------------
+
+func benchParams(n int) []float64 {
+	rng := vec.NewRNG(1)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func BenchmarkDWTForward(b *testing.B) {
+	const n = 1 << 17
+	tr, err := dwt.NewTransformer(n, dwt.MustByName("sym2"), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchParams(n)
+	out := make([]float64, tr.CoeffLen())
+	b.SetBytes(8 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Forward(x, out)
+	}
+}
+
+func BenchmarkDWTInverse(b *testing.B) {
+	const n = 1 << 17
+	tr, err := dwt.NewTransformer(n, dwt.MustByName("sym2"), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchParams(n)
+	coeffs := make([]float64, tr.CoeffLen())
+	tr.Forward(x, coeffs)
+	out := make([]float64, n)
+	b.SetBytes(8 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Inverse(coeffs, out)
+	}
+}
+
+func BenchmarkFFTForward(b *testing.B) {
+	const n = 1 << 17
+	tr, err := fourier.NewTransformer(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchParams(n)
+	out := make([]float64, tr.CoeffLen())
+	b.SetBytes(8 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Forward(x, out)
+	}
+}
+
+func BenchmarkTopKSelection(b *testing.B) {
+	const n = 1 << 17
+	x := benchParams(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparsify.TopKIndices(x, n/10)
+	}
+}
+
+func BenchmarkEliasGammaEncode(b *testing.B) {
+	const dim = 1 << 17
+	idx := vec.NewRNG(2).SampleWithoutReplacement(dim, dim*37/100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.EncodeIndicesGamma(idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFloatCodec(b *testing.B, fc codec.FloatCodec) {
+	b.Helper()
+	vals := benchParams(1 << 16)
+	b.SetBytes(int64(4 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := fc.Encode(vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fc.Decode(buf, len(vals)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFloatCodecRaw32(b *testing.B)   { benchFloatCodec(b, codec.Raw32{}) }
+func BenchmarkFloatCodecFlate32(b *testing.B) { benchFloatCodec(b, codec.PlaneFlate32{}) }
+func BenchmarkFloatCodecXOR32(b *testing.B)   { benchFloatCodec(b, codec.XOR32{}) }
+
+// BenchmarkJWINSShareAggregate measures one full JWINS communication round
+// (share + aggregate) for a 100k-parameter model, excluding local training.
+func BenchmarkJWINSShareAggregate(b *testing.B) {
+	const dim = 100_000
+	rng := vec.NewRNG(3)
+	ds, err := datasets.SyntheticImages(datasets.ImageConfig{
+		Classes: 2, Channels: 1, Height: 4, Width: 4, TrainPerClass: 4, TestPerClass: 2,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loader := datasets.NewLoader(ds, []int{0, 1, 2, 3}, 2, rng.Split())
+	model := &flatModel{params: benchParams(dim)}
+	node, err := core.NewJWINS(0, model, loader, core.TrainOpts{LR: 0.1, LocalSteps: 1}, core.DefaultJWINSConfig(), rng.Split())
+	if err != nil {
+		b.Fatal(err)
+	}
+	neighbor, err := core.NewJWINS(1, &flatModel{params: benchParams(dim)}, loader, core.TrainOpts{LR: 0.1, LocalSteps: 1}, core.DefaultJWINSConfig(), rng.Split())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := weightsForID(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p1, _, err := node.Share(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p2, _, err := neighbor.Share(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := node.Aggregate(i, w, map[int][]byte{1: p2}); err != nil {
+			b.Fatal(err)
+		}
+		if err := neighbor.Aggregate(i, weightsForID(0), map[int][]byte{0: p1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalSGDStep measures one GN-LeNet minibatch train step.
+func BenchmarkLocalSGDStep(b *testing.B) {
+	rng := vec.NewRNG(4)
+	clf := nn.NewGNLeNet(nn.ModelConfig{Channels: 3, Height: 16, Width: 16, Classes: 10, WidthScale: 4}, rng)
+	x := nn.NewTensor(8, 3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	y := make([]float64, 8)
+	for i := range y {
+		y[i] = float64(rng.Intn(10))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf.TrainBatch(x, y, 0.05)
+	}
+}
+
+// flatModel is a minimal Trainable over a raw parameter vector.
+type flatModel struct {
+	params []float64
+}
+
+func (m *flatModel) ParamCount() int                                   { return len(m.params) }
+func (m *flatModel) CopyParams(dst []float64)                          { copy(dst, m.params) }
+func (m *flatModel) SetParams(src []float64)                           { copy(m.params, src) }
+func (m *flatModel) TrainBatch(*nn.Tensor, []float64, float64) float64 { return 0 }
+func (m *flatModel) EvalBatch(*nn.Tensor, []float64) (float64, int, int) {
+	return 0, 0, 1
+}
+
+func weightsForID(neighbor int) topology.Weights {
+	return topology.Weights{Self: 0.5, Neighbor: map[int]float64{neighbor: 0.5}}
+}

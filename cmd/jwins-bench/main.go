@@ -1,0 +1,113 @@
+// Command jwins-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	jwins-bench -exp table1            # Table I + Figure 4 (all 5 datasets)
+//	jwins-bench -exp fig2              # wavelet vs FFT vs random reconstruction
+//	jwins-bench -exp fig3              # randomized cut-off in action
+//	jwins-bench -exp fig5              # run-to-target-accuracy comparison
+//	jwins-bench -exp fig6              # JWINS vs CHOCO at 20%/10% budgets
+//	jwins-bench -exp fig7              # dynamic vs static topologies
+//	jwins-bench -exp fig8              # ablation study
+//	jwins-bench -exp fig9              # metadata compression
+//	jwins-bench -exp fig10             # scalability sweep
+//	jwins-bench -exp all               # everything, in paper order
+//
+// Flags: -scale micro|small|paper (default small), -seed N,
+// -datasets a,b,c (table1/fig5 only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jwins-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expName   = flag.String("exp", "all", "experiment: fig2, fig3, table1, fig5..fig10, ext-*, or all")
+		scaleName = flag.String("scale", "small", "experiment scale: micro, small, or paper")
+		seed      = flag.Uint64("seed", 42, "root random seed")
+		datasets  = flag.String("datasets", "", "comma-separated dataset filter for table1/fig5")
+		outDir    = flag.String("out", "", "directory for per-experiment CSV files (optional)")
+	)
+	flag.Parse()
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	scale, err := experiments.ParseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	var filter []string
+	if *datasets != "" {
+		filter = strings.Split(*datasets, ",")
+	}
+
+	names := []string{*expName}
+	if *expName == "all" {
+		names = []string{"fig2", "fig3", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+			"ext-powergossip", "ext-adaptive", "ext-faults"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		var result fmt.Stringer
+		switch name {
+		case "fig2":
+			result, err = experiments.Fig2(scale, *seed)
+		case "fig3":
+			result, err = experiments.Fig3(scale, *seed)
+		case "table1", "fig4":
+			result, err = experiments.Table1(scale, *seed, filter)
+		case "fig5":
+			result, err = experiments.Fig5(scale, *seed, filter)
+		case "fig6":
+			result, err = experiments.Fig6(scale, *seed)
+		case "fig7":
+			result, err = experiments.Fig7(scale, *seed)
+		case "fig8":
+			result, err = experiments.Fig8(scale, *seed)
+		case "fig9":
+			result, err = experiments.Fig9(scale, *seed)
+		case "fig10":
+			result, err = experiments.Fig10(scale, *seed)
+		case "ext-powergossip":
+			result, err = experiments.ExtPowerGossip(scale, *seed)
+		case "ext-adaptive":
+			result, err = experiments.ExtAdaptive(scale, *seed)
+		case "ext-faults":
+			result, err = experiments.ExtFaults(scale, *seed)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("=== %s (scale=%s, seed=%d, took %s)\n%s\n", name, scale, *seed, time.Since(start).Round(time.Millisecond), result)
+		if *outDir != "" {
+			if c, ok := result.(experiments.CSVer); ok {
+				path := filepath.Join(*outDir, name+".csv")
+				if err := os.WriteFile(path, []byte(c.CSV()), 0o644); err != nil {
+					return fmt.Errorf("%s: writing %s: %w", name, path, err)
+				}
+				fmt.Printf("wrote %s\n\n", path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+// Command jwins-train runs a single decentralized training experiment and
+// prints per-round metrics, for exploring algorithms and hyperparameters
+// outside the fixed experiment grid.
+//
+// Example:
+//
+//	jwins-train -dataset cifar10 -algo jwins -nodes 16 -rounds 60
+//	jwins-train -dataset movielens -algo choco -choco-gamma 0.4 -choco-frac 0.2
+//	jwins-train -dataset shakespeare -algo full-sharing -dynamic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/choco"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/simulation"
+	"repro/internal/vec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jwins-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataset    = flag.String("dataset", "cifar10", "cifar10, movielens, shakespeare, celeba, or femnist")
+		algo       = flag.String("algo", "jwins", "jwins, full-sharing, random-sampling, choco, jwins-no-wavelet, jwins-no-accumulation, jwins-no-cutoff")
+		scaleName  = flag.String("scale", "small", "micro, small, or paper")
+		nodes      = flag.Int("nodes", 0, "node count (0 = scale default)")
+		rounds     = flag.Int("rounds", 0, "communication rounds (0 = workload default)")
+		seed       = flag.Uint64("seed", 42, "root random seed")
+		dynamic    = flag.Bool("dynamic", false, "re-randomize the topology every round")
+		target     = flag.Float64("target", 0, "stop at this test accuracy (0 = disabled)")
+		budget     = flag.Float64("budget", 0, "JWINS low-budget alpha distribution: 0.2 or 0.1 (0 = default alphas)")
+		randFrac   = flag.Float64("rand-frac", 0.37, "random-sampling share fraction")
+		chocoGamma = flag.Float64("choco-gamma", 0.6, "CHOCO consensus step size")
+		chocoFrac  = flag.Float64("choco-frac", 0.2, "CHOCO TopK fraction")
+		wavelet    = flag.String("wavelet", "sym2", "wavelet basis for JWINS")
+		levels     = flag.Int("levels", 4, "wavelet decomposition levels")
+	)
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	w, err := experiments.NewWorkload(*dataset, scale, *nodes, *seed)
+	if err != nil {
+		return err
+	}
+
+	spec := experiments.AlgoSpec{Kind: experiments.Algo(*algo)}
+	switch spec.Kind {
+	case experiments.AlgoJWINS, experiments.AlgoJWINSNoWavelet, experiments.AlgoJWINSNoAccum, experiments.AlgoJWINSNoCutoff:
+		cfg := core.DefaultJWINSConfig()
+		cfg.Wavelet = *wavelet
+		cfg.Levels = *levels
+		if *budget != 0 {
+			cfg.Alphas, err = core.BudgetAlphas(*budget)
+			if err != nil {
+				return err
+			}
+		}
+		spec.JWINS = &cfg
+	case experiments.AlgoRandom:
+		spec.RandomFraction = *randFrac
+	case experiments.AlgoChoco:
+		spec.Choco = &choco.Config{Fraction: *chocoFrac, Gamma: *chocoGamma}
+	}
+
+	fmt.Printf("dataset=%s algo=%s nodes=%d degree=%d params=%d rounds=%d\n",
+		w.Name, *algo, w.Nodes, w.Degree, w.NewModel(vec.NewRNG(*seed)).ParamCount(), pick(*rounds, w.Rounds))
+	fmt.Printf("%-7s %-11s %-10s %-9s %-13s %-10s\n",
+		"round", "train-loss", "test-loss", "test-acc", "sent-total", "sim-time")
+
+	res, err := experiments.Run(experiments.RunSpec{
+		Workload:       w,
+		Algo:           spec,
+		Rounds:         *rounds,
+		TargetAccuracy: *target,
+		Dynamic:        *dynamic,
+		Seed:           *seed,
+		OnRound: func(rm simulation.RoundMetrics) {
+			if math.IsNaN(rm.TestAcc) {
+				return
+			}
+			fmt.Printf("%-7d %-11.4f %-10.4f %-8.1f%% %-13s %-9.1fs\n",
+				rm.Round+1, rm.TrainLoss, rm.TestLoss, rm.TestAcc*100,
+				experiments.FormatBytes(rm.CumTotalBytes), rm.SimTime)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nfinal: accuracy %.1f%%, loss %.4f, %s sent (%s metadata), %.1fs simulated\n",
+		res.FinalAccuracy*100, res.FinalLoss,
+		experiments.FormatBytes(res.TotalBytes), experiments.FormatBytes(res.MetaBytes), res.SimTime)
+	if *target > 0 {
+		if res.RoundsToTarget > 0 {
+			fmt.Printf("target %.1f%% reached in %d rounds, %s\n",
+				*target*100, res.RoundsToTarget, experiments.FormatBytes(res.BytesToTarget))
+		} else {
+			fmt.Printf("target %.1f%% not reached\n", *target*100)
+		}
+	}
+	return nil
+}
+
+func pick(a, b int) int {
+	if a > 0 {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+// Quickstart: 8 nodes collaboratively train an image classifier on a
+// non-IID split, comparing JWINS against full-sharing D-PSGD. This is the
+// smallest end-to-end use of the library's public surface: build a dataset,
+// partition it, construct per-node models and algorithms, wire a topology,
+// and drive rounds with the simulation engine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/nn"
+	"repro/internal/simulation"
+	"repro/internal/topology"
+	"repro/internal/vec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		nodes  = 8
+		degree = 4
+		rounds = 30
+		seed   = 1
+	)
+
+	// 1. A 4-class synthetic image task, split non-IID: every node gets two
+	// label shards, so it sees at most ~2 of the 4 classes locally.
+	root := vec.NewRNG(seed)
+	ds, err := datasets.SyntheticImages(datasets.ImageConfig{
+		Classes: 4, Channels: 1, Height: 8, Width: 8,
+		TrainPerClass: 40, TestPerClass: 10,
+	}, root)
+	if err != nil {
+		return err
+	}
+	parts, err := datasets.PartitionShards(ds, nodes, 2, root)
+	if err != nil {
+		return err
+	}
+
+	// 2. A communication topology with Metropolis-Hastings mixing weights.
+	graph, err := topology.Regular(nodes, degree, root)
+	if err != nil {
+		return err
+	}
+
+	// 3. Two fleets over identical data and initial weights: one exchanging
+	// full models every round, one running JWINS.
+	for _, algo := range []string{"full-sharing", "jwins"} {
+		fleet, err := buildFleet(algo, ds, parts, seed)
+		if err != nil {
+			return err
+		}
+		engine := &simulation.Engine{
+			Nodes:    fleet,
+			Topology: topology.NewStatic(graph),
+			TestSet:  ds,
+			Config:   simulation.Config{Rounds: rounds, EvalEvery: 10},
+		}
+		res, err := engine.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-13s accuracy %5.1f%%  bytes sent %8.1f KiB  (metadata %.1f KiB)\n",
+			algo, res.FinalAccuracy*100,
+			float64(res.TotalBytes)/1024, float64(res.MetaBytes)/1024)
+	}
+	fmt.Println("JWINS should match full-sharing accuracy at a fraction of the bytes.")
+	return nil
+}
+
+// buildFleet creates one node per partition, all starting from the same
+// initial weights.
+func buildFleet(algo string, ds *datasets.Dataset, parts [][]int, seed uint64) ([]core.Node, error) {
+	root := vec.NewRNG(seed + 100)
+	template := nn.NewMLP(64, 32, 4, root.Split())
+	initial := make([]float64, template.ParamCount())
+	template.CopyParams(initial)
+
+	opts := core.TrainOpts{LR: 0.05, LocalSteps: 2}
+	fleet := make([]core.Node, 0, len(parts))
+	for i := range parts {
+		nodeRNG := root.Split()
+		model := nn.NewMLP(64, 32, 4, nodeRNG)
+		model.SetParams(initial)
+		loader := datasets.NewLoader(ds, parts[i], 8, nodeRNG.Split())
+
+		var (
+			node core.Node
+			err  error
+		)
+		if algo == "jwins" {
+			node, err = core.NewJWINS(i, model, loader, opts, core.DefaultJWINSConfig(), nodeRNG.Split())
+		} else {
+			node, err = core.NewFullSharing(i, model, loader, opts, nil)
+		}
+		if err != nil {
+			return nil, err
+		}
+		fleet = append(fleet, node)
+	}
+	return fleet, nil
+}

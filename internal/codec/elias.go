@@ -1,0 +1,89 @@
+package codec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// WriteEliasGamma appends the Elias gamma code of v (v >= 1) to w:
+// floor(log2 v) zero bits followed by the binary representation of v.
+func WriteEliasGamma(w *BitWriter, v uint64) {
+	if v == 0 {
+		panic("codec: Elias gamma is undefined for 0")
+	}
+	n := uint(bits.Len64(v)) - 1
+	for i := uint(0); i < n; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBits(v, n+1)
+}
+
+// ReadEliasGamma decodes one Elias gamma code from r.
+func ReadEliasGamma(r *BitReader) (uint64, error) {
+	var n uint
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		n++
+		if n > 63 {
+			return 0, fmt.Errorf("codec: gamma prefix too long: %w", ErrCorrupt)
+		}
+	}
+	rest, err := r.ReadBits(n)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<n | rest, nil
+}
+
+// EncodeIndicesGamma encodes a strictly increasing list of non-negative
+// indices as Elias gamma codes over the difference array (first index + 1,
+// then successive gaps), exactly the scheme the paper adopts from QSGD for
+// sparsification metadata. An empty list encodes to an empty buffer.
+func EncodeIndicesGamma(indices []int) ([]byte, error) {
+	if len(indices) == 0 {
+		return nil, nil
+	}
+	var w BitWriter
+	prev := -1
+	for pos, idx := range indices {
+		if idx <= prev {
+			return nil, fmt.Errorf("codec: indices must be strictly increasing (position %d: %d after %d)", pos, idx, prev)
+		}
+		WriteEliasGamma(&w, uint64(idx-prev)) // gap >= 1
+		prev = idx
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeIndicesGamma decodes count indices produced by EncodeIndicesGamma.
+func DecodeIndicesGamma(buf []byte, count int) ([]int, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	r := NewBitReader(buf)
+	out := make([]int, count)
+	prev := -1
+	for i := 0; i < count; i++ {
+		gap, err := ReadEliasGamma(r)
+		if err != nil {
+			return nil, fmt.Errorf("codec: index %d: %w", i, err)
+		}
+		prev += int(gap)
+		out[i] = prev
+	}
+	return out, nil
+}
+
+// GammaEncodedBits returns the exact bit length of the gamma code of v.
+func GammaEncodedBits(v uint64) int {
+	if v == 0 {
+		panic("codec: Elias gamma is undefined for 0")
+	}
+	return 2*bits.Len64(v) - 1
+}

@@ -1,0 +1,202 @@
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+)
+
+// FloatCodec encodes a vector of model values for the wire. Models are
+// trained in float64 but transmitted as float32, matching the paper's setup
+// (PyTorch float32 tensors compressed with fpzip); all codecs here therefore
+// quantize to float32 before encoding, and decoding returns the float32
+// values widened back to float64.
+type FloatCodec interface {
+	// Name identifies the codec on the wire.
+	Name() string
+	// Encode returns the encoded representation of values.
+	Encode(values []float64) ([]byte, error)
+	// Decode recovers exactly count values from buf.
+	Decode(buf []byte, count int) ([]float64, error)
+}
+
+// FloatCodecByName returns the codec registered under name:
+// "raw32", "flate32" (byte-plane + DEFLATE, the fpzip stand-in), "xor32"
+// (Gorilla-style XOR with leading/trailing-zero headers).
+func FloatCodecByName(name string) (FloatCodec, error) {
+	switch name {
+	case "raw32":
+		return Raw32{}, nil
+	case "flate32":
+		return PlaneFlate32{}, nil
+	case "xor32":
+		return XOR32{}, nil
+	default:
+		return nil, fmt.Errorf("codec: unknown float codec %q", name)
+	}
+}
+
+// Raw32 stores values as little-endian IEEE-754 float32.
+type Raw32 struct{}
+
+var _ FloatCodec = Raw32{}
+
+// Name implements FloatCodec.
+func (Raw32) Name() string { return "raw32" }
+
+// Encode implements FloatCodec.
+func (Raw32) Encode(values []float64) ([]byte, error) {
+	out := make([]byte, 4*len(values))
+	for i, v := range values {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(float32(v)))
+	}
+	return out, nil
+}
+
+// Decode implements FloatCodec.
+func (Raw32) Decode(buf []byte, count int) ([]float64, error) {
+	if len(buf) < 4*count {
+		return nil, fmt.Errorf("codec: raw32 needs %d bytes, have %d: %w", 4*count, len(buf), ErrCorrupt)
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
+	}
+	return out, nil
+}
+
+// PlaneFlate32 transposes float32 values into four byte planes (all sign/
+// exponent bytes together, then successively lower mantissa bytes) and
+// DEFLATEs the result. Like fpzip it exploits the strong redundancy of
+// neural-network weight exponents; unlike fpzip it is built entirely from the
+// Go standard library. Lossless with respect to the float32 quantization.
+type PlaneFlate32 struct{}
+
+var _ FloatCodec = PlaneFlate32{}
+
+// Name implements FloatCodec.
+func (PlaneFlate32) Name() string { return "flate32" }
+
+// Encode implements FloatCodec.
+func (PlaneFlate32) Encode(values []float64) ([]byte, error) {
+	n := len(values)
+	planes := make([]byte, 4*n)
+	for i, v := range values {
+		b := math.Float32bits(float32(v))
+		planes[i] = byte(b >> 24)
+		planes[n+i] = byte(b >> 16)
+		planes[2*n+i] = byte(b >> 8)
+		planes[3*n+i] = byte(b)
+	}
+	var out bytes.Buffer
+	fw, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("codec: flate init: %w", err)
+	}
+	if _, err := fw.Write(planes); err != nil {
+		return nil, fmt.Errorf("codec: flate write: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return nil, fmt.Errorf("codec: flate close: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
+// Decode implements FloatCodec.
+func (PlaneFlate32) Decode(buf []byte, count int) ([]float64, error) {
+	fr := flate.NewReader(bytes.NewReader(buf))
+	defer fr.Close()
+	planes := make([]byte, 4*count)
+	if _, err := io.ReadFull(fr, planes); err != nil {
+		return nil, fmt.Errorf("codec: flate read: %w", ErrCorrupt)
+	}
+	out := make([]float64, count)
+	n := count
+	for i := range out {
+		b := uint32(planes[i])<<24 | uint32(planes[n+i])<<16 |
+			uint32(planes[2*n+i])<<8 | uint32(planes[3*n+i])
+		out[i] = float64(math.Float32frombits(b))
+	}
+	return out, nil
+}
+
+// XOR32 is a Gorilla-style XOR compressor over float32 bit patterns: each
+// value is XORed with its predecessor and encoded as either a single 0 bit
+// (identical), or a control code with leading-zero count and the meaningful
+// XOR bits. Works well when consecutive model values are similar in scale.
+type XOR32 struct{}
+
+var _ FloatCodec = XOR32{}
+
+// Name implements FloatCodec.
+func (XOR32) Name() string { return "xor32" }
+
+// Encode implements FloatCodec.
+func (XOR32) Encode(values []float64) ([]byte, error) {
+	var w BitWriter
+	var prev uint32
+	for i, v := range values {
+		cur := math.Float32bits(float32(v))
+		if i == 0 {
+			w.WriteBits(uint64(cur), 32)
+			prev = cur
+			continue
+		}
+		x := cur ^ prev
+		prev = cur
+		if x == 0 {
+			w.WriteBit(0)
+			continue
+		}
+		w.WriteBit(1)
+		lead := uint(bits.LeadingZeros32(x))
+		if lead > 31 {
+			lead = 31
+		}
+		sig := 32 - lead // number of significant bits
+		w.WriteBits(uint64(lead), 5)
+		w.WriteBits(uint64(x), sig)
+	}
+	return w.Bytes(), nil
+}
+
+// Decode implements FloatCodec.
+func (XOR32) Decode(buf []byte, count int) ([]float64, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	r := NewBitReader(buf)
+	out := make([]float64, count)
+	first, err := r.ReadBits(32)
+	if err != nil {
+		return nil, err
+	}
+	prev := uint32(first)
+	out[0] = float64(math.Float32frombits(prev))
+	for i := 1; i < count; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if b == 0 {
+			out[i] = float64(math.Float32frombits(prev))
+			continue
+		}
+		lead, err := r.ReadBits(5)
+		if err != nil {
+			return nil, err
+		}
+		sig := 32 - uint(lead)
+		x, err := r.ReadBits(sig)
+		if err != nil {
+			return nil, err
+		}
+		prev ^= uint32(x)
+		out[i] = float64(math.Float32frombits(prev))
+	}
+	return out, nil
+}

@@ -1,0 +1,218 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/vec"
+)
+
+// IndexMode says how a sparse vector's support is described on the wire.
+type IndexMode uint8
+
+// Index modes.
+const (
+	// IndexDense means all of [0, Dim) is present: no index metadata at all
+	// (full-sharing).
+	IndexDense IndexMode = iota
+	// IndexGamma carries explicit sorted indices, delta + Elias gamma encoded
+	// (JWINS, TopK, CHOCO).
+	IndexGamma
+	// IndexSeed carries only a PRNG seed and a count; the receiver
+	// regenerates the index set (random-sampling baseline). This is the
+	// "just share the seed" optimization described in the paper.
+	IndexSeed
+)
+
+// SparseVector is a subset of coefficients of a Dim-dimensional vector.
+// Exactly one support description is used depending on the index mode:
+// Indices for explicit supports, or (Seed, len(Values)) for seeded supports.
+type SparseVector struct {
+	Dim     int
+	Indices []int // strictly increasing; nil for dense or seeded vectors
+	Seed    uint64
+	Values  []float64
+}
+
+// SeededIndices regenerates the index set for a seeded sparse vector. Both
+// sender and receiver call this, so it must stay deterministic across
+// releases: it uses the repository's own RNG, not math/rand.
+func SeededIndices(seed uint64, dim, count int) []int {
+	r := vec.NewRNG(seed)
+	return r.SampleWithoutReplacement(dim, count)
+}
+
+// floatCodecID maps codecs to wire IDs.
+func floatCodecID(c FloatCodec) (uint8, error) {
+	switch c.(type) {
+	case Raw32:
+		return 0, nil
+	case PlaneFlate32:
+		return 1, nil
+	case XOR32:
+		return 2, nil
+	case *QSGD:
+		return 3, nil
+	default:
+		return 0, fmt.Errorf("codec: unregistered float codec %q", c.Name())
+	}
+}
+
+func floatCodecFromID(id uint8) (FloatCodec, error) {
+	switch id {
+	case 0:
+		return Raw32{}, nil
+	case 1:
+		return PlaneFlate32{}, nil
+	case 2:
+		return XOR32{}, nil
+	case 3:
+		// QSGD payloads are self-describing (levels travel in the value
+		// header), so decoding needs no construction parameters.
+		return NewQSGD(0, 0), nil
+	default:
+		return nil, fmt.Errorf("codec: unknown float codec id %d: %w", id, ErrCorrupt)
+	}
+}
+
+// ByteBreakdown splits an encoded payload into the bytes spent on model
+// values versus sparsification metadata (header + index description). The
+// paper's Figures 4, 9 and 10 plot exactly this split.
+type ByteBreakdown struct {
+	Model int
+	Meta  int
+}
+
+// Total returns Model + Meta.
+func (b ByteBreakdown) Total() int { return b.Model + b.Meta }
+
+// Add accumulates another breakdown.
+func (b *ByteBreakdown) Add(o ByteBreakdown) {
+	b.Model += o.Model
+	b.Meta += o.Meta
+}
+
+// EncodeSparse serializes sv using the given index mode and float codec.
+//
+// Wire format (little endian):
+//
+//	u8  indexMode | u8 floatCodecID | u32 dim | u32 count
+//	[seed u64]                      (IndexSeed only)
+//	[u32 indexByteLen | bytes]      (IndexGamma only)
+//	u32 valueByteLen | bytes
+func EncodeSparse(sv SparseVector, mode IndexMode, fc FloatCodec) ([]byte, ByteBreakdown, error) {
+	var bd ByteBreakdown
+	cid, err := floatCodecID(fc)
+	if err != nil {
+		return nil, bd, err
+	}
+	count := len(sv.Values)
+	switch mode {
+	case IndexDense:
+		if count != sv.Dim {
+			return nil, bd, fmt.Errorf("codec: dense payload has %d values for dim %d", count, sv.Dim)
+		}
+	case IndexGamma:
+		if len(sv.Indices) != count {
+			return nil, bd, fmt.Errorf("codec: %d indices for %d values", len(sv.Indices), count)
+		}
+	case IndexSeed:
+		// Support is implied by (seed, count).
+	default:
+		return nil, bd, fmt.Errorf("codec: unknown index mode %d", mode)
+	}
+
+	valueBytes, err := fc.Encode(sv.Values)
+	if err != nil {
+		return nil, bd, fmt.Errorf("codec: value encoding: %w", err)
+	}
+
+	out := make([]byte, 0, len(valueBytes)+32)
+	out = append(out, byte(mode), cid)
+	out = appendU32(out, uint32(sv.Dim))
+	out = appendU32(out, uint32(count))
+	switch mode {
+	case IndexGamma:
+		idxBytes, err := EncodeIndicesGamma(sv.Indices)
+		if err != nil {
+			return nil, bd, err
+		}
+		out = appendU32(out, uint32(len(idxBytes)))
+		out = append(out, idxBytes...)
+	case IndexSeed:
+		var seedBuf [8]byte
+		binary.LittleEndian.PutUint64(seedBuf[:], sv.Seed)
+		out = append(out, seedBuf[:]...)
+	}
+	metaLen := len(out) + 4 // header + index part + value-length field
+	out = appendU32(out, uint32(len(valueBytes)))
+	out = append(out, valueBytes...)
+	bd = ByteBreakdown{Model: len(valueBytes), Meta: metaLen}
+	return out, bd, nil
+}
+
+// DecodeSparse parses a payload produced by EncodeSparse. For IndexSeed
+// payloads the index set is regenerated, so sv.Indices is always populated
+// (except for dense payloads, where it stays nil).
+func DecodeSparse(buf []byte) (SparseVector, error) {
+	var sv SparseVector
+	if len(buf) < 10 {
+		return sv, fmt.Errorf("codec: payload too short: %w", ErrCorrupt)
+	}
+	mode := IndexMode(buf[0])
+	fc, err := floatCodecFromID(buf[1])
+	if err != nil {
+		return sv, err
+	}
+	sv.Dim = int(binary.LittleEndian.Uint32(buf[2:]))
+	count := int(binary.LittleEndian.Uint32(buf[6:]))
+	pos := 10
+	switch mode {
+	case IndexDense:
+		if count != sv.Dim {
+			return sv, fmt.Errorf("codec: dense count %d != dim %d: %w", count, sv.Dim, ErrCorrupt)
+		}
+	case IndexGamma:
+		if len(buf) < pos+4 {
+			return sv, fmt.Errorf("codec: truncated index length: %w", ErrCorrupt)
+		}
+		idxLen := int(binary.LittleEndian.Uint32(buf[pos:]))
+		pos += 4
+		if len(buf) < pos+idxLen {
+			return sv, fmt.Errorf("codec: truncated index bytes: %w", ErrCorrupt)
+		}
+		sv.Indices, err = DecodeIndicesGamma(buf[pos:pos+idxLen], count)
+		if err != nil {
+			return sv, err
+		}
+		pos += idxLen
+	case IndexSeed:
+		if len(buf) < pos+8 {
+			return sv, fmt.Errorf("codec: truncated seed: %w", ErrCorrupt)
+		}
+		sv.Seed = binary.LittleEndian.Uint64(buf[pos:])
+		pos += 8
+		sv.Indices = SeededIndices(sv.Seed, sv.Dim, count)
+	default:
+		return sv, fmt.Errorf("codec: unknown index mode %d: %w", mode, ErrCorrupt)
+	}
+	if len(buf) < pos+4 {
+		return sv, fmt.Errorf("codec: truncated value length: %w", ErrCorrupt)
+	}
+	valLen := int(binary.LittleEndian.Uint32(buf[pos:]))
+	pos += 4
+	if len(buf) < pos+valLen {
+		return sv, fmt.Errorf("codec: truncated values: %w", ErrCorrupt)
+	}
+	sv.Values, err = fc.Decode(buf[pos:pos+valLen], count)
+	if err != nil {
+		return sv, err
+	}
+	return sv, nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}

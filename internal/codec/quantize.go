@@ -1,0 +1,113 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// QSGD is the stochastic uniform quantizer of Alistarh et al. (NeurIPS 2017),
+// which the paper cites as the origin of its Elias-gamma metadata scheme.
+// Values are scaled by the vector's max magnitude and rounded stochastically
+// to one of Levels buckets; each value is stored as a sign bit plus the
+// gamma-coded bucket index. Unlike the other codecs QSGD is *lossy beyond
+// float32*: decoding returns an unbiased estimate with per-element error at
+// most maxAbs/Levels. Provided as an extension for quantization-based
+// compression experiments (e.g. CHOCO with QSGD instead of TopK).
+type QSGD struct {
+	// Levels is the number of quantization buckets (default 64).
+	Levels int
+	// Seed drives stochastic rounding. Encoding advances an internal counter
+	// so repeated calls use fresh randomness while remaining reproducible
+	// for a fixed construction seed and call sequence.
+	Seed uint64
+
+	calls uint64
+}
+
+var _ FloatCodec = (*QSGD)(nil)
+
+// NewQSGD builds a quantizer with the given level count and seed.
+func NewQSGD(levels int, seed uint64) *QSGD {
+	if levels <= 0 {
+		levels = 64
+	}
+	return &QSGD{Levels: levels, Seed: seed}
+}
+
+// Name implements FloatCodec.
+func (q *QSGD) Name() string { return "qsgd" }
+
+// Encode implements FloatCodec.
+func (q *QSGD) Encode(values []float64) ([]byte, error) {
+	levels := q.Levels
+	if levels <= 0 {
+		levels = 64
+	}
+	if levels > 1<<20 {
+		return nil, fmt.Errorf("codec: qsgd levels %d too large", levels)
+	}
+	q.calls++
+	rng := vec.NewRNG(q.Seed ^ q.calls*0x9e3779b97f4a7c15)
+
+	maxAbs := vec.MaxAbs(values)
+	header := make([]byte, 8)
+	binary.LittleEndian.PutUint32(header[0:], math.Float32bits(float32(maxAbs)))
+	binary.LittleEndian.PutUint32(header[4:], uint32(levels))
+	if maxAbs == 0 || len(values) == 0 {
+		return header, nil
+	}
+	var w BitWriter
+	for _, v := range values {
+		sign := uint(0)
+		if v < 0 {
+			sign = 1
+		}
+		ratio := math.Abs(v) / maxAbs * float64(levels)
+		bucket := math.Floor(ratio)
+		if rng.Float64() < ratio-bucket {
+			bucket++
+		}
+		if bucket > float64(levels) {
+			bucket = float64(levels)
+		}
+		w.WriteBit(sign)
+		WriteEliasGamma(&w, uint64(bucket)+1)
+	}
+	return append(header, w.Bytes()...), nil
+}
+
+// Decode implements FloatCodec.
+func (q *QSGD) Decode(buf []byte, count int) ([]float64, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("codec: qsgd header truncated: %w", ErrCorrupt)
+	}
+	maxAbs := float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[0:])))
+	levels := int(binary.LittleEndian.Uint32(buf[4:]))
+	if levels <= 0 {
+		return nil, fmt.Errorf("codec: qsgd invalid levels %d: %w", levels, ErrCorrupt)
+	}
+	out := make([]float64, count)
+	if maxAbs == 0 || count == 0 {
+		return out, nil
+	}
+	r := NewBitReader(buf[8:])
+	for i := 0; i < count; i++ {
+		sign, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		bucketPlus1, err := ReadEliasGamma(r)
+		if err != nil {
+			return nil, err
+		}
+		v := maxAbs * float64(bucketPlus1-1) / float64(levels)
+		if sign == 1 {
+			v = -v
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestQSGDBoundedError(t *testing.T) {
+	rng := vec.NewRNG(1)
+	q := NewQSGD(64, 7)
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	buf, err := q.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Decode(buf, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxAbs := vec.MaxAbs(vals)
+	bound := maxAbs/64 + 1e-6
+	for i := range vals {
+		if math.Abs(got[i]-vals[i]) > bound {
+			t.Fatalf("value %d: |%v - %v| > %v", i, got[i], vals[i], bound)
+		}
+		// Sign must be preserved for clearly nonzero values.
+		if math.Abs(vals[i]) > 2*bound && math.Signbit(got[i]) != math.Signbit(vals[i]) {
+			t.Fatalf("value %d: sign flipped (%v -> %v)", i, vals[i], got[i])
+		}
+	}
+}
+
+// TestQSGDUnbiased: stochastic rounding must be unbiased — averaging many
+// independent encodings of the same vector converges to the original.
+func TestQSGDUnbiased(t *testing.T) {
+	vals := []float64{0.1, -0.45, 0.77, -0.03, 1.0}
+	q := NewQSGD(8, 99) // coarse levels make bias easy to spot
+	const trials = 3000
+	sums := make([]float64, len(vals))
+	for trial := 0; trial < trials; trial++ {
+		buf, err := q.Encode(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := q.Decode(buf, len(vals))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			sums[i] += v
+		}
+	}
+	for i, v := range vals {
+		mean := sums[i] / trials
+		// Standard error of the bucket noise at 8 levels is ~1/(8*sqrt(N)).
+		if math.Abs(mean-v) > 0.02 {
+			t.Fatalf("value %d: mean %v, want %v (biased rounding)", i, mean, v)
+		}
+	}
+}
+
+func TestQSGDCompresses(t *testing.T) {
+	rng := vec.NewRNG(2)
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 0.1
+	}
+	q := NewQSGD(16, 1)
+	buf, err := q.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 4 * len(vals)
+	if len(buf) >= raw/2 {
+		t.Fatalf("qsgd-16 produced %d bytes, want < %d (half of raw float32)", len(buf), raw/2)
+	}
+	t.Logf("qsgd-16: %d -> %d bytes (%.1fx)", raw, len(buf), float64(raw)/float64(len(buf)))
+}
+
+func TestQSGDEdgeCases(t *testing.T) {
+	q := NewQSGD(64, 1)
+	// Zero vector.
+	buf, err := q.Encode([]float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Decode(buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 0 {
+			t.Fatalf("zero vector decoded to %v", got)
+		}
+	}
+	// Empty vector.
+	buf, err = q.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := q.Decode(buf, 0); err != nil || len(out) != 0 {
+		t.Fatalf("empty round trip: %v %v", out, err)
+	}
+	// Truncated stream.
+	if _, err := q.Decode([]byte{1, 2}, 1); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestQSGDInSparsePayload(t *testing.T) {
+	q := NewQSGD(64, 5)
+	sv := SparseVector{
+		Dim:     100,
+		Indices: []int{3, 50, 99},
+		Values:  []float64{0.5, -0.25, 1.0},
+	}
+	buf, bd, err := EncodeSparse(sv, IndexGamma, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total() != len(buf) {
+		t.Fatal("byte breakdown mismatch")
+	}
+	got, err := DecodeSparse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sv.Values {
+		if math.Abs(got.Values[i]-sv.Values[i]) > 1.0/64+1e-6 {
+			t.Fatalf("value %d: %v vs %v", i, got.Values[i], sv.Values[i])
+		}
+	}
+}
+
+func TestQSGDDeterministicPerSeed(t *testing.T) {
+	a := NewQSGD(32, 11)
+	b := NewQSGD(32, 11)
+	vals := []float64{0.3, -0.7, 0.11}
+	bufA, err := a.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufB, err := b.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bufA) != string(bufB) {
+		t.Fatal("same-seed encoders disagree")
+	}
+	// Second call must use fresh randomness (counter advanced), but remain
+	// reproducible against another same-seed encoder's second call.
+	bufA2, _ := a.Encode(vals)
+	bufB2, _ := b.Encode(vals)
+	if string(bufA2) != string(bufB2) {
+		t.Fatal("same-seed encoders disagree on second call")
+	}
+}

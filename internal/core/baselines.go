@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/datasets"
+	"repro/internal/nn"
+	"repro/internal/sparsify"
+	"repro/internal/topology"
+	"repro/internal/vec"
+)
+
+// FullSharingNode is standard D-PSGD: every round the whole parameter vector
+// is exchanged and averaged with Metropolis-Hastings weights.
+type FullSharingNode struct {
+	baseNode
+	fc     codec.FloatCodec
+	dim    int
+	params []float64
+	newPar []float64
+	wsum   []float64
+}
+
+var _ Node = (*FullSharingNode)(nil)
+
+// NewFullSharing builds a full-sharing baseline node.
+func NewFullSharing(id int, model nn.Trainable, loader *datasets.Loader, opts TrainOpts, fc codec.FloatCodec) (*FullSharingNode, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if fc == nil {
+		fc = codec.PlaneFlate32{}
+	}
+	dim := model.ParamCount()
+	return &FullSharingNode{
+		baseNode: baseNode{id: id, model: model, loader: loader, opts: opts},
+		fc:       fc,
+		dim:      dim,
+		params:   make([]float64, dim),
+		newPar:   make([]float64, dim),
+		wsum:     make([]float64, dim),
+	}, nil
+}
+
+// Share implements Node: the dense parameter vector.
+func (n *FullSharingNode) Share(round int) ([]byte, codec.ByteBreakdown, error) {
+	n.model.CopyParams(n.params)
+	sv := codec.SparseVector{Dim: n.dim, Values: n.params}
+	return encodeSparsePayload(sv, codec.IndexDense, n.fc)
+}
+
+// Aggregate implements Node: the classic weighted average
+// x_i <- w_ii x_i + sum_j w_ij x_j.
+func (n *FullSharingNode) Aggregate(round int, w topology.Weights, msgs map[int][]byte) error {
+	decoded, err := decodeAll(n.dim, w, msgs)
+	if err != nil {
+		return err
+	}
+	partialAverage(n.params, w.Self, decoded, n.newPar, n.wsum)
+	n.model.SetParams(n.newPar)
+	return nil
+}
+
+// RandomSamplingNode shares a fixed-size uniformly random subset of
+// parameters each round. Thanks to the common PRNG trick (Section II-B2),
+// only the seed travels as metadata.
+type RandomSamplingNode struct {
+	baseNode
+	fc       codec.FloatCodec
+	fraction float64
+	rng      *vec.RNG
+	dim      int
+	params   []float64
+	newPar   []float64
+	wsum     []float64
+}
+
+var _ Node = (*RandomSamplingNode)(nil)
+
+// NewRandomSampling builds a random-sampling baseline node sharing the given
+// fraction of parameters per round (the paper uses 37% to byte-match JWINS).
+func NewRandomSampling(id int, model nn.Trainable, loader *datasets.Loader, opts TrainOpts, fraction float64, fc codec.FloatCodec, rng *vec.RNG) (*RandomSamplingNode, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("core: sharing fraction %v out of (0, 1]", fraction)
+	}
+	if fc == nil {
+		fc = codec.PlaneFlate32{}
+	}
+	dim := model.ParamCount()
+	return &RandomSamplingNode{
+		baseNode: baseNode{id: id, model: model, loader: loader, opts: opts},
+		fc:       fc,
+		fraction: fraction,
+		rng:      rng,
+		dim:      dim,
+		params:   make([]float64, dim),
+		newPar:   make([]float64, dim),
+		wsum:     make([]float64, dim),
+	}, nil
+}
+
+// Share implements Node: seed-described random subset of raw parameters.
+func (n *RandomSamplingNode) Share(round int) ([]byte, codec.ByteBreakdown, error) {
+	n.model.CopyParams(n.params)
+	k := int(n.fraction * float64(n.dim))
+	if k < 1 {
+		k = 1
+	}
+	if k >= n.dim {
+		sv := codec.SparseVector{Dim: n.dim, Values: n.params}
+		return encodeSparsePayload(sv, codec.IndexDense, n.fc)
+	}
+	seed := n.rng.Uint64()
+	indices := codec.SeededIndices(seed, n.dim, k)
+	sv := codec.SparseVector{
+		Dim:    n.dim,
+		Seed:   seed,
+		Values: sparsify.Gather(n.params, indices),
+	}
+	return encodeSparsePayload(sv, codec.IndexSeed, n.fc)
+}
+
+// Aggregate implements Node: per-parameter weighted average over providers.
+func (n *RandomSamplingNode) Aggregate(round int, w topology.Weights, msgs map[int][]byte) error {
+	decoded, err := decodeAll(n.dim, w, msgs)
+	if err != nil {
+		return err
+	}
+	partialAverage(n.params, w.Self, decoded, n.newPar, n.wsum)
+	n.model.SetParams(n.newPar)
+	return nil
+}

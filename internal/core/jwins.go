@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/datasets"
+	"repro/internal/dwt"
+	"repro/internal/nn"
+	"repro/internal/sparsify"
+	"repro/internal/topology"
+	"repro/internal/vec"
+)
+
+// JWINSConfig configures the JWINS node (Algorithm 1). The zero value is not
+// usable; start from DefaultJWINSConfig.
+type JWINSConfig struct {
+	// Wavelet names the transform basis (default sym2, the paper's choice).
+	Wavelet string
+	// Levels is the decomposition depth (default 4, per the paper).
+	Levels int
+	// Alphas is the randomized cut-off distribution.
+	Alphas AlphaDist
+	// FloatCodec compresses shared coefficient values (default flate32).
+	FloatCodec codec.FloatCodec
+
+	// Ablation switches (Figure 8):
+	// DisableWavelet ranks and averages in the raw parameter domain
+	// (degenerates JWINS to accumulated TopK).
+	DisableWavelet bool
+	// DisableAccumulation ranks by the current round's change only.
+	DisableAccumulation bool
+	// DisableRandomCutoff always shares the mean of the alpha distribution.
+	DisableRandomCutoff bool
+
+	// AccumulateLiteralEq4 switches the accumulator update to the literal
+	// reading of eq. (4): V <- zeroShared(V') + DWT(x^(t+1,0) - x^(t,0)),
+	// which re-adds the local change for unshared coefficients. The default
+	// (false) adds only the averaging-induced change DWT(x^(t+1,0) - x^(t,tau)),
+	// so unshared coefficients accumulate the total round change exactly once.
+	// See DESIGN.md, "Equation (4) ambiguity".
+	AccumulateLiteralEq4 bool
+
+	// BandAdaptive implements the paper's future-work direction of adapting
+	// the selection to parameter structure: the round's coefficient budget K
+	// is split across wavelet sub-bands in proportion to each band's
+	// accumulated importance mass, and TopK runs inside each band. Ignored
+	// when the wavelet is disabled.
+	BandAdaptive bool
+
+	// AccumulationDecay in (0, 1] multiplies the carried-over importance
+	// scores before each round's update, discounting stale accumulated
+	// changes — the concern Deep Gradient Compression (cited in Section V)
+	// addresses with momentum correction. 0 or 1 keeps the paper's plain sum.
+	AccumulationDecay float64
+}
+
+// DefaultJWINSConfig returns the paper's configuration: 4-level sym2 wavelets,
+// the default alpha distribution, and flate32 value compression.
+func DefaultJWINSConfig() JWINSConfig {
+	return JWINSConfig{
+		Wavelet:    "sym2",
+		Levels:     4,
+		Alphas:     DefaultAlphas(),
+		FloatCodec: codec.PlaneFlate32{},
+	}
+}
+
+// JWINSNode implements Algorithm 1 of the paper.
+type JWINSNode struct {
+	baseNode
+	cfg       JWINSConfig
+	transform dwt.Transform
+	rng       *vec.RNG
+
+	dim        int       // flat parameter dimension
+	coeffDim   int       // coefficient vector dimension
+	acc        []float64 // V: accumulated importance scores (coeff domain)
+	params     []float64 // scratch: current parameters x^(t,tau)
+	startPar   []float64 // x^(t,0)
+	curCoeffs  []float64 // DWT(x^(t,tau)), computed in Share
+	newCoeffs  []float64 // scratch for the averaged coefficients
+	wsum       []float64 // scratch for present-weight sums
+	lastShared []int     // indices shared this round
+
+	// LastAlpha records the cut-off sampled in the most recent Share call
+	// (instrumented for the Figure 3 experiment).
+	LastAlpha float64
+}
+
+var _ Node = (*JWINSNode)(nil)
+
+// NewJWINS builds a JWINS node. Each node owns its RNG (cut-off draws are
+// independent across nodes, per Section III-B).
+func NewJWINS(id int, model nn.Trainable, loader *datasets.Loader, opts TrainOpts, cfg JWINSConfig, rng *vec.RNG) (*JWINSNode, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Alphas.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FloatCodec == nil {
+		cfg.FloatCodec = codec.PlaneFlate32{}
+	}
+	dim := model.ParamCount()
+	var transform dwt.Transform
+	if cfg.DisableWavelet {
+		transform = dwt.Identity{N: dim}
+	} else {
+		if cfg.Wavelet == "" {
+			cfg.Wavelet = "sym2"
+		}
+		if cfg.Levels <= 0 {
+			cfg.Levels = 4
+		}
+		w, err := dwt.ByName(cfg.Wavelet)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := dwt.NewTransformer(dim, w, cfg.Levels)
+		if err != nil {
+			return nil, err
+		}
+		transform = tr
+	}
+	cd := transform.CoeffLen()
+	n := &JWINSNode{
+		baseNode:  baseNode{id: id, model: model, loader: loader, opts: opts},
+		cfg:       cfg,
+		transform: transform,
+		rng:       rng,
+		dim:       dim,
+		coeffDim:  cd,
+		acc:       make([]float64, cd),
+		params:    make([]float64, dim),
+		startPar:  make([]float64, dim),
+		curCoeffs: make([]float64, cd),
+		newCoeffs: make([]float64, cd),
+		wsum:      make([]float64, cd),
+	}
+	model.CopyParams(n.startPar)
+	return n, nil
+}
+
+// CoeffDim returns the wavelet coefficient dimension.
+func (n *JWINSNode) CoeffDim() int { return n.coeffDim }
+
+// Accumulator returns the live importance-score vector V (read-only use).
+func (n *JWINSNode) Accumulator() []float64 { return n.acc }
+
+// Share implements lines 5-8 of Algorithm 1: accumulate the wavelet-domain
+// model change, sample the cut-off, select TopK of the accumulated scores,
+// and encode the selected coefficients of DWT(x^(t,tau)) with compressed
+// index metadata.
+func (n *JWINSNode) Share(round int) ([]byte, codec.ByteBreakdown, error) {
+	n.model.CopyParams(n.params)
+
+	// V' = V + DWT(x^(t,tau) - x^(t,0))   (eq. 3)
+	delta := vec.Diff(n.params, n.startPar)
+	deltaCoeff := make([]float64, n.coeffDim)
+	n.transform.Forward(delta, deltaCoeff)
+	switch {
+	case n.cfg.DisableAccumulation:
+		copy(n.acc, deltaCoeff)
+	case n.cfg.AccumulationDecay > 0 && n.cfg.AccumulationDecay < 1:
+		vec.Scale(n.acc, n.cfg.AccumulationDecay)
+		vec.Add(n.acc, deltaCoeff)
+	default:
+		vec.Add(n.acc, deltaCoeff)
+	}
+
+	// Randomized cut-off (line 6).
+	alpha := n.cfg.Alphas.Mean()
+	if !n.cfg.DisableRandomCutoff {
+		alpha = n.cfg.Alphas.Sample(n.rng)
+	}
+	n.LastAlpha = alpha
+	k := int(math.Round(alpha * float64(n.coeffDim)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n.coeffDim {
+		k = n.coeffDim
+	}
+
+	// TopK over accumulated importance (line 7), optionally split per band.
+	if n.cfg.BandAdaptive {
+		n.lastShared = n.bandAdaptiveTopK(k)
+	} else {
+		n.lastShared = sparsify.TopKIndices(n.acc, k)
+	}
+
+	// Share DWT(x^(t,tau))[I] with compressed indices (line 8).
+	n.transform.Forward(n.params, n.curCoeffs)
+	sv := codec.SparseVector{Dim: n.coeffDim}
+	mode := codec.IndexGamma
+	if k == n.coeffDim {
+		mode = codec.IndexDense // full share: skip index metadata entirely
+		sv.Values = n.curCoeffs
+	} else {
+		sv.Indices = n.lastShared
+		sv.Values = sparsify.Gather(n.curCoeffs, n.lastShared)
+	}
+	return encodeSparsePayload(sv, mode, n.cfg.FloatCodec)
+}
+
+// Aggregate implements lines 9-12 of Algorithm 1: average the received
+// partial wavelet vectors with the node's own coefficients (per-coefficient,
+// weight-normalized), invert the transform, and update the accumulator.
+func (n *JWINSNode) Aggregate(round int, w topology.Weights, msgs map[int][]byte) error {
+	decoded, err := decodeAll(n.coeffDim, w, msgs)
+	if err != nil {
+		return err
+	}
+	partialAverage(n.curCoeffs, w.Self, decoded, n.newCoeffs, n.wsum)
+
+	newParams := make([]float64, n.dim)
+	n.transform.Inverse(n.newCoeffs, newParams)
+	n.model.SetParams(newParams)
+
+	if !n.cfg.DisableAccumulation {
+		// Reset V for the coefficients we just shared (line 12)...
+		for _, idx := range n.lastShared {
+			n.acc[idx] = 0
+		}
+		// ...then fold in the round's remaining model change (eq. 4).
+		installed := make([]float64, n.coeffDim)
+		n.transform.Forward(newParams, installed)
+		if n.cfg.AccumulateLiteralEq4 {
+			startCoeffs := make([]float64, n.coeffDim)
+			n.transform.Forward(n.startPar, startCoeffs)
+			for k := range n.acc {
+				n.acc[k] += installed[k] - startCoeffs[k]
+			}
+		} else {
+			for k := range n.acc {
+				n.acc[k] += installed[k] - n.curCoeffs[k]
+			}
+		}
+	}
+	copy(n.startPar, newParams)
+	return nil
+}
+
+// bandAdaptiveTopK distributes the budget k over wavelet sub-bands
+// proportionally to each band's accumulated |V| mass, then selects TopK
+// inside each band. Bands whose share rounds to zero still contribute their
+// single largest coefficient when mass is non-zero, and any remainder is
+// filled from the globally best unselected coefficients.
+func (n *JWINSNode) bandAdaptiveTopK(k int) []int {
+	tr, ok := n.transform.(*dwt.Transformer)
+	if !ok {
+		return sparsify.TopKIndices(n.acc, k)
+	}
+	bands := tr.Bands()
+	masses := make([]float64, len(bands))
+	var total float64
+	for bi, b := range bands {
+		var m float64
+		for _, v := range n.acc[b.Offset : b.Offset+b.Len] {
+			m += math.Abs(v)
+		}
+		masses[bi] = m
+		total += m
+	}
+	if total == 0 {
+		return sparsify.TopKIndices(n.acc, k)
+	}
+	selected := make(map[int]bool, k)
+	for bi, b := range bands {
+		kb := int(math.Round(float64(k) * masses[bi] / total))
+		if kb == 0 && masses[bi] > 0 {
+			kb = 1
+		}
+		if kb > b.Len {
+			kb = b.Len
+		}
+		if kb == 0 {
+			continue
+		}
+		local := sparsify.TopKIndices(n.acc[b.Offset:b.Offset+b.Len], kb)
+		for _, li := range local {
+			if len(selected) >= k {
+				break
+			}
+			selected[b.Offset+li] = true
+		}
+	}
+	// Fill any remainder from the global ranking.
+	if len(selected) < k {
+		for _, idx := range sparsify.TopKIndices(n.acc, k+len(selected)) {
+			if len(selected) >= k {
+				break
+			}
+			selected[idx] = true
+		}
+	}
+	out := make([]int, 0, len(selected))
+	for idx := range selected {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// encodeSparsePayload wraps codec.EncodeSparse with shared error context.
+func encodeSparsePayload(sv codec.SparseVector, mode codec.IndexMode, fc codec.FloatCodec) ([]byte, codec.ByteBreakdown, error) {
+	buf, bd, err := codec.EncodeSparse(sv, mode, fc)
+	if err != nil {
+		return nil, bd, fmt.Errorf("core: encoding share payload: %w", err)
+	}
+	return buf, bd, nil
+}

@@ -1,0 +1,144 @@
+// Package core implements the paper's decentralized learning algorithms over
+// a common Node interface: JWINS (wavelet ranking + accumulation + randomized
+// cut-off + compressed metadata), full-sharing D-PSGD, and the
+// random-sampling sparsification baseline. CHOCO-SGD lives in internal/choco.
+//
+// All algorithms follow the train-communicate-aggregate round structure of
+// Section II-A: the simulation engine calls LocalTrain, then Share, delivers
+// payloads along the topology, and calls Aggregate with the mixing weights.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/datasets"
+	"repro/internal/nn"
+	"repro/internal/topology"
+)
+
+// Node is one decentralized learning participant.
+type Node interface {
+	// ID returns the node's index in the topology.
+	ID() int
+	// LocalTrain runs the configured number of local SGD steps and returns
+	// the mean train-batch loss.
+	LocalTrain() float64
+	// Share returns the payload this node broadcasts to all its neighbors in
+	// the given round, with its model/metadata byte breakdown.
+	Share(round int) ([]byte, codec.ByteBreakdown, error)
+	// Aggregate merges the payloads received from neighbors (keyed by sender
+	// id) using the node's mixing weights and installs the averaged model.
+	Aggregate(round int, w topology.Weights, msgs map[int][]byte) error
+	// Model exposes the trainable for evaluation.
+	Model() nn.Trainable
+}
+
+// TrainOpts are the local-training hyperparameters shared by all algorithms
+// (tuned once on full-sharing, per the paper's protocol).
+type TrainOpts struct {
+	LR         float64
+	LocalSteps int // tau local SGD steps per communication round
+}
+
+func (o TrainOpts) validate() error {
+	if o.LR <= 0 {
+		return fmt.Errorf("core: learning rate must be positive, got %v", o.LR)
+	}
+	if o.LocalSteps <= 0 {
+		return fmt.Errorf("core: local steps must be positive, got %d", o.LocalSteps)
+	}
+	return nil
+}
+
+// baseNode carries the state every algorithm shares: the model, the local
+// data loader, and the training options.
+type baseNode struct {
+	id     int
+	model  nn.Trainable
+	loader *datasets.Loader
+	opts   TrainOpts
+}
+
+func (b *baseNode) ID() int             { return b.id }
+func (b *baseNode) Model() nn.Trainable { return b.model }
+
+// LocalStepCount reports tau; the simulation's time model uses it.
+func (b *baseNode) LocalStepCount() int { return b.opts.LocalSteps }
+
+// LocalTrain implements the tau-step local SGD phase.
+func (b *baseNode) LocalTrain() float64 {
+	var total float64
+	for s := 0; s < b.opts.LocalSteps; s++ {
+		x, y := b.loader.Next()
+		total += b.model.TrainBatch(x, y, b.opts.LR)
+	}
+	return total / float64(b.opts.LocalSteps)
+}
+
+// partialAverage performs the per-coefficient weighted average used by both
+// JWINS (in the wavelet domain) and random sampling (in the parameter
+// domain): each coefficient is averaged over the nodes that provided it,
+// normalized by the sum of the weights actually present. own is the node's
+// full coefficient vector; out receives the averaged vector (may alias own's
+// backing array only if callers no longer need own).
+func partialAverage(own []float64, selfWeight float64, msgs []decodedMsg, out, wsum []float64) {
+	for k := range out {
+		out[k] = selfWeight * own[k]
+		wsum[k] = selfWeight
+	}
+	for _, m := range msgs {
+		for pos, idx := range m.sv.Indices {
+			out[idx] += m.weight * m.sv.Values[pos]
+			wsum[idx] += m.weight
+		}
+	}
+	for k := range out {
+		out[k] /= wsum[k]
+	}
+}
+
+// decodedMsg pairs a decoded sparse vector with its mixing weight.
+type decodedMsg struct {
+	sv     codec.SparseVector
+	weight float64
+}
+
+// decodeAll decodes neighbor payloads and attaches mixing weights, erroring
+// on senders missing from the weight row (a topology/delivery bug) and on
+// dimension mismatches. Dense payloads (Indices == nil) get explicit index
+// sets so partialAverage can treat everything uniformly. Senders are
+// processed in increasing id order so floating-point accumulation is
+// bit-for-bit reproducible across runs (map iteration order is not).
+func decodeAll(dim int, w topology.Weights, msgs map[int][]byte) ([]decodedMsg, error) {
+	senders := make([]int, 0, len(msgs))
+	for from := range msgs {
+		senders = append(senders, from)
+	}
+	sort.Ints(senders)
+	out := make([]decodedMsg, 0, len(msgs))
+	for _, from := range senders {
+		buf := msgs[from]
+		weight, ok := w.Neighbor[from]
+		if !ok {
+			return nil, fmt.Errorf("core: payload from %d but no mixing weight for it", from)
+		}
+		sv, err := codec.DecodeSparse(buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: payload from %d: %w", from, err)
+		}
+		if sv.Dim != dim {
+			return nil, fmt.Errorf("core: payload from %d has dim %d, want %d", from, sv.Dim, dim)
+		}
+		if sv.Indices == nil {
+			idx := make([]int, dim)
+			for i := range idx {
+				idx[i] = i
+			}
+			sv.Indices = idx
+		}
+		out = append(out, decodedMsg{sv: sv, weight: weight})
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package datasets
+
+import (
+	"fmt"
+
+	"repro/internal/vec"
+)
+
+// RatingConfig describes the synthetic MovieLens-like recommendation task:
+// a low-rank ground-truth preference matrix plus noise, ratings clipped to
+// the 1-5 star range, partitioned by user (the paper's client unit).
+type RatingConfig struct {
+	Name         string
+	Users, Items int
+	Rank         int     // ground-truth latent rank (default 4)
+	TrainPerUser int     // ratings per user for training (default 20)
+	TestPerUser  int     // ratings per user for testing (default 5)
+	NoiseSD      float64 // rating noise (default 0.1)
+}
+
+func (c *RatingConfig) setDefaults() error {
+	if c.Users <= 0 || c.Items <= 0 {
+		return fmt.Errorf("datasets: invalid rating config %+v", *c)
+	}
+	if c.Rank <= 0 {
+		c.Rank = 4
+	}
+	if c.TrainPerUser <= 0 {
+		c.TrainPerUser = 20
+	}
+	if c.TestPerUser <= 0 {
+		c.TestPerUser = 5
+	}
+	if c.NoiseSD == 0 {
+		c.NoiseSD = 0.1
+	}
+	if c.Name == "" {
+		c.Name = "movielens"
+	}
+	if c.TrainPerUser+c.TestPerUser > c.Items {
+		return fmt.Errorf("datasets: %d ratings per user exceed %d items", c.TrainPerUser+c.TestPerUser, c.Items)
+	}
+	return nil
+}
+
+// MovieLensLike generates a recommendation dataset per cfg. Sample X is
+// [user, item]; Y is the rating. Each user is a client.
+func MovieLensLike(cfg RatingConfig, rng *vec.RNG) (*Dataset, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	// Ground-truth latent factors with per-user and per-item bias.
+	uf := make([]float64, cfg.Users*cfg.Rank)
+	vf := make([]float64, cfg.Items*cfg.Rank)
+	ub := make([]float64, cfg.Users)
+	ib := make([]float64, cfg.Items)
+	for i := range uf {
+		uf[i] = rng.NormFloat64() * 0.6
+	}
+	for i := range vf {
+		vf[i] = rng.NormFloat64() * 0.6
+	}
+	for i := range ub {
+		ub[i] = rng.NormFloat64() * 0.3
+	}
+	for i := range ib {
+		ib[i] = rng.NormFloat64() * 0.3
+	}
+	rate := func(u, it int) float64 {
+		var dot float64
+		for k := 0; k < cfg.Rank; k++ {
+			dot += uf[u*cfg.Rank+k] * vf[it*cfg.Rank+k]
+		}
+		r := 3 + dot + ub[u] + ib[it] + cfg.NoiseSD*rng.NormFloat64()
+		if r < 1 {
+			r = 1
+		}
+		if r > 5 {
+			r = 5
+		}
+		return r
+	}
+
+	ds := &Dataset{
+		Name:       cfg.Name,
+		Task:       TaskRating,
+		InputShape: []int{2},
+		Classes:    0,
+		Clients:    cfg.Users,
+	}
+	perUser := cfg.TrainPerUser + cfg.TestPerUser
+	for u := 0; u < cfg.Users; u++ {
+		items := rng.SampleWithoutReplacement(cfg.Items, perUser)
+		rng.ShuffleInts(items)
+		for i, it := range items {
+			s := Sample{X: []float64{float64(u), float64(it)}, Y: []float64{rate(u, it)}}
+			if i < cfg.TrainPerUser {
+				ds.Train = append(ds.Train, s)
+				ds.TrainClient = append(ds.TrainClient, u)
+			} else {
+				ds.Test = append(ds.Test, s)
+			}
+		}
+	}
+	return ds, nil
+}

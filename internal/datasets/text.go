@@ -1,0 +1,180 @@
+package datasets
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vec"
+)
+
+// corpus is a public-domain Shakespeare excerpt (sonnets and famous
+// soliloquies). The LEAF Shakespeare benchmark assigns each speaking role to
+// a client; we approximate that by giving each client a contiguous region of
+// the corpus, so client vocabularies and styles differ, which is what makes
+// the split non-IID.
+const corpus = `shall i compare thee to a summers day
+thou art more lovely and more temperate
+rough winds do shake the darling buds of may
+and summers lease hath all too short a date
+sometime too hot the eye of heaven shines
+and often is his gold complexion dimmd
+and every fair from fair sometime declines
+by chance or natures changing course untrimmd
+but thy eternal summer shall not fade
+nor lose possession of that fair thou owest
+nor shall death brag thou wanderst in his shade
+when in eternal lines to time thou growest
+so long as men can breathe or eyes can see
+so long lives this and this gives life to thee
+to be or not to be that is the question
+whether tis nobler in the mind to suffer
+the slings and arrows of outrageous fortune
+or to take arms against a sea of troubles
+and by opposing end them to die to sleep
+no more and by a sleep to say we end
+the heartache and the thousand natural shocks
+that flesh is heir to tis a consummation
+devoutly to be wishd to die to sleep
+to sleep perchance to dream ay theres the rub
+for in that sleep of death what dreams may come
+when we have shuffled off this mortal coil
+must give us pause theres the respect
+that makes calamity of so long life
+tomorrow and tomorrow and tomorrow
+creeps in this petty pace from day to day
+to the last syllable of recorded time
+and all our yesterdays have lighted fools
+the way to dusty death out out brief candle
+lifes but a walking shadow a poor player
+that struts and frets his hour upon the stage
+and then is heard no more it is a tale
+told by an idiot full of sound and fury
+signifying nothing
+now is the winter of our discontent
+made glorious summer by this sun of york
+and all the clouds that lourd upon our house
+in the deep bosom of the ocean buried
+now are our brows bound with victorious wreaths
+our bruised arms hung up for monuments
+our stern alarums changed to merry meetings
+our dreadful marches to delightful measures
+friends romans countrymen lend me your ears
+i come to bury caesar not to praise him
+the evil that men do lives after them
+the good is oft interred with their bones
+so let it be with caesar the noble brutus
+hath told you caesar was ambitious
+if it were so it was a grievous fault
+and grievously hath caesar answerd it
+let me not to the marriage of true minds
+admit impediments love is not love
+which alters when it alteration finds
+or bends with the remover to remove
+o no it is an ever fixed mark
+that looks on tempests and is never shaken
+it is the star to every wandering bark
+whose worths unknown although his height be taken
+loves not times fool though rosy lips and cheeks
+within his bending sickles compass come
+love alters not with his brief hours and weeks
+but bears it out even to the edge of doom
+if this be error and upon me proved
+i never writ nor no man ever loved
+`
+
+// TextConfig describes the synthetic Shakespeare next-character task.
+type TextConfig struct {
+	Name    string
+	SeqLen  int // window length T (default 32)
+	Clients int // number of clients (default 8)
+	// WindowsPerClient is the number of training windows per client
+	// (default 64).
+	WindowsPerClient int
+	// TestWindows is the number of test windows (default Clients*8).
+	TestWindows int
+}
+
+func (c *TextConfig) setDefaults() {
+	if c.SeqLen <= 1 {
+		c.SeqLen = 32
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.WindowsPerClient <= 0 {
+		c.WindowsPerClient = 64
+	}
+	if c.TestWindows <= 0 {
+		c.TestWindows = c.Clients * 8
+	}
+	if c.Name == "" {
+		c.Name = "shakespeare"
+	}
+}
+
+// ShakespeareLike generates a character-level next-character prediction
+// dataset from the embedded corpus. Each sample is a window of SeqLen
+// character ids with per-position next-character targets.
+func ShakespeareLike(cfg TextConfig, rng *vec.RNG) (*Dataset, error) {
+	cfg.setDefaults()
+	text := strings.TrimSpace(corpus)
+	// Character vocabulary, deterministic ordering.
+	seen := map[rune]bool{}
+	for _, r := range text {
+		seen[r] = true
+	}
+	var alphabet []rune
+	for r := range seen {
+		alphabet = append(alphabet, r)
+	}
+	sort.Slice(alphabet, func(i, j int) bool { return alphabet[i] < alphabet[j] })
+	id := make(map[rune]int, len(alphabet))
+	for i, r := range alphabet {
+		id[r] = i
+	}
+	ids := make([]int, 0, len(text))
+	for _, r := range text {
+		ids = append(ids, id[r])
+	}
+	if len(ids) < cfg.SeqLen+2 {
+		return nil, fmt.Errorf("datasets: corpus shorter than one window")
+	}
+
+	ds := &Dataset{
+		Name:       cfg.Name,
+		Task:       TaskSequence,
+		InputShape: []int{cfg.SeqLen},
+		Classes:    len(alphabet),
+		Clients:    cfg.Clients,
+	}
+
+	// Window starting at position p (wrapping around the corpus).
+	window := func(p int) Sample {
+		x := make([]float64, cfg.SeqLen)
+		y := make([]float64, cfg.SeqLen)
+		for s := 0; s < cfg.SeqLen; s++ {
+			x[s] = float64(ids[(p+s)%len(ids)])
+			y[s] = float64(ids[(p+s+1)%len(ids)])
+		}
+		return Sample{X: x, Y: y}
+	}
+
+	// Each client owns a contiguous region; windows are drawn inside it.
+	region := len(ids) / cfg.Clients
+	if region < 2 {
+		return nil, fmt.Errorf("datasets: too many clients (%d) for corpus of %d chars", cfg.Clients, len(ids))
+	}
+	for client := 0; client < cfg.Clients; client++ {
+		base := client * region
+		for wi := 0; wi < cfg.WindowsPerClient; wi++ {
+			p := base + rng.Intn(region)
+			ds.Train = append(ds.Train, window(p))
+			ds.TrainClient = append(ds.TrainClient, client)
+		}
+	}
+	for wi := 0; wi < cfg.TestWindows; wi++ {
+		ds.Test = append(ds.Test, window(rng.Intn(len(ids))))
+	}
+	return ds, nil
+}

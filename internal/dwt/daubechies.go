@@ -1,0 +1,181 @@
+package dwt
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// GenerateDaubechies computes the order-p Daubechies scaling filter (2p taps,
+// p vanishing moments) by spectral factorization: the halfband polynomial
+// P(y) = sum_{k<p} C(p-1+k, k) y^k is factored over its roots, the roots of
+// the corresponding polynomial in z that lie inside the unit circle are kept
+// (minimum-phase choice, giving the classic extremal-phase "db" family), and
+// the filter is (1+z)^p times that factor, normalized to sum sqrt(2).
+//
+// The hardcoded db2-db4 filters in this package agree with the generated ones
+// to ~1e-12; the generator extends the registry to arbitrary order (db5-db10
+// are pre-registered). Filters are validated by the package's orthonormality
+// and perfect-reconstruction property tests.
+func GenerateDaubechies(p int) ([]float64, error) {
+	if p < 1 || p > 16 {
+		return nil, fmt.Errorf("dwt: daubechies order %d out of range [1, 16]", p)
+	}
+	if p == 1 {
+		return []float64{1 / math.Sqrt2, 1 / math.Sqrt2}, nil
+	}
+	// P(y) = sum_{k=0}^{p-1} C(p-1+k, k) y^k.
+	py := make([]complex128, p)
+	for k := 0; k < p; k++ {
+		py[k] = complex(binomial(p-1+k, k), 0)
+	}
+	yRoots, err := polyRoots(py)
+	if err != nil {
+		return nil, err
+	}
+	// Each root y0 maps to a quadratic in z: y = (2 - z - 1/z)/4, i.e.
+	// z^2 - (2 - 4 y0) z + 1 = 0. Keep the root with |z| < 1.
+	var zRoots []complex128
+	for _, y0 := range yRoots {
+		b := complex(2, 0) - 4*y0
+		disc := cmplx.Sqrt(b*b - 4)
+		z1 := (b + disc) / 2
+		z2 := (b - disc) / 2
+		if cmplx.Abs(z1) < 1 {
+			zRoots = append(zRoots, z1)
+		} else {
+			zRoots = append(zRoots, z2)
+		}
+	}
+	// h(z) = (1+z)^p * prod (z - z_k), then normalize.
+	coeffs := []complex128{1}
+	for i := 0; i < p; i++ {
+		coeffs = polyMul(coeffs, []complex128{1, 1}) // (1 + z)
+	}
+	for _, zk := range zRoots {
+		coeffs = polyMul(coeffs, []complex128{-zk, 1}) // (z - zk)
+	}
+	if len(coeffs) != 2*p {
+		return nil, fmt.Errorf("dwt: internal error: got %d taps for db%d", len(coeffs), p)
+	}
+	h := make([]float64, 2*p)
+	var sum float64
+	for i, c := range coeffs {
+		if math.Abs(imag(c)) > 1e-6*(1+math.Abs(real(c))) {
+			return nil, fmt.Errorf("dwt: non-real coefficient %v in db%d factorization", c, p)
+		}
+		h[i] = real(c)
+		sum += h[i]
+	}
+	scale := math.Sqrt2 / sum
+	for i := range h {
+		h[i] *= scale
+	}
+	// The extremal-phase convention lists the large leading taps first;
+	// match the orientation of the hardcoded db filters (energy at the
+	// front). Reverse if the tail carries more energy.
+	var front, back float64
+	for i := 0; i < p; i++ {
+		front += h[i] * h[i]
+		back += h[2*p-1-i] * h[2*p-1-i]
+	}
+	if back > front {
+		for i, j := 0, len(h)-1; i < j; i, j = i+1, j-1 {
+			h[i], h[j] = h[j], h[i]
+		}
+	}
+	return h, nil
+}
+
+// binomial returns C(n, k) as float64.
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out = out * float64(n-i) / float64(i+1)
+	}
+	return out
+}
+
+// polyMul multiplies polynomials in coefficient form (index = power).
+func polyMul(a, b []complex128) []complex128 {
+	out := make([]complex128, len(a)+len(b)-1)
+	for i, av := range a {
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}
+
+// polyRoots finds all roots of the polynomial with the given coefficients
+// (index = power, highest order last) using the Durand-Kerner iteration.
+func polyRoots(coeffs []complex128) ([]complex128, error) {
+	// Trim leading (highest-power) zeros.
+	n := len(coeffs)
+	for n > 1 && coeffs[n-1] == 0 {
+		n--
+	}
+	coeffs = coeffs[:n]
+	deg := n - 1
+	if deg == 0 {
+		return nil, nil
+	}
+	// Normalize to monic.
+	monic := make([]complex128, n)
+	for i := range coeffs {
+		monic[i] = coeffs[i] / coeffs[n-1]
+	}
+	eval := func(z complex128) complex128 {
+		out := complex(0, 0)
+		for i := deg; i >= 0; i-- {
+			out = out*z + monic[i]
+		}
+		return out
+	}
+	// Initial guesses on a slightly irrational spiral.
+	roots := make([]complex128, deg)
+	seed := complex(0.4, 0.9)
+	cur := complex(1, 0)
+	for i := range roots {
+		cur *= seed
+		roots[i] = cur
+	}
+	for iter := 0; iter < 500; iter++ {
+		var maxDelta float64
+		for i := range roots {
+			num := eval(roots[i])
+			den := complex(1, 0)
+			for j := range roots {
+				if j != i {
+					den *= roots[i] - roots[j]
+				}
+			}
+			if den == 0 {
+				den = complex(1e-12, 0)
+			}
+			delta := num / den
+			roots[i] -= delta
+			if d := cmplx.Abs(delta); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		if maxDelta < 1e-14 {
+			return roots, nil
+		}
+	}
+	return nil, fmt.Errorf("dwt: root finding did not converge for degree %d", deg)
+}
+
+func init() {
+	// Extend the registry with generated higher-order Daubechies filters.
+	for p := 5; p <= 10; p++ {
+		h, err := GenerateDaubechies(p)
+		if err != nil {
+			panic(fmt.Sprintf("dwt: generating db%d: %v", p, err))
+		}
+		wavelets[fmt.Sprintf("db%d", p)] = h
+	}
+}

@@ -1,0 +1,130 @@
+package dwt
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// TestGeneratedMatchesHardcoded: the spectral-factorization generator must
+// reproduce the published db2-db4 filters used by the paper's sym2 setting.
+func TestGeneratedMatchesHardcoded(t *testing.T) {
+	for p, want := range map[int][]float64{2: db2H, 3: db3H, 4: db4H} {
+		got, err := GenerateDaubechies(p)
+		if err != nil {
+			t.Fatalf("db%d: %v", p, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("db%d: %d taps, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("db%d tap %d: generated %v, published %v", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGeneratedHigherOrders: db5-db10 must be orthonormal filters with exact
+// perfect reconstruction and p vanishing moments.
+func TestGeneratedHigherOrders(t *testing.T) {
+	rng := vec.NewRNG(77)
+	for p := 5; p <= 10; p++ {
+		name := fmt.Sprintf("db%d", p)
+		w := MustByName(name)
+		if len(w.H) != 2*p {
+			t.Fatalf("%s: %d taps, want %d", name, len(w.H), 2*p)
+		}
+		// Orthonormality.
+		var energy, sum float64
+		for _, v := range w.H {
+			energy += v * v
+			sum += v
+		}
+		if math.Abs(energy-1) > 1e-10 {
+			t.Errorf("%s: energy %v", name, energy)
+		}
+		if math.Abs(sum-math.Sqrt2) > 1e-10 {
+			t.Errorf("%s: sum %v", name, sum)
+		}
+		for m := 1; 2*m < len(w.H); m++ {
+			var dot float64
+			for k := 0; k+2*m < len(w.H); k++ {
+				dot += w.H[k] * w.H[k+2*m]
+			}
+			if math.Abs(dot) > 1e-10 {
+				t.Errorf("%s: shift-%d inner product %v", name, 2*m, dot)
+			}
+		}
+		// Vanishing moments: the wavelet filter annihilates polynomials up
+		// to degree p-1: sum_k k^m g[k] = 0 for m < p.
+		g := w.G()
+		for m := 0; m < p; m++ {
+			var moment float64
+			for k, v := range g {
+				moment += math.Pow(float64(k), float64(m)) * v
+			}
+			// Moment magnitudes grow with k^m; tolerate relative error.
+			if math.Abs(moment) > 1e-6*math.Pow(float64(len(g)), float64(m)) {
+				t.Errorf("%s: moment %d = %v, want 0", name, m, moment)
+			}
+		}
+		// Perfect reconstruction through the multi-level transformer.
+		tr, err := NewTransformer(777, w, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		x := make([]float64, 777)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		coeffs := make([]float64, tr.CoeffLen())
+		tr.Forward(x, coeffs)
+		y := make([]float64, len(x))
+		tr.Inverse(coeffs, y)
+		if mse := vec.MSE(x, y); mse > 1e-16 {
+			t.Errorf("%s: reconstruction MSE %v", name, mse)
+		}
+	}
+}
+
+func TestGenerateDaubechiesValidation(t *testing.T) {
+	if _, err := GenerateDaubechies(0); err == nil {
+		t.Fatal("order 0 accepted")
+	}
+	if _, err := GenerateDaubechies(17); err == nil {
+		t.Fatal("order 17 accepted")
+	}
+	h, err := GenerateDaubechies(1)
+	if err != nil || len(h) != 2 {
+		t.Fatalf("db1: %v %v", h, err)
+	}
+}
+
+// TestHigherOrderEnergyCompaction: higher-order wavelets compact smooth
+// signals at least as well as db2 (more vanishing moments).
+func TestHigherOrderEnergyCompaction(t *testing.T) {
+	n := 2048
+	x := make([]float64, n)
+	for i := range x {
+		u := float64(i) / float64(n)
+		x[i] = u*u*u - 0.5*u + math.Sin(4*math.Pi*u)
+	}
+	mseFor := func(name string) float64 {
+		tr, err := NewTransformer(n, MustByName(name), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coeffs := make([]float64, tr.CoeffLen())
+		tr.Forward(x, coeffs)
+		return sparsifyReconstructMSE(tr, coeffs, n/20, x)
+	}
+	db2 := mseFor("db2")
+	db8 := mseFor("db8")
+	if db8 > db2*2 {
+		t.Fatalf("db8 compaction much worse than db2: %v vs %v", db8, db2)
+	}
+	t.Logf("5%% budget reconstruction MSE: db2 %.3g, db8 %.3g", db2, db8)
+}

@@ -1,0 +1,289 @@
+package dwt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+const tol = 1e-9
+
+// TestFilterOrthonormality checks the two algebraic properties perfect
+// reconstruction depends on: unit energy and shift-2 orthogonality of the
+// scaling filter, plus cross-orthogonality with the derived wavelet filter.
+func TestFilterOrthonormality(t *testing.T) {
+	for _, name := range Names() {
+		w := MustByName(name)
+		h, g := w.H, w.G()
+		if s := sumSq(h); math.Abs(s-1) > tol {
+			t.Errorf("%s: sum(h^2) = %v, want 1", name, s)
+		}
+		if s := sum(h); math.Abs(s-math.Sqrt2) > 1e-7 {
+			t.Errorf("%s: sum(h) = %v, want sqrt(2)", name, s)
+		}
+		for m := 1; 2*m < len(h); m++ {
+			var dot float64
+			for k := 0; k+2*m < len(h); k++ {
+				dot += h[k] * h[k+2*m]
+			}
+			if math.Abs(dot) > tol {
+				t.Errorf("%s: shift-%d self inner product %v, want 0", name, 2*m, dot)
+			}
+		}
+		for m := -len(h) / 2; m <= len(h)/2; m++ {
+			var dot float64
+			for k := 0; k < len(h); k++ {
+				j := k + 2*m
+				if j >= 0 && j < len(g) {
+					dot += h[k] * g[j]
+				}
+			}
+			if math.Abs(dot) > tol {
+				t.Errorf("%s: h/g shift-%d inner product %v, want 0", name, 2*m, dot)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown wavelet")
+	}
+}
+
+func TestSingleLevelPerfectReconstruction(t *testing.T) {
+	rng := vec.NewRNG(11)
+	for _, name := range Names() {
+		w := MustByName(name)
+		for _, n := range []int{2, 4, 8, 16, 34, 128, 1000} {
+			x := randVec(rng, n)
+			a := make([]float64, n/2)
+			d := make([]float64, n/2)
+			AnalyzePeriodic(x, w, a, d)
+			y := make([]float64, n)
+			SynthesizePeriodic(a, d, w, y)
+			if mse := vec.MSE(x, y); mse > tol {
+				t.Errorf("%s n=%d: reconstruction MSE %v", name, n, mse)
+			}
+		}
+	}
+}
+
+func TestSingleLevelEnergyPreservation(t *testing.T) {
+	rng := vec.NewRNG(12)
+	w := MustByName("sym2")
+	x := randVec(rng, 256)
+	a := make([]float64, 128)
+	d := make([]float64, 128)
+	AnalyzePeriodic(x, w, a, d)
+	in := vec.Dot(x, x)
+	out := vec.Dot(a, a) + vec.Dot(d, d)
+	if math.Abs(in-out) > tol*in {
+		t.Fatalf("energy not preserved: in %v out %v", in, out)
+	}
+}
+
+func TestTransformerRoundTrip(t *testing.T) {
+	rng := vec.NewRNG(13)
+	for _, name := range []string{"haar", "db2", "sym2", "db3", "db4", "sym4"} {
+		w := MustByName(name)
+		for _, n := range []int{1, 2, 5, 16, 100, 1023, 4096, 21357} {
+			for _, levels := range []int{1, 2, 4} {
+				tr, err := NewTransformer(n, w, levels)
+				if err != nil {
+					t.Fatalf("%s n=%d L=%d: %v", name, n, levels, err)
+				}
+				x := randVec(rng, n)
+				coeffs := make([]float64, tr.CoeffLen())
+				tr.Forward(x, coeffs)
+				y := make([]float64, n)
+				tr.Inverse(coeffs, y)
+				if mse := vec.MSE(x, y); mse > tol {
+					t.Errorf("%s n=%d L=%d: round-trip MSE %v", name, n, levels, mse)
+				}
+			}
+		}
+	}
+}
+
+func TestTransformerBandsLayout(t *testing.T) {
+	tr, err := NewTransformer(4096, MustByName("sym2"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands := tr.Bands()
+	if len(bands) != 5 {
+		t.Fatalf("want 5 bands, got %d", len(bands))
+	}
+	wantNames := []string{"cA4", "cD4", "cD3", "cD2", "cD1"}
+	total := 0
+	prevEnd := 0
+	for i, b := range bands {
+		if b.Name != wantNames[i] {
+			t.Errorf("band %d name %q, want %q", i, b.Name, wantNames[i])
+		}
+		if b.Offset != prevEnd {
+			t.Errorf("band %q offset %d, want contiguous %d", b.Name, b.Offset, prevEnd)
+		}
+		prevEnd = b.Offset + b.Len
+		total += b.Len
+	}
+	if total != tr.CoeffLen() {
+		t.Fatalf("bands sum %d != CoeffLen %d", total, tr.CoeffLen())
+	}
+	// For n = 4096, L=4: cA4 = cD4 = 256, cD3 = 512, cD2 = 1024, cD1 = 2048.
+	wantLens := []int{256, 256, 512, 1024, 2048}
+	for i, b := range bands {
+		if b.Len != wantLens[i] {
+			t.Errorf("band %q len %d, want %d", b.Name, b.Len, wantLens[i])
+		}
+	}
+}
+
+// TestEnergyCompaction verifies the property JWINS relies on: for a smooth
+// signal, the wavelet domain concentrates energy into far fewer coefficients
+// than the parameter domain, so a TopK-sparsified wavelet vector reconstructs
+// with much lower error than a TopK-sparsified raw vector.
+func TestEnergyCompaction(t *testing.T) {
+	n := 4096
+	x := make([]float64, n)
+	for i := range x {
+		u := float64(i) / float64(n)
+		x[i] = math.Sin(2*math.Pi*3*u) + 0.5*math.Cos(2*math.Pi*7*u)
+	}
+	tr, err := NewTransformer(n, MustByName("sym2"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeffs := make([]float64, tr.CoeffLen())
+	tr.Forward(x, coeffs)
+
+	keep := n / 10 // 10% budget, as in the paper's Figure 2 setup
+	waveletMSE := sparsifyReconstructMSE(tr, coeffs, keep, x)
+
+	id := Identity{N: n}
+	rawCoeffs := make([]float64, n)
+	id.Forward(x, rawCoeffs)
+	rawMSE := sparsifyReconstructMSE(id, rawCoeffs, keep, x)
+
+	if waveletMSE >= rawMSE {
+		t.Fatalf("wavelet sparsification MSE %v not better than raw %v", waveletMSE, rawMSE)
+	}
+	if waveletMSE > rawMSE/10 {
+		t.Logf("note: wavelet MSE %v vs raw %v (expected large gap on smooth signals)", waveletMSE, rawMSE)
+	}
+}
+
+func sparsifyReconstructMSE(tr Transform, coeffs []float64, keep int, orig []float64) float64 {
+	sparse := make([]float64, len(coeffs))
+	// Keep the `keep` largest-magnitude coefficients.
+	idx := topKAbs(coeffs, keep)
+	for _, i := range idx {
+		sparse[i] = coeffs[i]
+	}
+	out := make([]float64, len(orig))
+	tr.Inverse(sparse, out)
+	return vec.MSE(orig, out)
+}
+
+// topKAbs is a small O(n*k) helper adequate for tests.
+func topKAbs(v []float64, k int) []int {
+	picked := make([]bool, len(v))
+	out := make([]int, 0, k)
+	for j := 0; j < k; j++ {
+		best, bestAbs := -1, -1.0
+		for i, x := range v {
+			if picked[i] {
+				continue
+			}
+			if a := math.Abs(x); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if best < 0 {
+			break
+		}
+		picked[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+func TestIdentityTransform(t *testing.T) {
+	id := Identity{N: 5}
+	x := []float64{1, 2, 3, 4, 5}
+	out := make([]float64, 5)
+	id.Forward(x, out)
+	back := make([]float64, 5)
+	id.Inverse(out, back)
+	for i := range x {
+		if back[i] != x[i] {
+			t.Fatalf("identity round trip: %v", back)
+		}
+	}
+}
+
+func TestNewTransformerErrors(t *testing.T) {
+	w := MustByName("sym2")
+	if _, err := NewTransformer(0, w, 4); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, err := NewTransformer(10, w, 0); err == nil {
+		t.Error("expected error for levels=0")
+	}
+	if _, err := NewTransformer(10, Wavelet{}, 1); err == nil {
+		t.Error("expected error for empty wavelet")
+	}
+}
+
+// TestQuickRoundTrip property-tests perfect reconstruction over random
+// lengths and contents.
+func TestQuickRoundTrip(t *testing.T) {
+	w := MustByName("sym2")
+	f := func(seed uint64, rawN uint16) bool {
+		n := int(rawN)%5000 + 1
+		x := make([]float64, n)
+		r := vec.NewRNG(seed)
+		for i := range x {
+			x[i] = r.NormFloat64() * 10
+		}
+		tr, err := NewTransformer(n, w, 4)
+		if err != nil {
+			return false
+		}
+		coeffs := make([]float64, tr.CoeffLen())
+		tr.Forward(x, coeffs)
+		y := make([]float64, n)
+		tr.Inverse(coeffs, y)
+		return vec.MSE(x, y) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randVec(r *vec.RNG, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	return x
+}
+
+func sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+func sumSq(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}

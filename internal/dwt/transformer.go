@@ -1,0 +1,188 @@
+package dwt
+
+import "fmt"
+
+// Transform maps a flat parameter vector to a flat coefficient vector and
+// back. JWINS ranks, shares, and averages in the coefficient domain; the
+// ablation "JWINS without wavelet" swaps in Identity, which degenerates the
+// algorithm to plain TopK sparsification in the parameter domain.
+type Transform interface {
+	// CoeffLen returns the length of the coefficient vector.
+	CoeffLen() int
+	// Forward writes the coefficients of x (length = input length given at
+	// construction) into out (length = CoeffLen).
+	Forward(x, out []float64)
+	// Inverse writes the reconstruction of coeffs into out
+	// (length = input length given at construction).
+	Inverse(coeffs, out []float64)
+}
+
+// Band describes one sub-band slice inside the flat coefficient vector.
+type Band struct {
+	Name   string // "cA4", "cD4", ..., "cD1"
+	Offset int
+	Len    int
+}
+
+// Transformer is a multi-level periodized DWT bound to a fixed input length.
+// The input is zero-padded once to a multiple of 2^levels so every level sees
+// an even-length signal; the coefficient vector length equals the padded
+// length. A Transformer reuses internal scratch buffers and is therefore NOT
+// safe for concurrent use; each DL node owns its own instance.
+type Transformer struct {
+	wavelet   Wavelet
+	n         int // original input length
+	padded    int // padded length (multiple of 2^levels)
+	levels    int
+	bands     []Band
+	scratchA  []float64
+	scratchB  []float64
+	scratchIn []float64
+}
+
+var _ Transform = (*Transformer)(nil)
+
+// NewTransformer builds a transformer for input vectors of length n using the
+// given wavelet and number of decomposition levels. JWINS uses four levels of
+// sym2, per the paper.
+func NewTransformer(n int, w Wavelet, levels int) (*Transformer, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dwt: input length must be positive, got %d", n)
+	}
+	if levels <= 0 {
+		return nil, fmt.Errorf("dwt: levels must be positive, got %d", levels)
+	}
+	if len(w.H) == 0 {
+		return nil, fmt.Errorf("dwt: wavelet has no filter coefficients")
+	}
+	block := 1 << uint(levels)
+	padded := ((n + block - 1) / block) * block
+	// Keep the coarsest band at least as long as half the filter so the
+	// periodized convolution wraps at most once per tap in the common case.
+	for padded>>uint(levels) < 2 {
+		padded += block
+	}
+	t := &Transformer{
+		wavelet:   w,
+		n:         n,
+		padded:    padded,
+		levels:    levels,
+		scratchA:  make([]float64, padded),
+		scratchB:  make([]float64, padded),
+		scratchIn: make([]float64, padded),
+	}
+	// Flat layout: [cA_L | cD_L | cD_{L-1} | ... | cD_1].
+	lens := make([]int, levels) // lens[i] = detail length of level i+1
+	cur := padded
+	for lvl := 1; lvl <= levels; lvl++ {
+		cur /= 2
+		lens[lvl-1] = cur
+	}
+	off := 0
+	t.bands = append(t.bands, Band{Name: fmt.Sprintf("cA%d", levels), Offset: 0, Len: lens[levels-1]})
+	off += lens[levels-1]
+	for lvl := levels; lvl >= 1; lvl-- {
+		t.bands = append(t.bands, Band{Name: fmt.Sprintf("cD%d", lvl), Offset: off, Len: lens[lvl-1]})
+		off += lens[lvl-1]
+	}
+	if off != padded {
+		return nil, fmt.Errorf("dwt: internal layout error: bands sum to %d, padded %d", off, padded)
+	}
+	return t, nil
+}
+
+// InputLen returns the original (unpadded) input length.
+func (t *Transformer) InputLen() int { return t.n }
+
+// CoeffLen returns the flat coefficient vector length (the padded length).
+func (t *Transformer) CoeffLen() int { return t.padded }
+
+// Levels returns the number of decomposition levels.
+func (t *Transformer) Levels() int { return t.levels }
+
+// Bands returns the coefficient layout. The returned slice is shared; callers
+// must not modify it.
+func (t *Transformer) Bands() []Band { return t.bands }
+
+// Forward computes the multi-level DWT of x into out.
+// len(x) must equal InputLen and len(out) must equal CoeffLen.
+func (t *Transformer) Forward(x, out []float64) {
+	if len(x) != t.n {
+		panic(fmt.Sprintf("dwt: Forward input length %d, want %d", len(x), t.n))
+	}
+	if len(out) != t.padded {
+		panic(fmt.Sprintf("dwt: Forward output length %d, want %d", len(out), t.padded))
+	}
+	cur := t.scratchIn[:t.padded]
+	copy(cur, x)
+	for i := t.n; i < t.padded; i++ {
+		cur[i] = 0
+	}
+	curLen := t.padded
+	// Details are emitted from finest (cD1, at the tail of out) to coarsest.
+	for lvl := 1; lvl <= t.levels; lvl++ {
+		half := curLen / 2
+		approx := t.scratchA[:half]
+		detail := t.detailSlot(out, lvl)
+		AnalyzePeriodic(cur[:curLen], t.wavelet, approx, detail)
+		copy(cur[:half], approx)
+		curLen = half
+	}
+	copy(out[:curLen], cur[:curLen]) // cA_L
+}
+
+// Inverse reconstructs the signal from coeffs into out.
+// len(coeffs) must equal CoeffLen and len(out) must equal InputLen.
+func (t *Transformer) Inverse(coeffs, out []float64) {
+	if len(coeffs) != t.padded {
+		panic(fmt.Sprintf("dwt: Inverse input length %d, want %d", len(coeffs), t.padded))
+	}
+	if len(out) != t.n {
+		panic(fmt.Sprintf("dwt: Inverse output length %d, want %d", len(out), t.n))
+	}
+	coarse := t.padded >> uint(t.levels)
+	cur := t.scratchA[:t.padded]
+	copy(cur[:coarse], coeffs[:coarse]) // cA_L
+	curLen := coarse
+	for lvl := t.levels; lvl >= 1; lvl-- {
+		detail := t.detailSlot(coeffs, lvl)
+		x := t.scratchB[:2*curLen]
+		SynthesizePeriodic(cur[:curLen], detail, t.wavelet, x)
+		copy(cur[:2*curLen], x)
+		curLen *= 2
+	}
+	copy(out, cur[:t.n])
+}
+
+// detailSlot returns the cD_lvl slice inside a flat coefficient vector.
+func (t *Transformer) detailSlot(flat []float64, lvl int) []float64 {
+	// bands[0] is cA_L; bands[1] is cD_L ... bands[levels] is cD_1.
+	b := t.bands[t.levels-lvl+1]
+	return flat[b.Offset : b.Offset+b.Len]
+}
+
+// Identity is a Transform that passes vectors through unchanged. It backs the
+// "JWINS without wavelet" ablation and the random-sampling baseline, which
+// operate directly in the parameter domain.
+type Identity struct{ N int }
+
+var _ Transform = Identity{}
+
+// CoeffLen returns the input length (identity mapping).
+func (id Identity) CoeffLen() int { return id.N }
+
+// Forward copies x into out.
+func (id Identity) Forward(x, out []float64) {
+	if len(x) != id.N || len(out) != id.N {
+		panic("dwt: Identity length mismatch")
+	}
+	copy(out, x)
+}
+
+// Inverse copies coeffs into out.
+func (id Identity) Inverse(coeffs, out []float64) {
+	if len(coeffs) != id.N || len(out) != id.N {
+		panic("dwt: Identity length mismatch")
+	}
+	copy(out, coeffs)
+}

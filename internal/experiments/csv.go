@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/simulation"
+)
+
+// CSVer is implemented by results that can emit machine-readable series for
+// external plotting.
+type CSVer interface {
+	CSV() string
+}
+
+// CurvesCSV renders per-algorithm learning curves as long-format CSV:
+// algo,round,train_loss,test_loss,test_acc,cum_bytes,cum_meta_bytes,sim_time.
+func CurvesCSV(curves map[string][]simulation.RoundMetrics) string {
+	var b strings.Builder
+	b.WriteString("algo,round,train_loss,test_loss,test_acc,cum_bytes,cum_meta_bytes,sim_time\n")
+	algos := make([]string, 0, len(curves))
+	for a := range curves {
+		algos = append(algos, a)
+	}
+	sort.Strings(algos)
+	for _, a := range algos {
+		for _, rm := range curves[a] {
+			fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%d,%d,%.4f\n",
+				a, rm.Round, csvFloat(rm.TrainLoss), csvFloat(rm.TestLoss), csvFloat(rm.TestAcc),
+				rm.CumTotalBytes, rm.CumMetaBytes, rm.SimTime)
+		}
+	}
+	return b.String()
+}
+
+func csvFloat(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return fmt.Sprintf("%.6f", v)
+}
+
+// CSV implements CSVer for Table 1: one row per dataset plus the Figure 4
+// curves appended in long format.
+func (r *Table1Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("dataset,rounds,acc_full,acc_random,acc_jwins,loss_full,loss_random,loss_jwins,bytes_full,bytes_random,bytes_jwins,meta_jwins,savings\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%d,%.2f,%.2f,%.2f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%.4f\n",
+			row.Dataset, row.Rounds,
+			row.AccFull, row.AccRandom, row.AccJWINS,
+			row.LossFull, row.LossRandom, row.LossJWINS,
+			row.BytesFull, row.BytesRandom, row.BytesJWINS,
+			row.MetaJWINS, row.NetworkSavings)
+	}
+	b.WriteString("\n# figure 4 curves\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "# dataset=%s\n", row.Dataset)
+		b.WriteString(CurvesCSV(row.Curves))
+	}
+	return b.String()
+}
+
+// CSV implements CSVer for Figure 2.
+func (r *Fig2Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("epoch,wavelet_mse,fft_mse,random_mse\n")
+	for i := range r.Epochs {
+		fmt.Fprintf(&b, "%d,%.8f,%.8f,%.8f\n", r.Epochs[i], r.Wavelet[i], r.FFT[i], r.Random[i])
+	}
+	return b.String()
+}
+
+// CSV implements CSVer for Figure 3.
+func (r *Fig3Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("node,alpha\n")
+	for i, a := range r.PerNode {
+		fmt.Fprintf(&b, "%d,%.4f\n", i, a)
+	}
+	b.WriteString("\nround,mean_alpha\n")
+	for i, m := range r.MeanPerRound {
+		fmt.Fprintf(&b, "%d,%.4f\n", i, m)
+	}
+	return b.String()
+}
+
+// CSV implements CSVer for Figure 5.
+func (r *Fig5Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("dataset,target_acc,rounds_full,rounds_random,rounds_jwins,bytes_full,bytes_random,bytes_jwins,rounds_saved,byte_ratio\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%.2f,%d,%d,%d,%d,%d,%d,%d,%.3f\n",
+			row.Dataset, row.TargetAccuracy,
+			row.RoundsFull, row.RoundsRandom, row.RoundsJWINS,
+			row.BytesFull, row.BytesRandom, row.BytesJWINS,
+			row.RoundsSaved, row.ByteRatio)
+	}
+	return b.String()
+}
+
+// CSV implements CSVer for Figure 6.
+func (r *Fig6Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("budget,gamma,rounds,acc_choco,acc_jwins,loss_choco,loss_jwins,bytes_node_choco,bytes_node_jwins,target_acc,rounds_to_target_jwins,bytes_to_target_jwins,bytes_to_target_full\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%.2f,%.2f,%d,%.2f,%.2f,%.4f,%.4f,%d,%d,%.2f,%d,%d,%d\n",
+			row.Budget, row.Gamma, row.Rounds,
+			row.AccChoco, row.AccJWINS, row.LossChoco, row.LossJWINS,
+			row.BytesPerNodeChoco, row.BytesPerNodeJWINS,
+			row.TargetAcc, row.RoundsToTargetJWINS, row.BytesToTargetJWINS, row.BytesToTargetFull)
+	}
+	return b.String()
+}
+
+// CSV implements CSVer for Figure 7.
+func (r *Fig7Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("arm,final_acc\n")
+	fmt.Fprintf(&b, "full-static,%.2f\nfull-dynamic,%.2f\njwins-dynamic,%.2f\nchoco-dynamic,%.2f\n",
+		r.FullStatic, r.FullDynamic, r.JWINSDynamic, r.ChocoDynamic)
+	b.WriteString("\n")
+	b.WriteString(CurvesCSV(r.Curves))
+	return b.String()
+}
+
+// CSV implements CSVer for Figure 8.
+func (r *Fig8Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("variant,test_loss,accuracy\n")
+	for _, v := range Fig8Variants {
+		fmt.Fprintf(&b, "%s,%.4f,%.2f\n", v, r.Loss[string(v)], r.Acc[string(v)])
+	}
+	b.WriteString("\n")
+	b.WriteString(CurvesCSV(r.Curves))
+	return b.String()
+}
+
+// CSV implements CSVer for Figure 9.
+func (r *Fig9Result) CSV() string {
+	return fmt.Sprintf("rounds,model_bytes,meta_raw,meta_gamma,compression,wasted_fraction\n%d,%d,%d,%d,%.2f,%.4f\n",
+		r.Rounds, r.ModelBytes, r.MetaRaw, r.MetaGamma, r.Compression, r.WastedFraction)
+}
+
+// CSV implements CSVer for Figure 10.
+func (r *Fig10Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("nodes,degree,rounds,acc_random,acc_jwins,gain,rounds_to_target_jwins,rounds_saved,bytes_random,bytes_jwins\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%d,%d,%d,%.2f,%.2f,%.2f,%d,%d,%d,%d\n",
+			row.Nodes, row.Degree, row.Rounds,
+			row.AccRandom, row.AccJWINS, row.AccGain,
+			row.RoundsToTargetJWINS, row.RoundsSaved,
+			row.BytesRandom, row.BytesJWINS)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/simulation"
+)
+
+func TestCurvesCSV(t *testing.T) {
+	curves := map[string][]simulation.RoundMetrics{
+		"jwins": {
+			{Round: 0, TrainLoss: 1.5, TestLoss: math.NaN(), TestAcc: math.NaN(), CumTotalBytes: 100},
+			{Round: 1, TrainLoss: 1.2, TestLoss: 1.1, TestAcc: 0.5, CumTotalBytes: 200},
+		},
+		"full-sharing": {
+			{Round: 0, TrainLoss: 1.4, TestLoss: 1.3, TestAcc: 0.4, CumTotalBytes: 300},
+		},
+	}
+	out := CurvesCSV(curves)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header + 3 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "algo,round,") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	// Algorithms sorted: full-sharing first.
+	if !strings.HasPrefix(lines[1], "full-sharing,0,") {
+		t.Fatalf("rows not sorted by algo: %s", lines[1])
+	}
+	// NaN becomes empty field.
+	if !strings.Contains(lines[2], ",,") {
+		t.Fatalf("NaN not blanked: %s", lines[2])
+	}
+}
+
+func TestResultCSVs(t *testing.T) {
+	t1 := &Table1Result{Rows: []Table1Row{{
+		Dataset: "cifar10", Rounds: 10, AccFull: 50, AccRandom: 40, AccJWINS: 49,
+		BytesFull: 1000, BytesRandom: 400, BytesJWINS: 380, NetworkSavings: 0.62,
+		Curves: map[string][]simulation.RoundMetrics{},
+	}}}
+	if !strings.Contains(t1.CSV(), "cifar10,10,50.00,40.00,49.00") {
+		t.Fatalf("table1 CSV malformed:\n%s", t1.CSV())
+	}
+
+	f2 := &Fig2Result{Epochs: []int{1}, Wavelet: []float64{0.1}, FFT: []float64{0.2}, Random: []float64{0.3}}
+	if !strings.Contains(f2.CSV(), "1,0.10000000,0.20000000,0.30000000") {
+		t.Fatalf("fig2 CSV malformed:\n%s", f2.CSV())
+	}
+
+	f3 := &Fig3Result{PerNode: []float64{0.1, 1}, MeanPerRound: []float64{0.4}}
+	if !strings.Contains(f3.CSV(), "0,0.1000") {
+		t.Fatalf("fig3 CSV malformed:\n%s", f3.CSV())
+	}
+
+	f5 := &Fig5Result{Rows: []Fig5Row{{Dataset: "x", TargetAccuracy: 40, RoundsJWINS: 5, ByteRatio: 2}}}
+	if !strings.Contains(f5.CSV(), "x,40.00,") {
+		t.Fatalf("fig5 CSV malformed:\n%s", f5.CSV())
+	}
+
+	f9 := &Fig9Result{Rounds: 7, ModelBytes: 100, MetaRaw: 100, MetaGamma: 10, Compression: 10, WastedFraction: 0.5}
+	if !strings.Contains(f9.CSV(), "7,100,100,10,10.00,0.5000") {
+		t.Fatalf("fig9 CSV malformed:\n%s", f9.CSV())
+	}
+
+	f10 := &Fig10Result{Rows: []Fig10Row{{Nodes: 8, Degree: 4, Rounds: 10}}}
+	if !strings.Contains(f10.CSV(), "8,4,10,") {
+		t.Fatalf("fig10 CSV malformed:\n%s", f10.CSV())
+	}
+
+	f6 := &Fig6Result{Rows: []Fig6Row{{Budget: 0.2, Gamma: 0.6, Rounds: 10}}}
+	if !strings.Contains(f6.CSV(), "0.20,0.60,10,") {
+		t.Fatalf("fig6 CSV malformed:\n%s", f6.CSV())
+	}
+
+	f7 := &Fig7Result{FullStatic: 1, FullDynamic: 2, JWINSDynamic: 3, ChocoDynamic: 4,
+		Curves: map[string][]simulation.RoundMetrics{}}
+	if !strings.Contains(f7.CSV(), "jwins-dynamic,3.00") {
+		t.Fatalf("fig7 CSV malformed:\n%s", f7.CSV())
+	}
+
+	f8 := &Fig8Result{Loss: map[string]float64{}, Acc: map[string]float64{},
+		Curves: map[string][]simulation.RoundMetrics{}}
+	if !strings.HasPrefix(f8.CSV(), "variant,") {
+		t.Fatalf("fig8 CSV malformed:\n%s", f8.CSV())
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []string{"micro", "small", "paper"} {
+		sc, err := ParseScale(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.String() != s {
+			t.Fatalf("round trip %s -> %s", s, sc)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAllWorkloadsBuild(t *testing.T) {
+	for _, name := range WorkloadNames {
+		w, err := NewWorkload(name, Micro, 0, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(w.Parts) != w.Nodes {
+			t.Fatalf("%s: %d parts for %d nodes", name, len(w.Parts), w.Nodes)
+		}
+		for i, p := range w.Parts {
+			if len(p) == 0 {
+				t.Fatalf("%s: node %d has no data", name, i)
+			}
+		}
+		model := w.NewModel(vec.NewRNG(123))
+		if model.ParamCount() <= 0 {
+			t.Fatalf("%s: empty model", name)
+		}
+		if w.Rounds <= 0 || w.Batch <= 0 || w.Opts.LR <= 0 {
+			t.Fatalf("%s: bad hyperparameters %+v", name, w)
+		}
+	}
+	if _, err := NewWorkload("imagenet", Micro, 0, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestBuildFleetAllAlgos(t *testing.T) {
+	w, err := NewWorkload("cifar10", Micro, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Algo{AlgoFull, AlgoRandom, AlgoJWINS, AlgoChoco, AlgoJWINSNoWavelet, AlgoJWINSNoAccum, AlgoJWINSNoCutoff} {
+		nodes, err := BuildFleet(w, AlgoSpec{Kind: kind}, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(nodes) != w.Nodes {
+			t.Fatalf("%s: %d nodes", kind, len(nodes))
+		}
+		// All nodes share identical initial weights.
+		dim := nodes[0].Model().ParamCount()
+		ref := make([]float64, dim)
+		nodes[0].Model().CopyParams(ref)
+		p := make([]float64, dim)
+		for i := 1; i < len(nodes); i++ {
+			nodes[i].Model().CopyParams(p)
+			for k := range p {
+				if p[k] != ref[k] {
+					t.Fatalf("%s: node %d initial weights differ", kind, i)
+				}
+			}
+		}
+	}
+	if _, err := BuildFleet(w, AlgoSpec{Kind: "nope"}, 9); err == nil {
+		t.Fatal("unknown algo accepted")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	w, err := NewWorkload("cifar10", Micro, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunSpec{Workload: w, Algo: AlgoSpec{Kind: AlgoJWINS}, Rounds: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 4 || res.TotalBytes <= 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+func TestFig2Micro(t *testing.T) {
+	r, err := Fig2(Micro, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Epochs) == 0 {
+		t.Fatal("no epochs")
+	}
+	// Cumulative series must be non-decreasing.
+	for i := 1; i < len(r.Wavelet); i++ {
+		if r.Wavelet[i] < r.Wavelet[i-1] || r.FFT[i] < r.FFT[i-1] || r.Random[i] < r.Random[i-1] {
+			t.Fatal("cumulative error decreased")
+		}
+	}
+	// The headline property: wavelet loses the least information.
+	last := len(r.Epochs) - 1
+	if r.Wavelet[last] >= r.Random[last] {
+		t.Fatalf("wavelet MSE %v not better than random %v", r.Wavelet[last], r.Random[last])
+	}
+	if !strings.Contains(r.String(), "wavelet") {
+		t.Fatal("String() output incomplete")
+	}
+}
+
+func TestFig3Micro(t *testing.T) {
+	r, err := Fig3(Micro, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerNode) == 0 {
+		t.Fatal("no per-node alphas captured")
+	}
+	for _, a := range r.PerNode {
+		if a < 0.05 || a > 1 {
+			t.Fatalf("alpha %v out of range", a)
+		}
+	}
+	if len(r.MeanPerRound) == 0 {
+		t.Fatal("no per-round means")
+	}
+	_ = r.String()
+}
+
+func TestFig9Micro(t *testing.T) {
+	r, err := Fig9(Micro, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Compression < 2 {
+		t.Fatalf("gamma compression only %.1fx", r.Compression)
+	}
+	if r.WastedFraction < 0.3 || r.WastedFraction > 0.7 {
+		t.Fatalf("uncompressed metadata share %.2f, expected ~0.5", r.WastedFraction)
+	}
+	_ = r.String()
+}

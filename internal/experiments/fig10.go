@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig10Row is one node-count setting of the scalability study.
+type Fig10Row struct {
+	Nodes  int
+	Degree int
+	Rounds int
+	// Final accuracies at fixed rounds (percent).
+	AccRandom, AccJWINS float64
+	// AccGain is JWINS minus random sampling (paper: +10-12%).
+	AccGain float64
+	// RoundsToTarget for JWINS to reach random sampling's final accuracy.
+	RoundsToTargetJWINS int
+	// RoundsSaved vs random sampling's full budget.
+	RoundsSaved int
+	// Gross bytes (all nodes) until target accuracy.
+	BytesRandom, BytesJWINS int64
+}
+
+// Fig10Result is the scalability sweep.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// fig10Sizes returns the node counts and degrees per scale, mirroring the
+// paper's 96/192/288/384 at degree 4/5/5/6.
+func fig10Sizes(scale Scale) ([]int, []int) {
+	switch scale {
+	case Micro:
+		return []int{8, 12}, []int{4, 4}
+	case Small:
+		return []int{16, 32, 48, 64}, []int{4, 5, 5, 6}
+	default:
+		return []int{96, 192, 288, 384}, []int{4, 5, 5, 6}
+	}
+}
+
+// Fig10 reproduces the scalability study on the CIFAR-10-like task with the
+// less-strict 4-shards-per-node partitioning: at every size, JWINS should
+// beat random sampling on accuracy and reach its target accuracy sooner,
+// with gross savings growing with the node count.
+func Fig10(scale Scale, seed uint64) (*Fig10Result, error) {
+	sizes, degrees := fig10Sizes(scale)
+	res := &Fig10Result{}
+	for i, n := range sizes {
+		row, err := fig10Row(scale, seed, n, degrees[i])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 10 n=%d: %w", n, err)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+func fig10Row(scale Scale, seed uint64, nodes, degree int) (*Fig10Row, error) {
+	w, err := NewCIFAR10Shards(scale, nodes, 4, seed)
+	if err != nil {
+		return nil, err
+	}
+	w.Degree = degree
+	row := &Fig10Row{Nodes: nodes, Degree: degree, Rounds: w.Rounds}
+
+	random, err := Run(RunSpec{Workload: w, Algo: AlgoSpec{Kind: AlgoRandom}, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	jwins, err := Run(RunSpec{Workload: w, Algo: AlgoSpec{Kind: AlgoJWINS}, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	row.AccRandom = random.FinalAccuracy * 100
+	row.AccJWINS = jwins.FinalAccuracy * 100
+	row.AccGain = row.AccJWINS - row.AccRandom
+	row.BytesRandom = random.TotalBytes
+
+	target := random.FinalAccuracy
+	toTarget, err := Run(RunSpec{
+		Workload: w, Algo: AlgoSpec{Kind: AlgoJWINS},
+		Rounds: 2 * w.Rounds, TargetAccuracy: target, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	row.RoundsToTargetJWINS = toTarget.RoundsToTarget
+	row.BytesJWINS = toTarget.BytesToTarget
+	if toTarget.RoundsToTarget > 0 {
+		row.RoundsSaved = w.Rounds - toTarget.RoundsToTarget
+	}
+	return row, nil
+}
+
+// String renders the sweep.
+func (r *Fig10Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: scalability (CIFAR-10-like, 4 shards/node)\n")
+	fmt.Fprintf(&b, "%-6s %-6s %-7s | %9s %9s %7s | %8s %8s | %12s %12s\n",
+		"nodes", "degree", "rounds", "acc:rand", "acc:jwins", "gain", "r:jwins", "saved", "B:rand", "B:jwins")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-6d %-6d %-7d | %8.1f%% %8.1f%% %+6.1f%% | %8d %8d | %12s %12s\n",
+			row.Nodes, row.Degree, row.Rounds,
+			row.AccRandom, row.AccJWINS, row.AccGain,
+			row.RoundsToTargetJWINS, row.RoundsSaved,
+			FormatBytes(row.BytesRandom), FormatBytes(row.BytesJWINS))
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/simulation"
+)
+
+// Fig3Result captures the randomized cut-off in action: the per-node sharing
+// fraction in one representative round (left chart) and the mean sharing
+// fraction across nodes per round (right chart).
+type Fig3Result struct {
+	// PerNode is each node's alpha in the sampled round.
+	PerNode []float64
+	// SampledRound is the round PerNode was captured at.
+	SampledRound int
+	// MeanPerRound is the cross-node mean alpha per round.
+	MeanPerRound []float64
+	// ExpectedMean is the analytic E[alpha] of the distribution.
+	ExpectedMean float64
+}
+
+// Fig3 reproduces Figure 3 by instrumenting a JWINS run on the CIFAR-10-like
+// workload with the default alpha distribution.
+func Fig3(scale Scale, seed uint64) (*Fig3Result, error) {
+	w, err := NewWorkload("cifar10", scale, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	rounds := 40
+	if scale == Micro {
+		rounds = 10
+	}
+	res := &Fig3Result{ExpectedMean: core.DefaultAlphas().Mean()}
+	res.SampledRound = rounds / 2
+
+	spec := RunSpec{Workload: w, Algo: AlgoSpec{Kind: AlgoJWINS}, Rounds: rounds, Seed: seed}
+	engineNodes, err := BuildFleet(w, spec.Algo, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	spec.OnRound = func(rm simulation.RoundMetrics) {
+		res.MeanPerRound = append(res.MeanPerRound, rm.MeanAlpha)
+		if rm.Round == res.SampledRound {
+			for _, n := range engineNodes {
+				if j, ok := n.(*core.JWINSNode); ok {
+					res.PerNode = append(res.PerNode, j.LastAlpha)
+				}
+			}
+		}
+	}
+	if _, err := runWithNodes(spec, engineNodes); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders the distributions.
+func (r *Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: randomized cut-off in JWINS\n")
+	fmt.Fprintf(&b, "shared fraction per node in round %d:\n", r.SampledRound)
+	for i, a := range r.PerNode {
+		fmt.Fprintf(&b, "  node %-3d %5.0f%%\n", i, a*100)
+	}
+	var mean float64
+	for _, m := range r.MeanPerRound {
+		mean += m
+	}
+	mean /= float64(len(r.MeanPerRound))
+	fmt.Fprintf(&b, "mean shared fraction over %d rounds: %.1f%% (analytic E[alpha] = %.1f%%)\n",
+		len(r.MeanPerRound), mean*100, r.ExpectedMean*100)
+	spread := 0.0
+	for _, m := range r.MeanPerRound {
+		spread = math.Max(spread, math.Abs(m-r.ExpectedMean))
+	}
+	fmt.Fprintf(&b, "max per-round deviation from E[alpha]: %.1f%%\n", spread*100)
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/choco"
+	"repro/internal/core"
+)
+
+// Fig6Row compares JWINS and CHOCO under one communication budget on the
+// CIFAR-10-like workload: accuracy for the same fixed rounds, and
+// bytes/simulated time to reach CHOCO's final accuracy.
+type Fig6Row struct {
+	Budget float64 // 0.20 or 0.10
+	Gamma  float64 // CHOCO's tuned step size for this budget
+	// Fixed-round comparison.
+	Rounds               int
+	AccChoco, AccJWINS   float64 // percent
+	LossChoco, LossJWINS float64
+	TimeChoco, TimeJWINS float64 // simulated seconds for the fixed rounds
+	BytesPerNodeChoco    int64
+	BytesPerNodeJWINS    int64
+	// Run-to-target comparison (target = CHOCO's final accuracy).
+	TargetAcc                     float64 // percent
+	RoundsToTargetJWINS           int
+	BytesToTargetJWINS            int64
+	BytesToTargetFull             int64
+	TimeToTargetJWINS, TimeChocoT float64
+}
+
+// Fig6Result is both budget rows.
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// Fig6 reproduces Figure 6: JWINS vs CHOCO at 20% and 10% communication
+// budgets, with the paper's alpha distributions and tuned gammas
+// (gamma=0.6 at 20%, gamma=0.1 at 10%).
+func Fig6(scale Scale, seed uint64) (*Fig6Result, error) {
+	res := &Fig6Result{}
+	for _, cse := range []struct {
+		budget, gamma float64
+	}{{0.20, 0.6}, {0.10, 0.1}} {
+		row, err := fig6Row(scale, seed, cse.budget, cse.gamma)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 6 budget %v: %w", cse.budget, err)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+func fig6Row(scale Scale, seed uint64, budget, gamma float64) (*Fig6Row, error) {
+	w, err := NewWorkload("cifar10", scale, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	alphas, err := core.BudgetAlphas(budget)
+	if err != nil {
+		return nil, err
+	}
+	jwinsCfg := core.DefaultJWINSConfig()
+	jwinsCfg.Alphas = alphas
+	jwinsSpec := AlgoSpec{Kind: AlgoJWINS, JWINS: &jwinsCfg}
+	chocoSpec := AlgoSpec{Kind: AlgoChoco, Choco: &choco.Config{Fraction: budget, Gamma: gamma}}
+
+	row := &Fig6Row{Budget: budget, Gamma: gamma, Rounds: w.Rounds}
+
+	// Fixed-round comparison.
+	chocoRes, err := Run(RunSpec{Workload: w, Algo: chocoSpec, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	jwinsRes, err := Run(RunSpec{Workload: w, Algo: jwinsSpec, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	n := int64(w.Nodes)
+	row.AccChoco, row.AccJWINS = chocoRes.FinalAccuracy*100, jwinsRes.FinalAccuracy*100
+	row.LossChoco, row.LossJWINS = chocoRes.FinalLoss, jwinsRes.FinalLoss
+	row.TimeChoco, row.TimeJWINS = chocoRes.SimTime, jwinsRes.SimTime
+	row.BytesPerNodeChoco = chocoRes.TotalBytes / n
+	row.BytesPerNodeJWINS = jwinsRes.TotalBytes / n
+
+	// Run-to-target: target is CHOCO's final accuracy.
+	target := chocoRes.FinalAccuracy
+	row.TargetAcc = target * 100
+	row.TimeChocoT = chocoRes.SimTime
+	toTarget, err := Run(RunSpec{
+		Workload: w, Algo: jwinsSpec, Rounds: 3 * w.Rounds,
+		TargetAccuracy: target, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	row.RoundsToTargetJWINS = toTarget.RoundsToTarget
+	row.BytesToTargetJWINS = toTarget.BytesToTarget / n
+	row.TimeToTargetJWINS = toTarget.TimeToTarget
+	fullRes, err := Run(RunSpec{
+		Workload: w, Algo: AlgoSpec{Kind: AlgoFull}, Rounds: 3 * w.Rounds,
+		TargetAccuracy: target, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	row.BytesToTargetFull = fullRes.BytesToTarget / n
+	return row, nil
+}
+
+// String renders the comparison.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: JWINS vs CHOCO under tight communication budgets (CIFAR-10-like)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "budget %.0f%% (gamma=%.1f), %d rounds:\n", row.Budget*100, row.Gamma, row.Rounds)
+		fmt.Fprintf(&b, "  accuracy:      choco %5.1f%%  jwins %5.1f%%  (Δ %+.1f%%)\n",
+			row.AccChoco, row.AccJWINS, row.AccJWINS-row.AccChoco)
+		fmt.Fprintf(&b, "  test loss:     choco %5.3f   jwins %5.3f\n", row.LossChoco, row.LossJWINS)
+		fmt.Fprintf(&b, "  bytes/node:    choco %s  jwins %s\n",
+			FormatBytes(row.BytesPerNodeChoco), FormatBytes(row.BytesPerNodeJWINS))
+		fmt.Fprintf(&b, "  sim time:      choco %.1fs  jwins %.1fs\n", row.TimeChoco, row.TimeJWINS)
+		if row.RoundsToTargetJWINS > 0 {
+			fmt.Fprintf(&b, "  to CHOCO's %.1f%%: jwins %d rounds, %s/node, %.1fs (choco took %.1fs); full-sharing %s/node\n",
+				row.TargetAcc, row.RoundsToTargetJWINS, FormatBytes(row.BytesToTargetJWINS),
+				row.TimeToTargetJWINS, row.TimeChocoT, FormatBytes(row.BytesToTargetFull))
+		} else {
+			fmt.Fprintf(&b, "  to CHOCO's %.1f%%: jwins did not reach target within 3x budget\n", row.TargetAcc)
+		}
+	}
+	return b.String()
+}

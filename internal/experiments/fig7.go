@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simulation"
+)
+
+// Fig7Result compares static and dynamic topologies (Figure 7): dynamic
+// topologies improve full-sharing and JWINS, while CHOCO's error-feedback
+// state breaks when neighbors change every round.
+type Fig7Result struct {
+	Rounds int
+	// Final accuracies (percent).
+	FullStatic, FullDynamic, JWINSDynamic, ChocoDynamic float64
+	// Curves for plotting.
+	Curves map[string][]simulation.RoundMetrics
+}
+
+// Fig7 reproduces Figure 7 on the CIFAR-10-like workload. The paper omits
+// CHOCO from the chart because it does not learn on dynamic topologies; we
+// run it anyway and report the (near-chance) accuracy to document that.
+func Fig7(scale Scale, seed uint64) (*Fig7Result, error) {
+	w, err := NewWorkload("cifar10", scale, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Rounds: w.Rounds, Curves: map[string][]simulation.RoundMetrics{}}
+
+	runOne := func(label string, algo AlgoSpec, dynamic bool) (float64, error) {
+		var series []simulation.RoundMetrics
+		r, err := Run(RunSpec{
+			Workload: w, Algo: algo, Dynamic: dynamic, Seed: seed,
+			OnRound: func(rm simulation.RoundMetrics) { series = append(series, rm) },
+		})
+		if err != nil {
+			return 0, err
+		}
+		res.Curves[label] = series
+		return r.FinalAccuracy * 100, nil
+	}
+
+	if res.FullStatic, err = runOne("full-static", AlgoSpec{Kind: AlgoFull}, false); err != nil {
+		return nil, err
+	}
+	if res.FullDynamic, err = runOne("full-dynamic", AlgoSpec{Kind: AlgoFull}, true); err != nil {
+		return nil, err
+	}
+	if res.JWINSDynamic, err = runOne("jwins-dynamic", AlgoSpec{Kind: AlgoJWINS}, true); err != nil {
+		return nil, err
+	}
+	if res.ChocoDynamic, err = runOne("choco-dynamic", AlgoSpec{Kind: AlgoChoco}, true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders the comparison.
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: dynamic topology study (%d rounds, CIFAR-10-like)\n", r.Rounds)
+	fmt.Fprintf(&b, "  full-sharing static:   %5.1f%%\n", r.FullStatic)
+	fmt.Fprintf(&b, "  full-sharing dynamic:  %5.1f%%\n", r.FullDynamic)
+	fmt.Fprintf(&b, "  jwins dynamic:         %5.1f%%\n", r.JWINSDynamic)
+	fmt.Fprintf(&b, "  choco dynamic:         %5.1f%%  (paper: no learning on dynamic topologies)\n", r.ChocoDynamic)
+	return b.String()
+}

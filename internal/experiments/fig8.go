@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simulation"
+)
+
+// Fig8Result is the ablation study: JWINS with each component removed.
+type Fig8Result struct {
+	Rounds int
+	// Final test losses (the figure's y-axis) and accuracies per variant.
+	Loss map[string]float64
+	Acc  map[string]float64
+	// Curves for plotting.
+	Curves map[string][]simulation.RoundMetrics
+}
+
+// Fig8Variants lists the ablation arms in the paper's order.
+var Fig8Variants = []Algo{AlgoJWINSNoWavelet, AlgoJWINSNoAccum, AlgoJWINSNoCutoff, AlgoJWINS}
+
+// Fig8 reproduces Figure 8 on the CIFAR-10-like workload: removing the
+// wavelet hurts most; removing accumulation or the randomized cut-off hurts
+// less; full JWINS reaches the lowest test loss.
+func Fig8(scale Scale, seed uint64) (*Fig8Result, error) {
+	w, err := NewWorkload("cifar10", scale, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{
+		Rounds: w.Rounds,
+		Loss:   map[string]float64{},
+		Acc:    map[string]float64{},
+		Curves: map[string][]simulation.RoundMetrics{},
+	}
+	for _, variant := range Fig8Variants {
+		var series []simulation.RoundMetrics
+		r, err := Run(RunSpec{
+			Workload: w, Algo: AlgoSpec{Kind: variant}, Seed: seed,
+			OnRound: func(rm simulation.RoundMetrics) { series = append(series, rm) },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 8 %s: %w", variant, err)
+		}
+		res.Loss[string(variant)] = r.FinalLoss
+		res.Acc[string(variant)] = r.FinalAccuracy * 100
+		res.Curves[string(variant)] = series
+	}
+	return res, nil
+}
+
+// String renders the ablation table.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: ablation study (%d rounds, CIFAR-10-like)\n", r.Rounds)
+	fmt.Fprintf(&b, "%-26s %10s %10s\n", "variant", "test loss", "accuracy")
+	for _, variant := range Fig8Variants {
+		fmt.Fprintf(&b, "%-26s %10.3f %9.1f%%\n", variant, r.Loss[string(variant)], r.Acc[string(variant)])
+	}
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1MicroSingleDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := Table1(Micro, 42, []string{"cifar10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Rows[0]
+	// The headline claims at any scale: JWINS stays close to full-sharing,
+	// beats random sampling, and saves a large fraction of bytes.
+	if row.AccJWINS < row.AccRandom {
+		t.Fatalf("JWINS %.1f%% below random sampling %.1f%%", row.AccJWINS, row.AccRandom)
+	}
+	if row.NetworkSavings < 0.35 {
+		t.Fatalf("network savings only %.0f%%", row.NetworkSavings*100)
+	}
+	if len(row.Curves["jwins"]) == 0 {
+		t.Fatal("missing learning curves")
+	}
+	_ = r.String()
+}
+
+func TestFig5Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := Fig5(Micro, 42, []string{"cifar10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Rows[0]
+	if row.RoundsJWINS <= 0 {
+		t.Fatal("JWINS never reached the random-sampling target")
+	}
+	if row.RoundsJWINS > row.RoundsRandom {
+		t.Fatalf("JWINS needed %d rounds, random sampling %d", row.RoundsJWINS, row.RoundsRandom)
+	}
+	_ = r.String()
+}
+
+func TestFig6Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := Fig6(Micro, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("want 2 budget rows, got %d", len(r.Rows))
+	}
+	// At the tighter 10% budget JWINS must not lose to CHOCO (the paper's
+	// gap grows as the budget shrinks).
+	low := r.Rows[1]
+	if low.AccJWINS < low.AccChoco-1 {
+		t.Fatalf("JWINS %.1f%% vs CHOCO %.1f%% at 10%% budget", low.AccJWINS, low.AccChoco)
+	}
+	_ = r.String()
+}
+
+func TestFig7Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := Fig7(Micro, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CHOCO must be clearly the worst arm on dynamic topologies.
+	if r.ChocoDynamic >= r.JWINSDynamic {
+		t.Fatalf("CHOCO dynamic %.1f%% >= JWINS dynamic %.1f%%", r.ChocoDynamic, r.JWINSDynamic)
+	}
+	if r.ChocoDynamic >= r.FullDynamic {
+		t.Fatalf("CHOCO dynamic %.1f%% >= full dynamic %.1f%%", r.ChocoDynamic, r.FullDynamic)
+	}
+	_ = r.String()
+}
+
+func TestFig8Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := Fig8(Micro, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range Fig8Variants {
+		if math.IsNaN(r.Loss[string(v)]) || r.Loss[string(v)] <= 0 {
+			t.Fatalf("variant %s has no loss", v)
+		}
+	}
+	_ = r.String()
+}
+
+func TestFig10Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := Fig10(Micro, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 2 {
+		t.Fatalf("want >= 2 sizes, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.AccGain < -2 {
+			t.Fatalf("JWINS lost to random sampling at n=%d by %.1f%%", row.Nodes, -row.AccGain)
+		}
+	}
+	_ = r.String()
+}
+
+func TestExtensionsMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	pg, err := ExtPowerGossip(Micro, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.BytesPG <= 0 || pg.AccPG <= 0 {
+		t.Fatalf("powergossip produced no results: %+v", pg)
+	}
+	_ = pg.String()
+
+	ad, err := ExtAdaptive(Micro, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.AccAdaptive <= 0 {
+		t.Fatalf("adaptive produced no results: %+v", ad)
+	}
+	_ = ad.String()
+
+	fa, err := ExtFaults(Micro, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The contrast the extension exists to show: CHOCO degrades more under
+	// drops than JWINS does.
+	jwinsDrop := fa.Clean["jwins"] - fa.Drops["jwins"]
+	chocoDrop := fa.Clean["choco"] - fa.Drops["choco"]
+	if chocoDrop < jwinsDrop-5 {
+		t.Fatalf("expected CHOCO to degrade at least as much as JWINS (choco -%.1f%%, jwins -%.1f%%)",
+			chocoDrop, jwinsDrop)
+	}
+	_ = fa.String()
+}

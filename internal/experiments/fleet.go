@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/choco"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/simulation"
+	"repro/internal/topology"
+	"repro/internal/vec"
+)
+
+// Algo names a decentralized learning algorithm variant.
+type Algo string
+
+// Algorithms.
+const (
+	AlgoFull   Algo = "full-sharing"
+	AlgoRandom Algo = "random-sampling"
+	AlgoJWINS  Algo = "jwins"
+	AlgoChoco  Algo = "choco"
+	// Ablation variants (Figure 8).
+	AlgoJWINSNoWavelet Algo = "jwins-no-wavelet"
+	AlgoJWINSNoAccum   Algo = "jwins-no-accumulation"
+	AlgoJWINSNoCutoff  Algo = "jwins-no-cutoff"
+)
+
+// AlgoSpec selects an algorithm and its knobs.
+type AlgoSpec struct {
+	Kind Algo
+	// JWINS overrides the default JWINS config when non-nil.
+	JWINS *core.JWINSConfig
+	// RandomFraction is the random-sampling share per round (default 0.37,
+	// the paper's byte-matched setting).
+	RandomFraction float64
+	// Choco configures CHOCO-SGD (default fraction 0.2, gamma 0.6).
+	Choco *choco.Config
+	// Codec overrides the float codec (default flate32).
+	Codec codec.FloatCodec
+}
+
+func (s AlgoSpec) codec() codec.FloatCodec {
+	if s.Codec != nil {
+		return s.Codec
+	}
+	return codec.PlaneFlate32{}
+}
+
+// BuildFleet constructs one node per partition entry. All nodes start from
+// identical initial weights (standard D-PSGD practice, required for CHOCO's
+// replica bookkeeping); per-node randomness (batch order, cut-off draws)
+// descends deterministically from seed.
+func BuildFleet(w *Workload, spec AlgoSpec, seed uint64) ([]core.Node, error) {
+	root := vec.NewRNG(seed)
+	template := w.NewModel(root.Split())
+	initial := make([]float64, template.ParamCount())
+	template.CopyParams(initial)
+
+	nodes := make([]core.Node, 0, w.Nodes)
+	for i := 0; i < w.Nodes; i++ {
+		nodeRNG := root.Split()
+		model := w.NewModel(nodeRNG)
+		model.SetParams(initial)
+		loader := datasets.NewLoader(w.Dataset, w.Parts[i], w.Batch, nodeRNG.Split())
+
+		var (
+			n   core.Node
+			err error
+		)
+		switch spec.Kind {
+		case AlgoFull:
+			n, err = core.NewFullSharing(i, model, loader, w.Opts, spec.codec())
+		case AlgoRandom:
+			frac := spec.RandomFraction
+			if frac == 0 {
+				frac = 0.37
+			}
+			n, err = core.NewRandomSampling(i, model, loader, w.Opts, frac, spec.codec(), nodeRNG.Split())
+		case AlgoJWINS, AlgoJWINSNoWavelet, AlgoJWINSNoAccum, AlgoJWINSNoCutoff:
+			cfg := core.DefaultJWINSConfig()
+			if spec.JWINS != nil {
+				cfg = *spec.JWINS
+			}
+			cfg.FloatCodec = spec.codec()
+			switch spec.Kind {
+			case AlgoJWINSNoWavelet:
+				cfg.DisableWavelet = true
+			case AlgoJWINSNoAccum:
+				cfg.DisableAccumulation = true
+			case AlgoJWINSNoCutoff:
+				cfg.DisableRandomCutoff = true
+			}
+			n, err = core.NewJWINS(i, model, loader, w.Opts, cfg, nodeRNG.Split())
+		case AlgoChoco:
+			cfg := choco.Config{Fraction: 0.2, Gamma: 0.6}
+			if spec.Choco != nil {
+				cfg = *spec.Choco
+			}
+			if cfg.FloatCodec == nil {
+				cfg.FloatCodec = spec.codec()
+			}
+			n, err = choco.New(i, model, loader, w.Opts, cfg)
+		default:
+			return nil, fmt.Errorf("experiments: unknown algorithm %q", spec.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building node %d (%s): %w", i, spec.Kind, err)
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}
+
+// RunSpec describes one engine run.
+type RunSpec struct {
+	Workload *Workload
+	Algo     AlgoSpec
+	// Rounds overrides the workload's fixed-epoch budget when > 0.
+	Rounds int
+	// TargetAccuracy stops early when reached (Figure 5/6 protocol).
+	TargetAccuracy float64
+	// Dynamic re-randomizes the topology every round (Figure 7).
+	Dynamic bool
+	// EvalNodes caps evaluated nodes (0 = all).
+	EvalNodes int
+	// Seed controls every random choice in the run.
+	Seed uint64
+	// OnRound is forwarded to the engine (optional).
+	OnRound func(simulation.RoundMetrics)
+
+	// failure injection, set by runFleetWithFaults
+	faultDrop, faultOffline float64
+}
+
+// Run builds the fleet and topology and executes the run.
+func Run(spec RunSpec) (*simulation.Result, error) {
+	nodes, err := BuildFleet(spec.Workload, spec.Algo, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return runWithNodes(spec, nodes)
+}
+
+// runFleetWithFaults executes a run with failure injection and returns the
+// final accuracy (fraction).
+func runFleetWithFaults(spec RunSpec, nodes []core.Node, dropProb, offlineProb float64) (float64, error) {
+	spec.faultDrop, spec.faultOffline = dropProb, offlineProb
+	res, err := runWithNodes(spec, nodes)
+	if err != nil {
+		return 0, err
+	}
+	return res.FinalAccuracy, nil
+}
+
+// runWithNodes executes a run over pre-built nodes (used by experiments that
+// instrument node state during the run).
+func runWithNodes(spec RunSpec, nodes []core.Node) (*simulation.Result, error) {
+	w := spec.Workload
+	topoRNG := vec.NewRNG(spec.Seed ^ 0x746f706f) // "topo"
+	var provider topology.Provider
+	if spec.Dynamic {
+		provider = topology.NewDynamic(w.Nodes, w.Degree, topoRNG)
+	} else {
+		g, err := topology.Regular(w.Nodes, w.Degree, topoRNG)
+		if err != nil {
+			return nil, err
+		}
+		provider = topology.NewStatic(g)
+	}
+	rounds := spec.Rounds
+	if rounds == 0 {
+		rounds = w.Rounds
+	}
+	eng := &simulation.Engine{
+		Nodes:    nodes,
+		Topology: provider,
+		TestSet:  w.Dataset,
+		Config: simulation.Config{
+			Rounds:         rounds,
+			EvalEvery:      w.EvalEvery,
+			EvalNodes:      spec.EvalNodes,
+			TargetAccuracy: spec.TargetAccuracy,
+			DropProb:       spec.faultDrop,
+			OfflineProb:    spec.faultOffline,
+			FaultSeed:      spec.Seed,
+		},
+		OnRound: spec.OnRound,
+	}
+	return eng.Run()
+}

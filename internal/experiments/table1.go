@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simulation"
+)
+
+// Table1Row is one dataset's row of Table I plus the Figure 4 curves behind it.
+type Table1Row struct {
+	Dataset string
+	Rounds  int
+	// Final test accuracies (percent).
+	AccFull, AccRandom, AccJWINS float64
+	// Final test losses.
+	LossFull, LossRandom, LossJWINS float64
+	// Total bytes sent by all nodes.
+	BytesFull, BytesRandom, BytesJWINS int64
+	// Metadata bytes for JWINS (Figure 4 row-3 inset).
+	MetaJWINS int64
+	// NetworkSavings is 1 - JWINS/full bytes (the paper reports 62-65%).
+	NetworkSavings float64
+	// Curves keyed by algorithm (Figure 4 rows 1-2).
+	Curves map[string][]simulation.RoundMetrics
+}
+
+// Table1Result is the full table.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 reproduces Table I / Figure 4: full-sharing vs random sampling vs
+// JWINS on the five workloads for a fixed round budget. datasetFilter limits
+// the run to the named datasets (nil = all five).
+func Table1(scale Scale, seed uint64, datasetFilter []string) (*Table1Result, error) {
+	names := datasetFilter
+	if len(names) == 0 {
+		names = WorkloadNames
+	}
+	res := &Table1Result{}
+	for _, name := range names {
+		row, err := table1Row(name, scale, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table 1 %s: %w", name, err)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+func table1Row(name string, scale Scale, seed uint64) (*Table1Row, error) {
+	w, err := NewWorkload(name, scale, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	row := &Table1Row{Dataset: name, Rounds: w.Rounds, Curves: map[string][]simulation.RoundMetrics{}}
+
+	type outcome struct {
+		acc, loss float64
+		bytes     int64
+		meta      int64
+	}
+	runOne := func(kind Algo) (*outcome, error) {
+		var series []simulation.RoundMetrics
+		r, err := Run(RunSpec{
+			Workload: w,
+			Algo:     AlgoSpec{Kind: kind},
+			Seed:     seed,
+			OnRound:  func(rm simulation.RoundMetrics) { series = append(series, rm) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.Curves[string(kind)] = series
+		return &outcome{acc: r.FinalAccuracy, loss: r.FinalLoss, bytes: r.TotalBytes, meta: r.MetaBytes}, nil
+	}
+
+	full, err := runOne(AlgoFull)
+	if err != nil {
+		return nil, err
+	}
+	random, err := runOne(AlgoRandom)
+	if err != nil {
+		return nil, err
+	}
+	jwins, err := runOne(AlgoJWINS)
+	if err != nil {
+		return nil, err
+	}
+
+	row.AccFull, row.AccRandom, row.AccJWINS = full.acc*100, random.acc*100, jwins.acc*100
+	row.LossFull, row.LossRandom, row.LossJWINS = full.loss, random.loss, jwins.loss
+	row.BytesFull, row.BytesRandom, row.BytesJWINS = full.bytes, random.bytes, jwins.bytes
+	row.MetaJWINS = jwins.meta
+	row.NetworkSavings = 1 - float64(jwins.bytes)/float64(full.bytes)
+	return row, nil
+}
+
+// String renders the table in the paper's layout.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: final test accuracies and network transfer (fixed rounds)\n")
+	fmt.Fprintf(&b, "%-12s %7s | %8s %8s %8s | %12s %12s | %8s\n",
+		"dataset", "rounds", "acc:full", "acc:rand", "acc:jwins", "sent:full", "sent:jwins", "savings")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %7d | %7.1f%% %7.1f%% %7.1f%% | %12s %12s | %7.1f%%\n",
+			row.Dataset, row.Rounds,
+			row.AccFull, row.AccRandom, row.AccJWINS,
+			FormatBytes(row.BytesFull), FormatBytes(row.BytesJWINS),
+			row.NetworkSavings*100)
+	}
+	return b.String()
+}
+
+// FormatBytes renders a byte count with binary units.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/vec"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Tensor, _ bool) *Tensor {
+	y := x.Clone()
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range y.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			y.Data[i] = 0
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *Tensor) *Tensor {
+	dx := grad.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic tangent activation.
+type Tanh struct {
+	y []float64
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *Tensor, _ bool) *Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = math.Tanh(v)
+	}
+	t.y = y.Data
+	return y
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *Tensor) *Tensor {
+	dx := grad.Clone()
+	for i := range dx.Data {
+		dx.Data[i] *= 1 - t.y[i]*t.y[i]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	y []float64
+}
+
+var _ Layer = (*Sigmoid)(nil)
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *Tensor, _ bool) *Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.y = y.Data
+	return y
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *Tensor) *Tensor {
+	dx := grad.Clone()
+	for i := range dx.Data {
+		dx.Data[i] *= s.y[i] * (1 - s.y[i])
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Dropout zeroes activations with probability P at train time and scales the
+// survivors by 1/(1-P) (inverted dropout). At eval time it is the identity.
+type Dropout struct {
+	P   float64
+	rng *vec.RNG
+
+	mask []bool
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout builds a dropout layer with drop probability p.
+func NewDropout(p float64, rng *vec.RNG) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0, 1)")
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *Tensor, train bool) *Tensor {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	y := x.Clone()
+	if cap(d.mask) < len(y.Data) {
+		d.mask = make([]bool, len(y.Data))
+	}
+	d.mask = d.mask[:len(y.Data)]
+	scale := 1 / (1 - d.P)
+	for i := range y.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = false
+			y.Data[i] = 0
+		} else {
+			d.mask[i] = true
+			y.Data[i] *= scale
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *Tensor) *Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	dx := grad.Clone()
+	scale := 1 / (1 - d.P)
+	for i := range dx.Data {
+		if d.mask[i] {
+			dx.Data[i] *= scale
+		} else {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }

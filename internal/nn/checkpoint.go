@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Checkpoint format: "JWNN" magic, u8 version, u64 dim, dim float64s (LE),
+// u32 CRC-32 of the payload. Used to persist and restore trained models
+// across runs of the examples and CLIs.
+var checkpointMagic = [4]byte{'J', 'W', 'N', 'N'}
+
+const checkpointVersion = 1
+
+// SaveParams writes m's flat parameter vector to w in checkpoint format.
+func SaveParams(w io.Writer, m Trainable) error {
+	dim := m.ParamCount()
+	params := make([]float64, dim)
+	m.CopyParams(params)
+
+	if _, err := w.Write(checkpointMagic[:]); err != nil {
+		return fmt.Errorf("nn: writing checkpoint magic: %w", err)
+	}
+	header := make([]byte, 9)
+	header[0] = checkpointVersion
+	binary.LittleEndian.PutUint64(header[1:], uint64(dim))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("nn: writing checkpoint header: %w", err)
+	}
+	payload := make([]byte, 8*dim)
+	for i, v := range params {
+		binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(v))
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("nn: writing checkpoint payload: %w", err)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("nn: writing checkpoint checksum: %w", err)
+	}
+	return nil
+}
+
+// LoadParams restores a checkpoint into m. The checkpoint dimension must
+// match m's ParamCount exactly.
+func LoadParams(r io.Reader, m Trainable) error {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("nn: not a checkpoint file (magic %q)", magic)
+	}
+	header := make([]byte, 9)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return fmt.Errorf("nn: reading checkpoint header: %w", err)
+	}
+	if header[0] != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", header[0])
+	}
+	dim := int(binary.LittleEndian.Uint64(header[1:]))
+	if dim != m.ParamCount() {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", dim, m.ParamCount())
+	}
+	payload := make([]byte, 8*dim)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("nn: reading checkpoint payload: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return fmt.Errorf("nn: reading checkpoint checksum: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crc[:]) {
+		return fmt.Errorf("nn: checkpoint checksum mismatch")
+	}
+	params := make([]float64, dim)
+	for i := range params {
+		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	m.SetParams(params)
+	return nil
+}

@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := vec.NewRNG(400)
+	src := NewMLP(8, 4, 3, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMLP(8, 4, 3, vec.NewRNG(401)) // different init
+	if err := LoadParams(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float64, src.ParamCount())
+	b := make([]float64, dst.ParamCount())
+	src.CopyParams(a)
+	dst.CopyParams(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("param %d differs after checkpoint round trip", i)
+		}
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	rng := vec.NewRNG(402)
+	m := NewMLP(4, 2, 2, rng)
+	if err := LoadParams(strings.NewReader("not a checkpoint at all"), m); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCheckpointRejectsDimMismatch(t *testing.T) {
+	rng := vec.NewRNG(403)
+	small := NewMLP(4, 2, 2, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, small); err != nil {
+		t.Fatal(err)
+	}
+	big := NewMLP(8, 4, 3, rng)
+	if err := LoadParams(&buf, big); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	rng := vec.NewRNG(404)
+	m := NewMLP(4, 2, 2, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[20] ^= 0xff // flip payload bits
+	if err := LoadParams(bytes.NewReader(data), m); err == nil {
+		t.Fatal("corruption not detected")
+	}
+	// Truncation.
+	if err := LoadParams(bytes.NewReader(data[:len(data)-8]), m); err == nil {
+		t.Fatal("truncation not detected")
+	}
+}

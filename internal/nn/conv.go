@@ -1,0 +1,223 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Conv2D is a 2-D convolution over NCHW tensors with stride 1 and symmetric
+// zero padding. Kernels are shaped [OutC][InC][KH][KW].
+type Conv2D struct {
+	InC, OutC int
+	K         int // square kernel size
+	Pad       int
+	W         *Param
+	B         *Param
+
+	x *Tensor
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D builds a convolution layer with He-uniform initialization.
+func NewConv2D(inC, outC, k, pad int, rng *vec.RNG) *Conv2D {
+	c := &Conv2D{
+		InC:  inC,
+		OutC: outC,
+		K:    k,
+		Pad:  pad,
+		W:    newParam(fmt.Sprintf("conv_%dx%dx%d.w", outC, inC, k), outC*inC*k*k),
+		B:    newParam(fmt.Sprintf("conv_%dx%dx%d.b", outC, inC, k), outC),
+	}
+	fanIn := float64(inC * k * k)
+	bound := math.Sqrt(6.0 / fanIn)
+	for i := range c.W.Data {
+		c.W.Data[i] = (2*rng.Float64() - 1) * bound
+	}
+	return c
+}
+
+// OutSize returns the spatial output size for input size s.
+func (c *Conv2D) OutSize(s int) int { return s + 2*c.Pad - c.K + 1 }
+
+// Forward implements Layer. x must be [N, InC, H, W].
+func (c *Conv2D) Forward(x *Tensor, _ bool) *Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects [N, %d, H, W], got %v", c.InC, x.Shape))
+	}
+	c.x = x
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := c.OutSize(h), c.OutSize(w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D output size %dx%d not positive", oh, ow))
+	}
+	y := NewTensor(n, c.OutC, oh, ow)
+	k := c.K
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.B.Data[oc]
+			out := y.Data[((ni*c.OutC)+oc)*oh*ow:][: oh*ow : oh*ow]
+			for ic := 0; ic < c.InC; ic++ {
+				in := x.Data[((ni*c.InC)+ic)*h*w:][: h*w : h*w]
+				ker := c.W.Data[((oc*c.InC)+ic)*k*k:][: k*k : k*k]
+				for oy := 0; oy < oh; oy++ {
+					iy0 := oy - c.Pad
+					for ox := 0; ox < ow; ox++ {
+						ix0 := ox - c.Pad
+						var s float64
+						for ky := 0; ky < k; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							rowIn := in[iy*w:]
+							rowK := ker[ky*k:]
+							for kx := 0; kx < k; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								s += rowIn[ix] * rowK[kx]
+							}
+						}
+						out[oy*ow+ox] += s
+					}
+				}
+			}
+			if bias != 0 {
+				for i := range out {
+					out[i] += bias
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *Tensor) *Tensor {
+	x := c.x
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := grad.Shape[2], grad.Shape[3]
+	k := c.K
+	dx := NewTensor(n, c.InC, h, w)
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			g := grad.Data[((ni*c.OutC)+oc)*oh*ow:][: oh*ow : oh*ow]
+			for i := range g {
+				c.B.Grad[oc] += g[i]
+			}
+			for ic := 0; ic < c.InC; ic++ {
+				in := x.Data[((ni*c.InC)+ic)*h*w:][: h*w : h*w]
+				dIn := dx.Data[((ni*c.InC)+ic)*h*w:][: h*w : h*w]
+				ker := c.W.Data[((oc*c.InC)+ic)*k*k:][: k*k : k*k]
+				dKer := c.W.Grad[((oc*c.InC)+ic)*k*k:][: k*k : k*k]
+				for oy := 0; oy < oh; oy++ {
+					iy0 := oy - c.Pad
+					for ox := 0; ox < ow; ox++ {
+						gv := g[oy*ow+ox]
+						if gv == 0 {
+							continue
+						}
+						ix0 := ox - c.Pad
+						for ky := 0; ky < k; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < k; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								dKer[ky*k+kx] += gv * in[iy*w+ix]
+								dIn[iy*w+ix] += gv * ker[ky*k+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// MaxPool2D is a max pooling layer with square window and equal stride.
+type MaxPool2D struct {
+	K int // window size == stride
+
+	argmax  []int
+	inShape []int
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D builds a max-pool layer with window k (stride k).
+func NewMaxPool2D(k int) *MaxPool2D {
+	if k <= 0 {
+		panic("nn: MaxPool2D window must be positive")
+	}
+	return &MaxPool2D{K: k}
+}
+
+// Forward implements Layer. x must be [N, C, H, W] with H and W divisible by K.
+func (m *MaxPool2D) Forward(x *Tensor, _ bool) *Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D expects NCHW, got %v", x.Shape))
+	}
+	n, cdim, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if h%m.K != 0 || w%m.K != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D input %dx%d not divisible by %d", h, w, m.K))
+	}
+	oh, ow := h/m.K, w/m.K
+	m.inShape = append(m.inShape[:0], x.Shape...)
+	y := NewTensor(n, cdim, oh, ow)
+	if cap(m.argmax) < y.Len() {
+		m.argmax = make([]int, y.Len())
+	}
+	m.argmax = m.argmax[:y.Len()]
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < cdim; ci++ {
+			in := x.Data[((ni*cdim)+ci)*h*w:][: h*w : h*w]
+			base := ((ni * cdim) + ci) * h * w
+			out := y.Data[((ni*cdim)+ci)*oh*ow:][: oh*ow : oh*ow]
+			arg := m.argmax[((ni*cdim)+ci)*oh*ow:][: oh*ow : oh*ow]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < m.K; ky++ {
+						iy := oy*m.K + ky
+						for kx := 0; kx < m.K; kx++ {
+							ix := ox*m.K + kx
+							if v := in[iy*w+ix]; v > best {
+								best = v
+								bestIdx = base + iy*w + ix
+							}
+						}
+					}
+					out[oy*ow+ox] = best
+					arg[oy*ow+ox] = bestIdx
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(m.inShape...)
+	for i, g := range grad.Data {
+		dx.Data[m.argmax[i]] += g
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }

@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Dense is a fully connected layer: y = x W^T + b with W shaped [out][in].
+type Dense struct {
+	In, Out int
+	W       *Param
+	B       *Param
+
+	x *Tensor // cached input
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense builds a dense layer with He-uniform initialization.
+func NewDense(in, out int, rng *vec.RNG) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   newParam(fmt.Sprintf("dense_%dx%d.w", out, in), in*out),
+		B:   newParam(fmt.Sprintf("dense_%dx%d.b", out, in), out),
+	}
+	bound := math.Sqrt(6.0 / float64(in))
+	for i := range d.W.Data {
+		d.W.Data[i] = (2*rng.Float64() - 1) * bound
+	}
+	return d
+}
+
+// Forward implements Layer. x must be [N, In].
+func (d *Dense) Forward(x *Tensor, _ bool) *Tensor {
+	if len(x.Shape) != 2 || x.Shape[1] != d.In {
+		panic(fmt.Sprintf("nn: Dense expects [N, %d], got %v", d.In, x.Shape))
+	}
+	d.x = x
+	n := x.Shape[0]
+	y := NewTensor(n, d.Out)
+	w := d.W.Data
+	b := d.B.Data
+	for i := 0; i < n; i++ {
+		xi := x.Data[i*d.In : (i+1)*d.In]
+		yi := y.Data[i*d.Out : (i+1)*d.Out]
+		for o := 0; o < d.Out; o++ {
+			row := w[o*d.In : (o+1)*d.In]
+			var s float64
+			for k, xv := range xi {
+				s += row[k] * xv
+			}
+			yi[o] = s + b[o]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *Tensor) *Tensor {
+	x := d.x
+	n := x.Shape[0]
+	dx := NewTensor(n, d.In)
+	w := d.W.Data
+	gw := d.W.Grad
+	gb := d.B.Grad
+	for i := 0; i < n; i++ {
+		xi := x.Data[i*d.In : (i+1)*d.In]
+		gi := grad.Data[i*d.Out : (i+1)*d.Out]
+		dxi := dx.Data[i*d.In : (i+1)*d.In]
+		for o := 0; o < d.Out; o++ {
+			g := gi[o]
+			if g == 0 {
+				continue
+			}
+			gb[o] += g
+			row := w[o*d.In : (o+1)*d.In]
+			growRow := gw[o*d.In : (o+1)*d.In]
+			for k, xv := range xi {
+				growRow[k] += g * xv
+				dxi[k] += g * row[k]
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Flatten reshapes [N, ...] to [N, prod(...)]. It has no parameters.
+type Flatten struct {
+	inShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *Tensor, _ bool) *Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape...)
+	n := x.Shape[0]
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *Tensor) *Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }

@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loss computes a scalar training objective and its gradient with respect to
+// the network output.
+type Loss interface {
+	// Compute returns the mean loss over predictions and dLoss/dPred.
+	// pred is [M, K]; targets has length M (class ids or regression values).
+	Compute(pred *Tensor, targets []float64) (float64, *Tensor)
+}
+
+// SoftmaxCrossEntropy is the standard classification loss over logits.
+type SoftmaxCrossEntropy struct{}
+
+var _ Loss = SoftmaxCrossEntropy{}
+
+// Compute implements Loss. pred is [M, K] logits; targets are class ids.
+func (SoftmaxCrossEntropy) Compute(pred *Tensor, targets []float64) (float64, *Tensor) {
+	if len(pred.Shape) != 2 {
+		panic(fmt.Sprintf("nn: cross-entropy expects [M, K] logits, got %v", pred.Shape))
+	}
+	m, k := pred.Shape[0], pred.Shape[1]
+	if len(targets) != m {
+		panic(fmt.Sprintf("nn: %d targets for %d predictions", len(targets), m))
+	}
+	grad := NewTensor(m, k)
+	var total float64
+	for i := 0; i < m; i++ {
+		row := pred.Data[i*k : (i+1)*k]
+		gRow := grad.Data[i*k : (i+1)*k]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			gRow[j] = e
+			sum += e
+		}
+		target := int(targets[i])
+		if target < 0 || target >= k {
+			panic(fmt.Sprintf("nn: target class %d out of range [0, %d)", target, k))
+		}
+		p := gRow[target] / sum
+		total += -math.Log(math.Max(p, 1e-300))
+		inv := 1 / (sum * float64(m))
+		for j := range gRow {
+			gRow[j] *= inv
+		}
+		gRow[target] -= 1 / float64(m)
+	}
+	return total / float64(m), grad
+}
+
+// MSE is the mean squared error loss for regression heads.
+type MSE struct{}
+
+var _ Loss = MSE{}
+
+// Compute implements Loss. pred is [M, 1] (or [M, K] with targets length M*K).
+func (MSE) Compute(pred *Tensor, targets []float64) (float64, *Tensor) {
+	if pred.Len() != len(targets) {
+		panic(fmt.Sprintf("nn: MSE got %d predictions for %d targets", pred.Len(), len(targets)))
+	}
+	m := pred.Len()
+	grad := NewTensor(pred.Shape...)
+	var total float64
+	for i, p := range pred.Data {
+		d := p - targets[i]
+		total += d * d
+		grad.Data[i] = 2 * d / float64(m)
+	}
+	return total / float64(m), grad
+}
+
+// Argmax returns the index of the largest value in row i of a [M, K] tensor.
+func Argmax(pred *Tensor, i int) int {
+	k := pred.Shape[len(pred.Shape)-1]
+	row := pred.Data[i*k : (i+1)*k]
+	best, bestV := 0, row[0]
+	for j, v := range row[1:] {
+		if v > bestV {
+			best, bestV = j+1, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,42 @@
+package nn
+
+// SGD is plain stochastic gradient descent (the paper uses SGD without
+// momentum for all tasks). Momentum and weight decay are provided for
+// experimentation but default to off.
+type SGD struct {
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param][]float64
+}
+
+// Step applies one update with learning rate lr to params using their
+// accumulated gradients. Gradients are not cleared.
+func (s *SGD) Step(lr float64, params []*Param) {
+	for _, p := range params {
+		grad := p.Grad
+		if s.WeightDecay != 0 {
+			for i := range grad {
+				grad[i] += s.WeightDecay * p.Data[i]
+			}
+		}
+		if s.Momentum != 0 {
+			if s.velocity == nil {
+				s.velocity = make(map[*Param][]float64)
+			}
+			v, ok := s.velocity[p]
+			if !ok {
+				v = make([]float64, len(p.Data))
+				s.velocity[p] = v
+			}
+			for i := range p.Data {
+				v[i] = s.Momentum*v[i] + grad[i]
+				p.Data[i] -= lr * v[i]
+			}
+		} else {
+			for i := range p.Data {
+				p.Data[i] -= lr * grad[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package nn is a small neural-network library with manual backpropagation.
+// It stands in for the paper's PyTorch dependency: dense, convolutional,
+// group-norm, embedding, and LSTM layers cover the four model families the
+// paper trains (CNNs, a stacked LSTM, matrix factorization, and fully
+// connected heads). Every layer's gradients are verified against numerical
+// differentiation in the test suite.
+//
+// Decentralized learning code treats models as flat parameter vectors; the
+// Trainable interface exposes exactly that view plus minibatch training and
+// evaluation.
+package nn
+
+import "fmt"
+
+// Tensor is a dense row-major float64 tensor. The first dimension is always
+// the batch dimension.
+type Tensor struct {
+	Data  []float64
+	Shape []int
+}
+
+// NewTensor allocates a zero tensor with the given shape.
+func NewTensor(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("nn: non-positive tensor dimension in %v", shape))
+		}
+		n *= s
+	}
+	return &Tensor{Data: make([]float64, n), Shape: append([]int(nil), shape...)}
+}
+
+// FromData wraps data in a tensor of the given shape. The data is not copied.
+func FromData(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("nn: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Data: data, Shape: append([]int(nil), shape...)}
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Batch returns the leading (batch) dimension.
+func (t *Tensor) Batch() int { return t.Shape[0] }
+
+// Reshape returns a view of t with a new shape (same data).
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	return FromData(t.Data, shape...)
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Data: make([]float64, len(t.Data)), Shape: append([]int(nil), t.Shape...)}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Param is one learnable parameter block with its gradient accumulator.
+type Param struct {
+	Name string
+	Data []float64
+	Grad []float64
+}
+
+// newParam allocates a named parameter of size n.
+func newParam(name string, n int) *Param {
+	return &Param{Name: name, Data: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Layer is a differentiable module. Forward caches whatever Backward needs;
+// a Layer instance is therefore stateful and must not be shared across
+// concurrent nodes (each DL node builds its own model).
+type Layer interface {
+	// Forward computes the layer output. train toggles train-time behaviour
+	// (e.g. dropout).
+	Forward(x *Tensor, train bool) *Tensor
+	// Backward consumes the gradient of the loss w.r.t. the layer output and
+	// returns the gradient w.r.t. the layer input, accumulating parameter
+	// gradients along the way. It must be called after Forward.
+	Backward(grad *Tensor) *Tensor
+	// Params returns the learnable parameters (possibly empty).
+	Params() []*Param
+}

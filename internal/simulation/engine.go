@@ -1,0 +1,395 @@
+// Package simulation drives decentralized training rounds over a topology,
+// collecting the metrics the paper reports: per-round train loss, test
+// accuracy/loss averaged over nodes, cumulative bytes split into model versus
+// metadata, and a byte-driven simulated wall clock (compute + bandwidth +
+// latency) standing in for the paper's cluster timings.
+package simulation
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/vec"
+)
+
+// Config controls a run.
+type Config struct {
+	Rounds int
+	// EvalEvery evaluates test metrics every k rounds (default 10; the final
+	// round is always evaluated).
+	EvalEvery int
+	// EvalNodes caps how many nodes are evaluated (0 = all). Test accuracy is
+	// the mean over evaluated nodes, as in the paper.
+	EvalNodes int
+	// EvalBatch is the evaluation batch size (default 32).
+	EvalBatch int
+	// EvalMaxSamples caps test samples per node evaluation (0 = all).
+	EvalMaxSamples int
+	// TargetAccuracy, if > 0, stops the run once mean test accuracy reaches
+	// it (the paper's Figure 5/6 protocol).
+	TargetAccuracy float64
+	// Parallelism bounds concurrent node execution (default NumCPU).
+	Parallelism int
+
+	// Simulated time model (Figure 6's wall-clock axis).
+	// BandwidthBytesPerSec is each node's uplink (default 12.5 MB/s ~ 100 Mbps).
+	BandwidthBytesPerSec float64
+	// ComputeSecPerStep is the time of one local SGD step (default 5 ms).
+	ComputeSecPerStep float64
+	// LatencySec is the per-round communication latency (default 10 ms).
+	LatencySec float64
+
+	// Failure injection (extension experiments). Partial-sharing averaging
+	// tolerates both: missing senders simply drop out of the per-coefficient
+	// weight normalization. CHOCO's error-feedback replicas, by contrast,
+	// silently diverge — the behaviour behind the paper's remark that JWINS
+	// is "flexible to nodes leaving and joining".
+	//
+	// DropProb drops each point-to-point message independently.
+	DropProb float64
+	// OfflineProb takes a node fully offline for a round (no training, no
+	// sending; it keeps its model and rejoins next round).
+	OfflineProb float64
+	// FaultSeed seeds the drop/offline decisions (default derived from 1).
+	FaultSeed uint64
+}
+
+func (c *Config) setDefaults() {
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 10
+	}
+	if c.EvalBatch <= 0 {
+		c.EvalBatch = 32
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	if c.BandwidthBytesPerSec <= 0 {
+		c.BandwidthBytesPerSec = 12.5e6
+	}
+	if c.ComputeSecPerStep <= 0 {
+		c.ComputeSecPerStep = 5e-3
+	}
+	if c.LatencySec <= 0 {
+		c.LatencySec = 10e-3
+	}
+}
+
+// RoundMetrics is one row of the result series.
+type RoundMetrics struct {
+	Round     int
+	TrainLoss float64
+	// TestLoss/TestAcc are NaN on rounds without evaluation.
+	TestLoss float64
+	TestAcc  float64
+	// Cumulative bytes sent by all nodes (payload × receivers + framing).
+	CumTotalBytes int64
+	CumModelBytes int64
+	CumMetaBytes  int64
+	// SimTime is the simulated elapsed seconds after this round.
+	SimTime float64
+	// MeanAlpha is the mean sharing fraction sampled this round (JWINS only,
+	// NaN otherwise) — the Figure 3 series.
+	MeanAlpha float64
+}
+
+// Result aggregates a full run.
+type Result struct {
+	Rounds []RoundMetrics
+	// FinalAccuracy is the last evaluated accuracy.
+	FinalAccuracy float64
+	// FinalLoss is the last evaluated test loss.
+	FinalLoss float64
+	// RoundsToTarget is the first round whose evaluation reached
+	// TargetAccuracy, or -1.
+	RoundsToTarget int
+	// BytesToTarget is the cumulative byte count at that round, or the total.
+	BytesToTarget int64
+	// TimeToTarget is the simulated time at that round, or the total.
+	TimeToTarget float64
+	TotalBytes   int64
+	ModelBytes   int64
+	MetaBytes    int64
+	SimTime      float64
+}
+
+// Engine runs one experiment.
+type Engine struct {
+	Nodes    []core.Node
+	Topology topology.Provider
+	TestSet  *datasets.Dataset
+	Config   Config
+
+	// Mesh optionally routes payloads through a transport (byte accounting
+	// then cross-checks the mesh's own counters). Nil uses direct delivery.
+	Mesh transport.Mesh
+
+	// OnRound, if set, is called after every round with that round's metrics.
+	OnRound func(RoundMetrics)
+}
+
+// Run executes the configured number of rounds (or stops at the target
+// accuracy) and returns the collected metrics.
+func (e *Engine) Run() (*Result, error) {
+	cfg := e.Config
+	cfg.setDefaults()
+	n := len(e.Nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("simulation: no nodes")
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("simulation: rounds must be positive")
+	}
+
+	res := &Result{RoundsToTarget: -1}
+	var cumTotal, cumModel, cumMeta int64
+	simTime := 0.0
+
+	payloads := make([][]byte, n)
+	breakdowns := make([]codec.ByteBreakdown, n)
+	losses := make([]float64, n)
+	var faultRNG *vec.RNG
+	if cfg.DropProb > 0 || cfg.OfflineProb > 0 {
+		faultRNG = vec.NewRNG(cfg.FaultSeed ^ 0xfa017)
+	}
+	offline := make([]bool, n)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		graph, weights := e.Topology.Round(round)
+		if graph.N != n {
+			return nil, fmt.Errorf("simulation: topology has %d nodes, engine has %d", graph.N, n)
+		}
+
+		// Failure injection: decide who sits this round out.
+		for i := range offline {
+			offline[i] = faultRNG != nil && cfg.OfflineProb > 0 && faultRNG.Float64() < cfg.OfflineProb
+		}
+
+		// Phase 1+2: local training then payload construction, per node.
+		if err := e.parallel(cfg.Parallelism, func(i int) error {
+			if offline[i] {
+				losses[i] = math.NaN()
+				payloads[i] = nil
+				breakdowns[i] = codec.ByteBreakdown{}
+				return nil
+			}
+			losses[i] = e.Nodes[i].LocalTrain()
+			p, bd, err := e.Nodes[i].Share(round)
+			if err != nil {
+				return fmt.Errorf("node %d share: %w", i, err)
+			}
+			payloads[i] = p
+			breakdowns[i] = bd
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+
+		// Phase 3: delivery along topology edges + byte accounting.
+		inbox := make([]map[int][]byte, n)
+		for i := 0; i < n; i++ {
+			inbox[i] = make(map[int][]byte, graph.Degree(i))
+		}
+		maxNodeBytes := int64(0)
+		expect := make([]int, n) // messages each node expects via the mesh
+		for i := 0; i < n; i++ {
+			if offline[i] {
+				continue
+			}
+			var sentTo int64
+			for _, j := range graph.Neighbors(i) {
+				if offline[j] {
+					continue
+				}
+				sentTo++
+				if faultRNG != nil && cfg.DropProb > 0 && faultRNG.Float64() < cfg.DropProb {
+					continue // sender pays for the bytes; receiver never sees them
+				}
+				if e.Mesh != nil {
+					if err := e.Mesh.Send(transport.Message{From: i, To: j, Round: round, Payload: payloads[i]}); err != nil {
+						return nil, fmt.Errorf("simulation: send %d->%d: %w", i, j, err)
+					}
+					expect[j]++
+				} else {
+					inbox[j][i] = payloads[i]
+				}
+			}
+			sent := sentTo * int64(len(payloads[i])+transport.FrameOverhead)
+			cumTotal += sent
+			cumModel += sentTo * int64(breakdowns[i].Model)
+			cumMeta += sentTo * int64(breakdowns[i].Meta+transport.FrameOverhead)
+			if sent > maxNodeBytes {
+				maxNodeBytes = sent
+			}
+		}
+		if e.Mesh != nil {
+			for j := 0; j < n; j++ {
+				for k := 0; k < expect[j]; k++ {
+					msg, err := e.Mesh.Recv(j)
+					if err != nil {
+						return nil, fmt.Errorf("simulation: recv for %d: %w", j, err)
+					}
+					inbox[j][msg.From] = msg.Payload
+				}
+			}
+		}
+
+		// Phase 4: aggregation.
+		if err := e.parallel(cfg.Parallelism, func(i int) error {
+			if offline[i] {
+				return nil
+			}
+			if err := e.Nodes[i].Aggregate(round, weights[i], inbox[i]); err != nil {
+				return fmt.Errorf("node %d aggregate: %w", i, err)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+
+		// Simulated clock: compute is parallel across nodes; the round's
+		// communication is bounded by the busiest uplink.
+		stepTime := float64(localSteps(e.Nodes[0])) * cfg.ComputeSecPerStep
+		simTime += stepTime + float64(maxNodeBytes)/cfg.BandwidthBytesPerSec + cfg.LatencySec
+
+		rm := RoundMetrics{
+			Round:         round,
+			TrainLoss:     mean(losses),
+			TestLoss:      math.NaN(),
+			TestAcc:       math.NaN(),
+			CumTotalBytes: cumTotal,
+			CumModelBytes: cumModel,
+			CumMetaBytes:  cumMeta,
+			SimTime:       simTime,
+			MeanAlpha:     e.meanAlpha(),
+		}
+
+		if round%cfg.EvalEvery == cfg.EvalEvery-1 || round == cfg.Rounds-1 {
+			loss, acc := e.Evaluate(cfg)
+			rm.TestLoss, rm.TestAcc = loss, acc
+			res.FinalAccuracy, res.FinalLoss = acc, loss
+			if cfg.TargetAccuracy > 0 && acc >= cfg.TargetAccuracy && res.RoundsToTarget < 0 {
+				res.RoundsToTarget = round + 1
+				res.BytesToTarget = cumTotal
+				res.TimeToTarget = simTime
+			}
+		}
+		res.Rounds = append(res.Rounds, rm)
+		if e.OnRound != nil {
+			e.OnRound(rm)
+		}
+		if cfg.TargetAccuracy > 0 && res.RoundsToTarget >= 0 {
+			break
+		}
+	}
+	res.TotalBytes, res.ModelBytes, res.MetaBytes = cumTotal, cumModel, cumMeta
+	res.SimTime = simTime
+	if res.RoundsToTarget < 0 {
+		res.BytesToTarget = cumTotal
+		res.TimeToTarget = simTime
+	}
+	return res, nil
+}
+
+// Evaluate returns mean test loss and accuracy over the evaluated nodes.
+func (e *Engine) Evaluate(cfg Config) (loss, acc float64) {
+	cfg.setDefaults()
+	k := len(e.Nodes)
+	if cfg.EvalNodes > 0 && cfg.EvalNodes < k {
+		k = cfg.EvalNodes
+	}
+	lossSum := make([]float64, k)
+	accSum := make([]float64, k)
+	_ = e.parallel(cfg.Parallelism, func(i int) error {
+		if i >= k {
+			return nil
+		}
+		l, a := datasets.Evaluate(e.TestSet, e.Nodes[i].Model(), cfg.EvalBatch, cfg.EvalMaxSamples)
+		lossSum[i], accSum[i] = l, a
+		return nil
+	})
+	return mean(lossSum), mean(accSum)
+}
+
+// meanAlpha averages LastAlpha over JWINS nodes (NaN if none).
+func (e *Engine) meanAlpha() float64 {
+	var sum float64
+	count := 0
+	for _, nd := range e.Nodes {
+		if j, ok := nd.(*core.JWINSNode); ok {
+			sum += j.LastAlpha
+			count++
+		}
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return sum / float64(count)
+}
+
+// parallel runs fn(i) for every node index with bounded concurrency and
+// returns the first error.
+func (e *Engine) parallel(limit int, fn func(i int) error) error {
+	n := len(e.Nodes)
+	if limit > n {
+		limit = n
+	}
+	if limit <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, limit)
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(i); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// mean averages the non-NaN entries (offline nodes report NaN losses).
+func mean(x []float64) float64 {
+	var s float64
+	count := 0
+	for _, v := range x {
+		if math.IsNaN(v) {
+			continue
+		}
+		s += v
+		count++
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return s / float64(count)
+}
+
+// localSteps peeks the per-round local step count for the time model.
+func localSteps(n core.Node) int {
+	type stepper interface{ LocalStepCount() int }
+	if s, ok := n.(stepper); ok {
+		return s.LocalStepCount()
+	}
+	return 1
+}

@@ -1,0 +1,92 @@
+package simulation
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/vec"
+)
+
+// runWithFaults reruns the standard 8-node task with failure injection.
+func runWithFaults(t *testing.T, kind algo, rounds int, dropProb, offlineProb float64) *Result {
+	t.Helper()
+	const n = 8
+	ds, parts := buildTask(t, n, 42)
+	nodes := buildNodes(t, kind, ds, parts, 7)
+	g, err := topology.Regular(n, 4, vec.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{
+		Nodes:    nodes,
+		Topology: topology.NewStatic(g),
+		TestSet:  ds,
+		Config: Config{
+			Rounds: rounds, EvalEvery: rounds, Parallelism: 2,
+			DropProb: dropProb, OfflineProb: offlineProb, FaultSeed: 1,
+		},
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestJWINSSurvivesMessageDrops: with 20% message loss, partial averaging
+// renormalizes over the senders that arrived, so learning still works.
+func TestJWINSSurvivesMessageDrops(t *testing.T) {
+	res := runWithFaults(t, algoJWINS, 30, 0.2, 0)
+	if res.FinalAccuracy < 0.55 {
+		t.Fatalf("JWINS with 20%% drops reached only %.2f accuracy", res.FinalAccuracy)
+	}
+}
+
+// TestFullSharingSurvivesChurn: with nodes dropping out of whole rounds,
+// D-PSGD still converges (the paper's "flexible to nodes leaving/joining").
+func TestFullSharingSurvivesChurn(t *testing.T) {
+	res := runWithFaults(t, algoFull, 30, 0, 0.15)
+	if res.FinalAccuracy < 0.55 {
+		t.Fatalf("full-sharing with 15%% churn reached only %.2f accuracy", res.FinalAccuracy)
+	}
+}
+
+// TestJWINSSurvivesChurnAndDrops: both faults at once.
+func TestJWINSSurvivesChurnAndDrops(t *testing.T) {
+	res := runWithFaults(t, algoJWINS, 30, 0.1, 0.1)
+	if res.FinalAccuracy < 0.5 {
+		t.Fatalf("JWINS with combined faults reached only %.2f accuracy", res.FinalAccuracy)
+	}
+}
+
+// TestChocoDegradesUnderChurn documents the contrast the paper draws:
+// CHOCO's error-feedback replicas desynchronize when messages are lost, so
+// it should do clearly worse than JWINS under the same fault load.
+func TestChocoDegradesUnderChurn(t *testing.T) {
+	choco := runWithFaults(t, algoChoco, 30, 0.25, 0)
+	jwins := runWithFaults(t, algoJWINS, 30, 0.25, 0)
+	t.Logf("25%% drops: choco %.2f vs jwins %.2f", choco.FinalAccuracy, jwins.FinalAccuracy)
+	if choco.FinalAccuracy > jwins.FinalAccuracy+0.05 {
+		t.Fatalf("expected CHOCO (%.2f) to degrade at least as much as JWINS (%.2f) under drops",
+			choco.FinalAccuracy, jwins.FinalAccuracy)
+	}
+}
+
+// TestFaultsAreDeterministic: same fault seed, same result.
+func TestFaultsAreDeterministic(t *testing.T) {
+	a := runWithFaults(t, algoJWINS, 6, 0.3, 0.1)
+	b := runWithFaults(t, algoJWINS, 6, 0.3, 0.1)
+	if a.TotalBytes != b.TotalBytes {
+		t.Fatalf("fault runs differ: %d vs %d bytes", a.TotalBytes, b.TotalBytes)
+	}
+}
+
+// TestDropsReduceBytes: dropped messages are paid by the sender, but offline
+// nodes send nothing, so heavy churn must reduce total traffic.
+func TestDropsReduceBytes(t *testing.T) {
+	clean := runWithFaults(t, algoFull, 10, 0, 0)
+	churned := runWithFaults(t, algoFull, 10, 0, 0.3)
+	if churned.TotalBytes >= clean.TotalBytes {
+		t.Fatalf("churned run sent %d bytes >= clean %d", churned.TotalBytes, clean.TotalBytes)
+	}
+}

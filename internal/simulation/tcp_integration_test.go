@@ -1,0 +1,83 @@
+package simulation
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// TestEngineOverTCP runs a full JWINS training through real loopback sockets
+// and cross-checks the engine's byte accounting against the wire counters.
+func TestEngineOverTCP(t *testing.T) {
+	const n = 4
+	ds, parts := buildTask(t, n, 51)
+	nodes := buildNodes(t, algoJWINS, ds, parts, 53)
+	g := topology.Ring(n)
+	mesh, err := transport.NewTCPCluster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+
+	eng := &Engine{
+		Nodes:    nodes,
+		Topology: topology.NewStatic(g),
+		TestSet:  ds,
+		Config:   Config{Rounds: 6, EvalEvery: 6, Parallelism: 2},
+		Mesh:     mesh,
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire int64
+	for i := 0; i < n; i++ {
+		wire += mesh.SentBytes(i)
+	}
+	if wire != res.TotalBytes {
+		t.Fatalf("engine accounted %d bytes, TCP wire carried %d", res.TotalBytes, wire)
+	}
+	if res.FinalAccuracy <= 0.25 {
+		t.Fatalf("no learning over TCP: accuracy %.2f", res.FinalAccuracy)
+	}
+}
+
+// TestEngineOverTCPMatchesInMemory: identical runs through TCP and the
+// in-memory mesh must produce identical models (transport transparency).
+func TestEngineOverTCPMatchesInMemory(t *testing.T) {
+	const n = 4
+	run := func(mesh transport.Mesh) []float64 {
+		ds, parts := buildTask(t, n, 61)
+		nodes := buildNodes(t, algoFull, ds, parts, 63)
+		eng := &Engine{
+			Nodes:    nodes,
+			Topology: topology.NewStatic(topology.Ring(n)),
+			TestSet:  ds,
+			Config:   Config{Rounds: 4, EvalEvery: 4, Parallelism: 1},
+			Mesh:     mesh,
+		}
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, nodes[0].Model().ParamCount())
+		nodes[0].Model().CopyParams(out)
+		return out
+	}
+
+	tcp, err := transport.NewTCPCluster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	inmem := transport.NewInMemory(n)
+	defer inmem.Close()
+
+	a := run(tcp)
+	b := run(inmem)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("param %d differs across transports: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

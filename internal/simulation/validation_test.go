@@ -1,0 +1,93 @@
+package simulation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestEngineRejectsZeroRounds(t *testing.T) {
+	const n = 4
+	ds, parts := buildTask(t, n, 71)
+	nodes := buildNodes(t, algoFull, ds, parts, 73)
+	eng := &Engine{
+		Nodes:    nodes,
+		Topology: topology.NewStatic(topology.Ring(n)),
+		TestSet:  ds,
+		Config:   Config{Rounds: 0},
+	}
+	if _, err := eng.Run(); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestEngineRejectsTopologyMismatch(t *testing.T) {
+	const n = 4
+	ds, parts := buildTask(t, n, 81)
+	nodes := buildNodes(t, algoFull, ds, parts, 83)
+	eng := &Engine{
+		Nodes:    nodes,
+		Topology: topology.NewStatic(topology.Ring(n + 2)), // wrong size
+		TestSet:  ds,
+		Config:   Config{Rounds: 1},
+	}
+	_, err := eng.Run()
+	if err == nil || !strings.Contains(err.Error(), "topology") {
+		t.Fatalf("topology mismatch not rejected: %v", err)
+	}
+}
+
+func TestEvaluateSubsetOfNodes(t *testing.T) {
+	const n = 6
+	ds, parts := buildTask(t, n, 91)
+	nodes := buildNodes(t, algoFull, ds, parts, 93)
+	eng := &Engine{
+		Nodes:    nodes,
+		Topology: topology.NewStatic(topology.Ring(n)),
+		TestSet:  ds,
+	}
+	lossAll, accAll := eng.Evaluate(Config{EvalBatch: 16})
+	lossTwo, accTwo := eng.Evaluate(Config{EvalBatch: 16, EvalNodes: 2})
+	if lossAll <= 0 || lossTwo <= 0 {
+		t.Fatalf("losses: %v %v", lossAll, lossTwo)
+	}
+	if accAll < 0 || accAll > 1 || accTwo < 0 || accTwo > 1 {
+		t.Fatalf("accuracies out of range: %v %v", accAll, accTwo)
+	}
+}
+
+func TestOnRoundCallback(t *testing.T) {
+	const n = 4
+	ds, parts := buildTask(t, n, 95)
+	nodes := buildNodes(t, algoFull, ds, parts, 97)
+	var seen []int
+	eng := &Engine{
+		Nodes:    nodes,
+		Topology: topology.NewStatic(topology.Ring(n)),
+		TestSet:  ds,
+		Config:   Config{Rounds: 3, EvalEvery: 1},
+		OnRound:  func(rm RoundMetrics) { seen = append(seen, rm.Round) },
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != 0 || seen[2] != 2 {
+		t.Fatalf("OnRound calls: %v", seen)
+	}
+}
+
+func TestCumulativeBytesMonotone(t *testing.T) {
+	res := runAlgo(t, algoRandom, 8)
+	var prev int64 = -1
+	for _, rm := range res.Rounds {
+		if rm.CumTotalBytes <= prev {
+			t.Fatalf("cumulative bytes not increasing: %d after %d", rm.CumTotalBytes, prev)
+		}
+		if rm.CumModelBytes+rm.CumMetaBytes != rm.CumTotalBytes {
+			t.Fatalf("byte split inconsistent at round %d: %d + %d != %d",
+				rm.Round, rm.CumModelBytes, rm.CumMetaBytes, rm.CumTotalBytes)
+		}
+		prev = rm.CumTotalBytes
+	}
+}

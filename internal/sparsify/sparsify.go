@@ -1,0 +1,127 @@
+// Package sparsify selects which coefficients of a flat vector are shared in
+// a communication round. JWINS applies TopK to accumulated wavelet-domain
+// importance scores; the random-sampling baseline draws a seeded uniform
+// subset; CHOCO applies TopK to the model-difference vector.
+package sparsify
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/vec"
+)
+
+// TopKIndices returns the indices of the k largest |v[i]| in increasing index
+// order, using quickselect (expected O(n)). Ties are broken towards lower
+// indices for determinism. k is clamped to [0, len(v)].
+func TopKIndices(v []float64, k int) []int {
+	n := len(v)
+	if k <= 0 {
+		return nil
+	}
+	if k >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	// Work on (abs value, index) pairs so selection is deterministic.
+	abs := make([]float64, n)
+	idx := make([]int, n)
+	for i, x := range v {
+		abs[i] = math.Abs(x)
+		idx[i] = i
+	}
+	quickselectTopK(abs, idx, k)
+	out := make([]int, k)
+	copy(out, idx[:k])
+	sort.Ints(out)
+	return out
+}
+
+// quickselectTopK partitions (abs, idx) so the k pairs with the largest abs
+// values (ties by smaller index first) occupy positions [0, k).
+func quickselectTopK(abs []float64, idx []int, k int) {
+	lo, hi := 0, len(abs)
+	// Deterministic pseudo-random pivots to defeat adversarial orderings.
+	seed := uint64(len(abs))*0x9e3779b97f4a7c15 + uint64(k)
+	for hi-lo > 1 {
+		p := lo + int(vec.SplitMix64(&seed)%uint64(hi-lo))
+		pAbs, pIdx := abs[p], idx[p]
+		abs[p], abs[hi-1] = abs[hi-1], abs[p]
+		idx[p], idx[hi-1] = idx[hi-1], idx[p]
+		store := lo
+		for i := lo; i < hi-1; i++ {
+			if greater(abs[i], idx[i], pAbs, pIdx) {
+				abs[i], abs[store] = abs[store], abs[i]
+				idx[i], idx[store] = idx[store], idx[i]
+				store++
+			}
+		}
+		abs[store], abs[hi-1] = abs[hi-1], abs[store]
+		idx[store], idx[hi-1] = idx[hi-1], idx[store]
+		switch {
+		case store == k || store == k-1:
+			return
+		case store > k:
+			hi = store
+		default:
+			lo = store + 1
+		}
+	}
+}
+
+// greater reports whether (a1, i1) outranks (a2, i2): larger magnitude first,
+// then lower index.
+func greater(a1 float64, i1 int, a2 float64, i2 int) bool {
+	if a1 != a2 {
+		return a1 > a2
+	}
+	return i1 < i2
+}
+
+// RandomIndices returns k uniformly random distinct indices from [0, dim) in
+// increasing order, derived deterministically from seed. Sender and receiver
+// of a seeded sparse payload both call this.
+func RandomIndices(seed uint64, dim, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	if k > dim {
+		k = dim
+	}
+	return vec.NewRNG(seed).SampleWithoutReplacement(dim, k)
+}
+
+// ThresholdIndices returns all indices with |v[i]| >= threshold, in
+// increasing order. Used by threshold-based baselines (e.g. GAIA-style
+// significance filtering).
+func ThresholdIndices(v []float64, threshold float64) []int {
+	var out []int
+	for i, x := range v {
+		if math.Abs(x) >= threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Gather copies v[indices] into a new slice.
+func Gather(v []float64, indices []int) []float64 {
+	out := make([]float64, len(indices))
+	for j, i := range indices {
+		out[j] = v[i]
+	}
+	return out
+}
+
+// Scatter writes vals into dst at indices: dst[indices[j]] = vals[j].
+func Scatter(dst []float64, indices []int, vals []float64) {
+	if len(indices) != len(vals) {
+		panic("sparsify: Scatter length mismatch")
+	}
+	for j, i := range indices {
+		dst[i] = vals[j]
+	}
+}

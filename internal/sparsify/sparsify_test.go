@@ -1,0 +1,208 @@
+package sparsify
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vec"
+)
+
+// referenceTopK is the obviously correct O(n log n) implementation.
+func referenceTopK(v []float64, k int) []int {
+	n := len(v)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		aa, ab := math.Abs(v[idx[a]]), math.Abs(v[idx[b]])
+		if aa != ab {
+			return aa > ab
+		}
+		return idx[a] < idx[b]
+	})
+	out := idx[:k]
+	sort.Ints(out)
+	return out
+}
+
+func TestTopKSmall(t *testing.T) {
+	v := []float64{0.1, -5, 3, 0, 2}
+	got := TopKIndices(v, 2)
+	want := []int{1, 2}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("TopK = %v, want %v", got, want)
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	if got := TopKIndices(nil, 3); len(got) != 0 {
+		t.Fatalf("nil input: %v", got)
+	}
+	if got := TopKIndices([]float64{1, 2}, 0); got != nil {
+		t.Fatalf("k=0: %v", got)
+	}
+	got := TopKIndices([]float64{1, 2}, 5)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("k>n: %v", got)
+	}
+}
+
+func TestTopKTiesDeterministic(t *testing.T) {
+	v := []float64{1, 1, 1, 1, 1}
+	got := TopKIndices(v, 3)
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie-breaking: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopKMatchesReference(t *testing.T) {
+	r := vec.NewRNG(31)
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(200) + 1
+		k := r.Intn(n + 2)
+		v := make([]float64, n)
+		for i := range v {
+			// Mix in repeated values to stress tie handling.
+			v[i] = float64(r.Intn(10)) * 0.5 * float64(1-2*(r.Intn(2)))
+		}
+		got := TopKIndices(v, k)
+		want := referenceTopK(v, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d k=%d): got %v want %v\nv=%v", trial, n, k, got, want, v)
+			}
+		}
+	}
+}
+
+func TestQuickTopKSelectsLargest(t *testing.T) {
+	f := func(seed uint64, rawN uint16, rawK uint16) bool {
+		n := int(rawN)%500 + 1
+		k := int(rawK) % (n + 1)
+		r := vec.NewRNG(seed)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		got := TopKIndices(v, k)
+		if len(got) != k {
+			return false
+		}
+		if k == 0 || k == n {
+			return true
+		}
+		chosen := make(map[int]bool, k)
+		minChosen := math.Inf(1)
+		for _, i := range got {
+			chosen[i] = true
+			if a := math.Abs(v[i]); a < minChosen {
+				minChosen = a
+			}
+		}
+		for i, x := range v {
+			if !chosen[i] && math.Abs(x) > minChosen {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomIndicesDeterministic(t *testing.T) {
+	a := RandomIndices(42, 1000, 100)
+	b := RandomIndices(42, 1000, 100)
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different index sets")
+		}
+	}
+	c := RandomIndices(43, 1000, 100)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical index sets")
+	}
+}
+
+func TestRandomIndicesClamp(t *testing.T) {
+	if got := RandomIndices(1, 5, 100); len(got) != 5 {
+		t.Fatalf("clamp failed: %v", got)
+	}
+	if got := RandomIndices(1, 5, 0); got != nil {
+		t.Fatalf("k=0: %v", got)
+	}
+}
+
+func TestThresholdIndices(t *testing.T) {
+	v := []float64{0.1, -2, 0.5, 3, -0.4}
+	got := ThresholdIndices(v, 0.5)
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	v := []float64{10, 20, 30, 40}
+	g := Gather(v, []int{0, 3})
+	if g[0] != 10 || g[1] != 40 {
+		t.Fatalf("Gather = %v", g)
+	}
+	dst := make([]float64, 4)
+	Scatter(dst, []int{1, 2}, []float64{7, 8})
+	if dst[1] != 7 || dst[2] != 8 || dst[0] != 0 {
+		t.Fatalf("Scatter = %v", dst)
+	}
+}
+
+func TestScatterMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Scatter(make([]float64, 3), []int{0, 1}, []float64{1})
+}
+
+func BenchmarkTopK(b *testing.B) {
+	r := vec.NewRNG(1)
+	n := 1 << 18
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopKIndices(v, n/10)
+	}
+}

@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TCPCluster bundles one TCP endpoint per node on the loopback interface and
+// exposes them as a single Mesh, so the simulation engine can run over real
+// sockets instead of channels (integration testing the wire path end to end).
+type TCPCluster struct {
+	endpoints []*TCP
+}
+
+var _ Mesh = (*TCPCluster)(nil)
+
+// NewTCPCluster starts n loopback endpoints on ephemeral ports and exchanges
+// their addresses.
+func NewTCPCluster(n int) (*TCPCluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: cluster needs at least one node, got %d", n)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	c := &TCPCluster{endpoints: make([]*TCP, n)}
+	for i := range c.endpoints {
+		ep, err := NewTCP(i, addrs)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.endpoints[i] = ep
+	}
+	for _, ep := range c.endpoints {
+		for j, peer := range c.endpoints {
+			ep.SetPeerAddr(j, peer.Addr())
+		}
+	}
+	return c, nil
+}
+
+// Send implements Mesh by routing through the sender's endpoint.
+func (c *TCPCluster) Send(msg Message) error {
+	if msg.From < 0 || msg.From >= len(c.endpoints) {
+		return fmt.Errorf("transport: sender %d out of range", msg.From)
+	}
+	return c.endpoints[msg.From].Send(msg)
+}
+
+// Recv implements Mesh.
+func (c *TCPCluster) Recv(to int) (Message, error) {
+	if to < 0 || to >= len(c.endpoints) {
+		return Message{}, fmt.Errorf("transport: receiver %d out of range", to)
+	}
+	return c.endpoints[to].Recv(to)
+}
+
+// SentBytes implements Mesh.
+func (c *TCPCluster) SentBytes(node int) int64 {
+	if node < 0 || node >= len(c.endpoints) {
+		return 0
+	}
+	return c.endpoints[node].SentBytes(node)
+}
+
+// Close implements Mesh.
+func (c *TCPCluster) Close() error {
+	var errs []error
+	for _, ep := range c.endpoints {
+		if ep != nil {
+			if err := ep.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,306 @@
+// Package transport moves encoded model payloads between decentralized
+// learning nodes. Experiments use the in-memory mesh (deterministic, metered);
+// the TCP mesh carries the identical frames over real sockets and backs the
+// tcpcluster example, standing in for the paper's ZeroMQ layer.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is one point-to-point payload delivery.
+type Message struct {
+	From, To int
+	Round    int
+	Payload  []byte
+}
+
+// FrameOverhead is the per-message framing cost in bytes (length + from +
+// round header), identical for both meshes so byte accounting matches.
+const FrameOverhead = 12
+
+// Mesh delivers messages between nodes 0..N-1.
+type Mesh interface {
+	// Send enqueues msg for delivery. It must not retain msg.Payload.
+	Send(msg Message) error
+	// Recv blocks until a message for node `to` arrives.
+	Recv(to int) (Message, error)
+	// SentBytes returns the cumulative bytes (payload + framing) sent by node.
+	SentBytes(node int) int64
+	// Close releases resources; pending Recv calls return errors.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed mesh.
+var ErrClosed = errors.New("transport: mesh closed")
+
+// InMemory is a channel-based mesh for single-process simulations.
+type InMemory struct {
+	n      int
+	queues []chan Message
+	sent   []atomic.Int64
+	closed atomic.Bool
+	once   sync.Once
+}
+
+var _ Mesh = (*InMemory)(nil)
+
+// NewInMemory builds a mesh for n nodes. Queues are buffered so that a full
+// round of sends (every node to every neighbor) never blocks.
+func NewInMemory(n int) *InMemory {
+	m := &InMemory{n: n, queues: make([]chan Message, n), sent: make([]atomic.Int64, n)}
+	for i := range m.queues {
+		m.queues[i] = make(chan Message, 4*n+16)
+	}
+	return m
+}
+
+// Send implements Mesh.
+func (m *InMemory) Send(msg Message) error {
+	if msg.To < 0 || msg.To >= m.n || msg.From < 0 || msg.From >= m.n {
+		return fmt.Errorf("transport: node id out of range in %d->%d", msg.From, msg.To)
+	}
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	cp := make([]byte, len(msg.Payload))
+	copy(cp, msg.Payload)
+	msg.Payload = cp
+	m.sent[msg.From].Add(int64(len(cp) + FrameOverhead))
+	select {
+	case m.queues[msg.To] <- msg:
+		return nil
+	default:
+		return fmt.Errorf("transport: queue for node %d full", msg.To)
+	}
+}
+
+// Recv implements Mesh.
+func (m *InMemory) Recv(to int) (Message, error) {
+	if to < 0 || to >= m.n {
+		return Message{}, fmt.Errorf("transport: node id %d out of range", to)
+	}
+	msg, ok := <-m.queues[to]
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	return msg, nil
+}
+
+// SentBytes implements Mesh.
+func (m *InMemory) SentBytes(node int) int64 { return m.sent[node].Load() }
+
+// Close implements Mesh.
+func (m *InMemory) Close() error {
+	m.once.Do(func() {
+		m.closed.Store(true)
+		for _, q := range m.queues {
+			close(q)
+		}
+	})
+	return nil
+}
+
+// TCP is a socket mesh: every node runs a listener and dials persistent
+// connections to peers on demand. Frames are length-prefixed:
+// [u32 payloadLen][u32 from][u32 round][payload].
+type TCP struct {
+	id    int
+	n     int
+	addrs []string
+	ln    net.Listener
+
+	mu       sync.Mutex
+	conns    map[int]net.Conn
+	accepted map[net.Conn]struct{}
+	inbox    chan Message
+	done     chan struct{}
+	sent     atomic.Int64
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+var _ Mesh = (*TCP)(nil)
+
+// NewTCP starts a TCP mesh endpoint for node id. addrs maps every node to a
+// host:port; addrs[id] is listened on. Use "127.0.0.1:0"-style addresses and
+// Addr() to discover assigned ports in tests.
+func NewTCP(id int, addrs []string) (*TCP, error) {
+	if id < 0 || id >= len(addrs) {
+		return nil, fmt.Errorf("transport: node id %d out of range for %d addrs", id, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[id], err)
+	}
+	t := &TCP{
+		id:       id,
+		n:        len(addrs),
+		addrs:    append([]string(nil), addrs...),
+		ln:       ln,
+		conns:    make(map[int]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
+		inbox:    make(chan Message, 4*len(addrs)+16),
+		done:     make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetPeerAddr updates the dialing address for a peer (used after peers bind
+// ephemeral ports).
+func (t *TCP) SetPeerAddr(node int, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[node] = addr
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed.Load() {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	var header [FrameOverhead]byte
+	for {
+		if _, err := io.ReadFull(conn, header[:]); err != nil {
+			return
+		}
+		payloadLen := binary.LittleEndian.Uint32(header[0:])
+		from := int(binary.LittleEndian.Uint32(header[4:]))
+		round := int(binary.LittleEndian.Uint32(header[8:]))
+		if payloadLen > 1<<30 {
+			return // corrupt frame; drop connection
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		select {
+		case t.inbox <- Message{From: from, To: t.id, Round: round, Payload: payload}:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+func (t *TCP) dial(to int) (net.Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[to]; ok {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %d (%s): %w", to, t.addrs[to], err)
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+// Send implements Mesh.
+func (t *TCP) Send(msg Message) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	if msg.To == t.id {
+		cp := make([]byte, len(msg.Payload))
+		copy(cp, msg.Payload)
+		t.sent.Add(int64(len(cp) + FrameOverhead))
+		select {
+		case t.inbox <- Message{From: msg.From, To: msg.To, Round: msg.Round, Payload: cp}:
+			return nil
+		case <-t.done:
+			return ErrClosed
+		}
+	}
+	conn, err := t.dial(msg.To)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, FrameOverhead+len(msg.Payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(msg.Payload)))
+	binary.LittleEndian.PutUint32(frame[4:], uint32(msg.From))
+	binary.LittleEndian.PutUint32(frame[8:], uint32(msg.Round))
+	copy(frame[FrameOverhead:], msg.Payload)
+	t.mu.Lock()
+	_, err = conn.Write(frame)
+	t.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("transport: write to node %d: %w", msg.To, err)
+	}
+	t.sent.Add(int64(len(frame)))
+	return nil
+}
+
+// Recv implements Mesh. Only the owning node's id is valid.
+func (t *TCP) Recv(to int) (Message, error) {
+	if to != t.id {
+		return Message{}, fmt.Errorf("transport: TCP endpoint %d cannot receive for node %d", t.id, to)
+	}
+	msg, ok := <-t.inbox
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	return msg, nil
+}
+
+// SentBytes implements Mesh. Only the owning node's counter is tracked.
+func (t *TCP) SentBytes(node int) int64 {
+	if node != t.id {
+		return 0
+	}
+	return t.sent.Load()
+}
+
+// Close implements Mesh.
+func (t *TCP) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	close(t.done)
+	err := t.ln.Close()
+	t.mu.Lock()
+	for _, c := range t.conns {
+		c.Close()
+	}
+	for c := range t.accepted {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	close(t.inbox)
+	return err
+}

@@ -1,0 +1,248 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInMemoryRoundTrip(t *testing.T) {
+	m := NewInMemory(3)
+	defer m.Close()
+	if err := m.Send(Message{From: 0, To: 2, Round: 7, Payload: []byte{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := m.Recv(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.From != 0 || msg.Round != 7 || len(msg.Payload) != 3 {
+		t.Fatalf("got %+v", msg)
+	}
+}
+
+func TestInMemoryDoesNotAliasPayload(t *testing.T) {
+	m := NewInMemory(2)
+	defer m.Close()
+	buf := []byte{9}
+	if err := m.Send(Message{From: 0, To: 1, Payload: buf}); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 0
+	msg, err := m.Recv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Payload[0] != 9 {
+		t.Fatal("payload aliased sender buffer")
+	}
+}
+
+func TestInMemoryMetering(t *testing.T) {
+	m := NewInMemory(2)
+	defer m.Close()
+	payload := make([]byte, 100)
+	if err := m.Send(Message{From: 0, To: 1, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SentBytes(0); got != 100+FrameOverhead {
+		t.Fatalf("SentBytes = %d", got)
+	}
+	if got := m.SentBytes(1); got != 0 {
+		t.Fatalf("receiver counted bytes: %d", got)
+	}
+}
+
+func TestInMemoryValidation(t *testing.T) {
+	m := NewInMemory(2)
+	defer m.Close()
+	if err := m.Send(Message{From: 0, To: 5}); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := m.Recv(-1); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestInMemoryClose(t *testing.T) {
+	m := NewInMemory(2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Recv(1)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	m.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("Recv after close: %v", err)
+	}
+	if err := m.Send(Message{From: 0, To: 1}); err != ErrClosed {
+		t.Fatalf("Send after close: %v", err)
+	}
+	// Double close is safe.
+	m.Close()
+}
+
+func TestInMemoryConcurrent(t *testing.T) {
+	const n = 8
+	const perNode = 20
+	m := NewInMemory(n)
+	defer m.Close()
+	var wg sync.WaitGroup
+	for from := 0; from < n; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for i := 0; i < perNode; i++ {
+				to := (from + 1 + i) % n
+				if to == from {
+					to = (to + 1) % n
+				}
+				if err := m.Send(Message{From: from, To: to, Round: i, Payload: []byte{byte(from)}}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(from)
+	}
+	wg.Wait()
+	// All messages delivered, none lost.
+	total := 0
+	for to := 0; to < n; to++ {
+	drain:
+		for {
+			select {
+			case msg := <-func() chan Message { return m.queues[to] }():
+				_ = msg
+				total++
+			default:
+				break drain
+			}
+		}
+	}
+	if total != n*perNode {
+		t.Fatalf("delivered %d of %d", total, n*perNode)
+	}
+}
+
+func newTCPCluster(t *testing.T, n int) []*TCP {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	nodes := make([]*TCP, n)
+	for i := range nodes {
+		node, err := NewTCP(i, addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		t.Cleanup(func() { node.Close() })
+	}
+	// Exchange bound addresses.
+	for i, ni := range nodes {
+		for j, nj := range nodes {
+			ni.SetPeerAddr(j, nj.Addr())
+		}
+		_ = i
+	}
+	return nodes
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	nodes := newTCPCluster(t, 3)
+	payload := []byte("hello decentralized world")
+	if err := nodes[0].Send(Message{From: 0, To: 2, Round: 5, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := nodes[2].Recv(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.From != 0 || msg.Round != 5 || string(msg.Payload) != string(payload) {
+		t.Fatalf("got %+v", msg)
+	}
+	want := int64(len(payload) + FrameOverhead)
+	if got := nodes[0].SentBytes(0); got != want {
+		t.Fatalf("SentBytes = %d, want %d", got, want)
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	nodes := newTCPCluster(t, 2)
+	if err := nodes[1].Send(Message{From: 1, To: 1, Round: 0, Payload: []byte{42}}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := nodes[1].Recv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Payload[0] != 42 {
+		t.Fatalf("got %+v", msg)
+	}
+}
+
+func TestTCPManyMessages(t *testing.T) {
+	nodes := newTCPCluster(t, 4)
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for from := range nodes {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				to := (from + 1) % len(nodes)
+				payload := []byte(fmt.Sprintf("msg-%d-%d", from, r))
+				if err := nodes[from].Send(Message{From: from, To: to, Round: r, Payload: payload}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(from)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for to := range nodes {
+		for r := 0; r < rounds; r++ {
+			msg, err := nodes[to].Recv(to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msg.To != to {
+				t.Fatalf("misrouted: %+v", msg)
+			}
+		}
+	}
+}
+
+func TestTCPRecvWrongNode(t *testing.T) {
+	nodes := newTCPCluster(t, 2)
+	if _, err := nodes[0].Recv(1); err == nil {
+		t.Fatal("expected error receiving for foreign node")
+	}
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	nodes := newTCPCluster(t, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := nodes[0].Recv(0)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	nodes[0].Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("Recv after close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+}

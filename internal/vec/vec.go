@@ -1,0 +1,136 @@
+// Package vec provides flat float64 vector math and deterministic random
+// number generation used throughout the repository. Decentralized learning
+// algorithms in this codebase treat models as flat parameter vectors, so
+// these primitives are on the hot path of every training round.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Add computes dst[i] += src[i]. It panics if lengths differ.
+func Add(dst, src []float64) {
+	mustSameLen(len(dst), len(src))
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Sub computes dst[i] -= src[i]. It panics if lengths differ.
+func Sub(dst, src []float64) {
+	mustSameLen(len(dst), len(src))
+	for i, v := range src {
+		dst[i] -= v
+	}
+}
+
+// AXPY computes dst[i] += a*src[i]. It panics if lengths differ.
+func AXPY(a float64, dst, src []float64) {
+	mustSameLen(len(dst), len(src))
+	for i, v := range src {
+		dst[i] += a * v
+	}
+}
+
+// Scale multiplies every element of x by a.
+func Scale(x []float64, a float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Diff returns a new vector a-b. It panics if lengths differ.
+func Diff(a, b []float64) []float64 {
+	mustSameLen(len(a), len(b))
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b. It panics if lengths differ.
+func Dot(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// MSE returns the mean squared error between a and b.
+// It panics if lengths differ or if both are empty.
+func MSE(a, b []float64) float64 {
+	mustSameLen(len(a), len(b))
+	if len(a) == 0 {
+		panic("vec: MSE of empty vectors")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+// MaxAbs returns the maximum absolute value in x (0 for empty x).
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty vector.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}
+
+func mustSameLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("vec: length mismatch %d != %d", a, b))
+	}
+}

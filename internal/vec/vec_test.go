@@ -1,0 +1,272 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCloneIndependence(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := Clone(x)
+	y[0] = 99
+	if x[0] != 1 {
+		t.Fatalf("Clone aliases the input: x=%v", x)
+	}
+}
+
+func TestAddSubAXPY(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 20, 30}
+	Add(a, b)
+	want := []float64{11, 22, 33}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("Add: got %v want %v", a, want)
+		}
+	}
+	Sub(a, b)
+	for i, w := range []float64{1, 2, 3} {
+		if a[i] != w {
+			t.Fatalf("Sub: got %v", a)
+		}
+	}
+	AXPY(2, a, b)
+	for i, w := range []float64{21, 42, 63} {
+		if a[i] != w {
+			t.Fatalf("AXPY: got %v", a)
+		}
+	}
+}
+
+func TestDotNormMSE(t *testing.T) {
+	a := []float64{3, 4}
+	if got := Dot(a, a); got != 25 {
+		t.Fatalf("Dot = %v, want 25", got)
+	}
+	if got := Norm2(a); got != 5 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	b := []float64{0, 0}
+	if got := MSE(a, b); got != 12.5 {
+		t.Fatalf("MSE = %v, want 12.5", got)
+	}
+}
+
+func TestDiffScaleFillZero(t *testing.T) {
+	d := Diff([]float64{5, 7}, []float64{2, 3})
+	if d[0] != 3 || d[1] != 4 {
+		t.Fatalf("Diff = %v", d)
+	}
+	Scale(d, 10)
+	if d[0] != 30 || d[1] != 40 {
+		t.Fatalf("Scale = %v", d)
+	}
+	Fill(d, 1)
+	Zero(d)
+	if d[0] != 0 || d[1] != 0 {
+		t.Fatalf("Zero = %v", d)
+	}
+}
+
+func TestStats(t *testing.T) {
+	x := []float64{-4, 1, 3}
+	if MaxAbs(x) != 4 {
+		t.Fatalf("MaxAbs = %v", MaxAbs(x))
+	}
+	if Sum(x) != 0 {
+		t.Fatalf("Sum = %v", Sum(x))
+	}
+	if Mean(x) != 0 {
+		t.Fatalf("Mean = %v", Mean(x))
+	}
+	if Mean(nil) != 0 {
+		t.Fatalf("Mean(nil) = %v", Mean(nil))
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Add([]float64{1}, []float64{1, 2})
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverge at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produce suspiciously similar streams")
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	r := NewRNG(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produce identical first values")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(1)
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		// Each bucket expects 10000; allow 10% slack.
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn bucket %d badly skewed: %d/%d", v, c, draws)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(2)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(3)
+	const draws = 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(4)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm invalid at value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := NewRNG(5)
+	s := r.SampleWithoutReplacement(50, 20)
+	if len(s) != 20 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatalf("not strictly increasing: %v", s)
+		}
+	}
+	for _, v := range s {
+		if v < 0 || v >= 50 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+	// Full sample is the identity set.
+	full := r.SampleWithoutReplacement(10, 10)
+	for i, v := range full {
+		if v != i {
+			t.Fatalf("full sample missing %d: %v", i, full)
+		}
+	}
+	// Empty sample.
+	if got := r.SampleWithoutReplacement(10, 0); len(got) != 0 {
+		t.Fatalf("empty sample: %v", got)
+	}
+}
+
+func TestSampleUniformity(t *testing.T) {
+	r := NewRNG(6)
+	counts := make([]int, 20)
+	const rounds = 20000
+	for i := 0; i < rounds; i++ {
+		for _, v := range r.SampleWithoutReplacement(20, 5) {
+			counts[v]++
+		}
+	}
+	// Each index expects rounds*5/20 = 5000 hits.
+	for v, c := range counts {
+		if c < 4500 || c > 5500 {
+			t.Fatalf("index %d sampled %d times, expected ~5000", v, c)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the SplitMix64 reference implementation.
+	st := uint64(0)
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f}
+	for i, w := range want {
+		if got := SplitMix64(&st); got != w {
+			t.Fatalf("SplitMix64 step %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestQuickDiffAddInverse(t *testing.T) {
+	f := func(a []float64) bool {
+		if len(a) == 0 {
+			return true
+		}
+		b := make([]float64, len(a))
+		for i := range b {
+			b[i] = float64(i) * 0.5
+		}
+		d := Diff(a, b)
+		Add(d, b)
+		for i := range a {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) {
+				continue
+			}
+			if math.Abs(d[i]-a[i]) > 1e-12*(1+math.Abs(a[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
