@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fourier"
 	"repro/internal/nn"
+	"repro/internal/simulation"
 	"repro/internal/sparsify"
 	"repro/internal/topology"
 	"repro/internal/vec"
@@ -127,6 +128,101 @@ func BenchmarkFigure10Scalability(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(r.Rows[len(r.Rows)-1].AccGain, "accGainLargestN%")
+	}
+}
+
+// --- Engine throughput: synchronous vs event-driven -------------------------
+
+// benchEngineFleet builds a 16-node full-sharing fleet over a 4-regular graph
+// on the standard small non-IID image task, shared by the engine benchmarks.
+func benchEngineFleet(b *testing.B) ([]core.Node, *datasets.Dataset, topology.Provider) {
+	b.Helper()
+	const n = 16
+	rng := vec.NewRNG(benchSeed)
+	ds, err := datasets.SyntheticImages(datasets.ImageConfig{
+		Classes: 4, Channels: 1, Height: 8, Width: 8,
+		TrainPerClass: 40, TestPerClass: 10,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts, err := datasets.PartitionShards(ds, n, 2, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.TrainOpts{LR: 0.05, LocalSteps: 2}
+	nodes := make([]core.Node, n)
+	for i := range nodes {
+		nodeRNG := rng.Split()
+		model := nn.NewMLP(64, 24, 4, nodeRNG)
+		loader := datasets.NewLoader(ds, parts[i], 8, nodeRNG.Split())
+		nodes[i], err = core.NewFullSharing(i, model, loader, opts, codec.Raw32{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	g, err := topology.Regular(n, 4, vec.NewRNG(benchSeed^1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nodes, ds, topology.NewStatic(g)
+}
+
+// BenchmarkEngineSync16 measures synchronous-engine throughput: 10 rounds of
+// a 16-node full-sharing run per iteration.
+func BenchmarkEngineSync16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nodes, ds, topo := benchEngineFleet(b)
+		eng := &simulation.Engine{
+			Nodes: nodes, Topology: topo, TestSet: ds,
+			Config: simulation.Config{Rounds: 10, EvalEvery: 10},
+		}
+		res, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalBytes), "bytes/run")
+	}
+}
+
+// BenchmarkEngineAsync16 is the event-driven counterpart on identical inputs
+// (homogeneous profiles, no churn), so the two benchmarks bracket the
+// scheduler's bookkeeping overhead.
+func BenchmarkEngineAsync16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nodes, ds, topo := benchEngineFleet(b)
+		eng := &simulation.AsyncEngine{
+			Nodes: nodes, Topology: topo, TestSet: ds,
+			Config: simulation.AsyncConfig{
+				Config: simulation.Config{Rounds: 10, EvalEvery: 10},
+			},
+		}
+		res, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalBytes), "bytes/run")
+	}
+}
+
+// BenchmarkEngineAsyncChurn16 adds a straggler tail and 25% churn, the cost
+// of the scenario the scheduler exists to express.
+func BenchmarkEngineAsyncChurn16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nodes, ds, topo := benchEngineFleet(b)
+		eng := &simulation.AsyncEngine{
+			Nodes: nodes, Topology: topo, TestSet: ds,
+			Config: simulation.AsyncConfig{
+				Config: simulation.Config{Rounds: 10, EvalEvery: 10},
+				Het:    simulation.Heterogeneity{ComputeSpread: 0.5, Seed: benchSeed},
+				Churn:  simulation.GenerateChurn(16, 0.25, 0.02, 0.15, 0.05, benchSeed),
+			},
+		}
+		res, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalBytes), "bytes/run")
 	}
 }
 

@@ -7,6 +7,7 @@
 //	jwins-train -dataset cifar10 -algo jwins -nodes 16 -rounds 60
 //	jwins-train -dataset movielens -algo choco -choco-gamma 0.4 -choco-frac 0.2
 //	jwins-train -dataset shakespeare -algo full-sharing -dynamic
+//	jwins-train -dataset cifar10 -algo jwins -async -churn 0.2 -compute-spread 0.5
 package main
 
 import (
@@ -45,8 +46,20 @@ func run() error {
 		chocoFrac  = flag.Float64("choco-frac", 0.2, "CHOCO TopK fraction")
 		wavelet    = flag.String("wavelet", "sym2", "wavelet basis for JWINS")
 		levels     = flag.Int("levels", 4, "wavelet decomposition levels")
+
+		// Event-driven scheduler (async engine).
+		async         = flag.Bool("async", false, "use the event-driven scheduler instead of synchronous rounds")
+		gossip        = flag.Bool("gossip", false, "async: aggregate freshest payloads immediately instead of the local barrier")
+		churnFrac     = flag.Float64("churn", 0, "async: fraction of nodes that leave and rejoin mid-run")
+		computeSpread = flag.Float64("compute-spread", 0, "async: lognormal sigma on per-node compute time")
+		bwSpread      = flag.Float64("bw-spread", 0, "async: lognormal sigma on per-node uplink bandwidth")
+		latencySpread = flag.Float64("latency-spread", 0, "async: lognormal sigma on per-node latency")
 	)
 	flag.Parse()
+
+	if !*async && (*gossip || *churnFrac != 0 || *computeSpread != 0 || *bwSpread != 0 || *latencySpread != 0) {
+		return fmt.Errorf("-gossip/-churn/-compute-spread/-bw-spread/-latency-spread require -async")
+	}
 
 	scale, err := experiments.ParseScale(*scaleName)
 	if err != nil {
@@ -88,6 +101,14 @@ func run() error {
 		TargetAccuracy: *target,
 		Dynamic:        *dynamic,
 		Seed:           *seed,
+		Async:          *async,
+		Gossip:         *gossip,
+		ChurnFraction:  *churnFrac,
+		Het: simulation.Heterogeneity{
+			ComputeSpread:   *computeSpread,
+			BandwidthSpread: *bwSpread,
+			LatencySpread:   *latencySpread,
+		},
 		OnRound: func(rm simulation.RoundMetrics) {
 			if math.IsNaN(rm.TestAcc) {
 				return

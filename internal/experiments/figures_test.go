@@ -155,3 +155,50 @@ func TestExtensionsMicro(t *testing.T) {
 	}
 	_ = fa.String()
 }
+
+func TestExtAsyncChurnMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := ExtAsyncChurn(Micro, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The async+churn JWINS arm must complete its full iteration budget and
+	// stay within a few points of the clean synchronous reference, while
+	// CHOCO's error-feedback replicas are expected to suffer.
+	if r.RowsJWINSAsync != r.Rounds {
+		t.Fatalf("async JWINS completed %d/%d rows", r.RowsJWINSAsync, r.Rounds)
+	}
+	if r.AccJWINSAsync < r.AccJWINSSync-10 {
+		t.Fatalf("async+churn JWINS lost too much accuracy: %.1f%% vs sync %.1f%%",
+			r.AccJWINSAsync, r.AccJWINSSync)
+	}
+	if r.AccChoco > r.AccJWINSAsync+5 {
+		t.Fatalf("expected CHOCO (%.1f%%) to degrade at least as much as JWINS (%.1f%%)",
+			r.AccChoco, r.AccJWINSAsync)
+	}
+	if len(r.Curves) != 3 {
+		t.Fatalf("expected 3 curves, got %d", len(r.Curves))
+	}
+	if r.CSV() == "" || r.String() == "" {
+		t.Fatal("empty renderings")
+	}
+}
+
+func TestRunSpecAsyncSmoke(t *testing.T) {
+	w, err := NewWorkload("cifar10", Micro, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunSpec{
+		Workload: w, Algo: AlgoSpec{Kind: AlgoJWINS}, Rounds: 4, Seed: 11,
+		Async: true, ChurnFraction: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 4 || res.TotalBytes <= 0 {
+		t.Fatalf("unexpected async result: %+v", res)
+	}
+}

@@ -1,0 +1,693 @@
+// async.go is the event-driven counterpart to the synchronous round engine:
+// a single-threaded discrete-event scheduler in which every node carries its
+// own compute/bandwidth/latency profile, trains and communicates on its own
+// clock, and can leave and rejoin mid-run. It reuses the roundio layer
+// (train+share, byte ledger, evaluation) so metrics are directly comparable
+// with Engine, and reports the same Result/RoundMetrics series, with rows
+// aligned on per-node iteration numbers instead of global rounds.
+//
+// Two aggregation policies are supported:
+//
+//   - local barrier (default): a node aggregates iteration k once every live
+//     neighbor's iteration-k payload has arrived (or is known dropped, or the
+//     neighbor left). With homogeneous profiles and no churn this reproduces
+//     the synchronous schedule exactly — the degenerate-case parity test —
+//     while heterogeneous profiles turn slow nodes into stragglers that stall
+//     only their own neighborhood, not the whole graph.
+//
+//   - gossip: a node aggregates immediately after broadcasting, using the
+//     freshest payload it holds from each live neighbor (bounded staleness).
+//     Fast nodes run ahead; stale models mix in asynchronously.
+//
+// Churn is a seeded trace of leave/join events. A leaver keeps its model; on
+// rejoin its iteration counter fast-forwards to the run's emitted-row floor,
+// so it resumes at the current global position with stale parameters — the
+// scenario behind the paper's claim that partial-sharing averaging is
+// "flexible to nodes leaving and joining" while CHOCO's error-feedback
+// replicas desynchronize.
+package simulation
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/vec"
+)
+
+// NodeProfile is one node's hardware profile in the simulated-time model.
+type NodeProfile struct {
+	// ComputeSecPerStep is the duration of one local SGD step.
+	ComputeSecPerStep float64
+	// BandwidthBytesPerSec is the node's uplink; neighbor copies serialize
+	// through it.
+	BandwidthBytesPerSec float64
+	// LatencySec is the one-way propagation delay added to every message.
+	LatencySec float64
+}
+
+// Heterogeneity draws per-node profiles around the base Config values using
+// independent lognormal multipliers (median 1), the standard straggler model:
+// most nodes sit near the base, a heavy tail is markedly slower.
+type Heterogeneity struct {
+	// ComputeSpread is the lognormal sigma for compute time (0 = homogeneous).
+	ComputeSpread float64
+	// BandwidthSpread is the lognormal sigma for uplink bandwidth.
+	BandwidthSpread float64
+	// LatencySpread is the lognormal sigma for latency.
+	LatencySpread float64
+	// Seed drives the draws (default 0x686574, "het").
+	Seed uint64
+}
+
+func (h Heterogeneity) zero() bool {
+	return h.ComputeSpread == 0 && h.BandwidthSpread == 0 && h.LatencySpread == 0
+}
+
+// SampleProfiles draws n node profiles around base's time model. With a
+// zero-valued Heterogeneity every profile equals the base exactly.
+func SampleProfiles(n int, base Config, het Heterogeneity) []NodeProfile {
+	base.setDefaults()
+	seed := het.Seed
+	if seed == 0 {
+		seed = 0x686574
+	}
+	rng := vec.NewRNG(seed)
+	out := make([]NodeProfile, n)
+	for i := range out {
+		out[i] = NodeProfile{
+			ComputeSecPerStep:    base.ComputeSecPerStep * logNormal(rng, het.ComputeSpread),
+			BandwidthBytesPerSec: base.BandwidthBytesPerSec / logNormal(rng, het.BandwidthSpread),
+			LatencySec:           base.LatencySec * logNormal(rng, het.LatencySpread),
+		}
+	}
+	return out
+}
+
+// logNormal returns exp(sigma * N(0,1)), drawing exactly one deviate even
+// when sigma is zero so profiles stay stable as spreads are toggled.
+func logNormal(rng *vec.RNG, sigma float64) float64 {
+	z := rng.NormFloat64()
+	if sigma == 0 {
+		return 1
+	}
+	return math.Exp(sigma * z)
+}
+
+// NominalRoundSec estimates one synchronous round's duration under c's time
+// model: local compute, one uplink's serialization of degree payload copies,
+// and latency. Callers use it to place churn traces in absolute simulated
+// time without running the schedule first.
+func (c Config) NominalRoundSec(steps, payloadBytes, degree int) float64 {
+	c.setDefaults()
+	return float64(steps)*c.ComputeSecPerStep +
+		float64(degree*(payloadBytes+transport.FrameOverhead))/c.BandwidthBytesPerSec +
+		c.LatencySec
+}
+
+// ChurnEvent is one entry of a churn trace.
+type ChurnEvent struct {
+	// Time is the simulated timestamp at which the change applies.
+	Time float64
+	// Node is the affected node.
+	Node int
+	// Join is true for a rejoin, false for a departure.
+	Join bool
+}
+
+// GenerateChurn builds a seeded trace in which fraction of the n nodes leave
+// once at a uniform time in [start, end) and rejoin after a downtime of
+// meanDown*(0.5+U[0,1)). Rejoin times may exceed end; the run keeps
+// processing churn until every node's iteration budget is met.
+func GenerateChurn(n int, fraction, start, end, meanDown float64, seed uint64) []ChurnEvent {
+	k := int(fraction*float64(n) + 0.5)
+	if k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	rng := vec.NewRNG(seed ^ 0x636875726e) // "churn"
+	victims := rng.SampleWithoutReplacement(n, k)
+	out := make([]ChurnEvent, 0, 2*k)
+	for _, node := range victims {
+		leave := start + rng.Float64()*(end-start)
+		down := meanDown * (0.5 + rng.Float64())
+		out = append(out,
+			ChurnEvent{Time: leave, Node: node, Join: false},
+			ChurnEvent{Time: leave + down, Node: node, Join: true},
+		)
+	}
+	return out
+}
+
+// AsyncConfig extends the base Config with the event-driven knobs. The
+// embedded Config's Rounds field becomes the per-node iteration budget;
+// OfflineProb is ignored (churn traces subsume it), DropProb still drops
+// individual messages in flight.
+type AsyncConfig struct {
+	Config
+
+	// Profiles fixes per-node hardware profiles. Nil samples them from Het
+	// around the base Config time model.
+	Profiles []NodeProfile
+	// Het is the heterogeneity distribution used when Profiles is nil.
+	Het Heterogeneity
+	// Churn is the leave/join trace (see GenerateChurn).
+	Churn []ChurnEvent
+	// Gossip switches from the local-barrier policy to immediate freshest-
+	// payload aggregation.
+	Gossip bool
+	// OnEvent, if set, observes every processed event in order — the
+	// deterministic event trace.
+	OnEvent func(Event)
+}
+
+// AsyncEngine runs one experiment under the event-driven scheduler.
+type AsyncEngine struct {
+	Nodes    []core.Node
+	Topology topology.Provider
+	TestSet  *datasets.Dataset
+	Config   AsyncConfig
+
+	// Mesh optionally routes payloads through a transport, as in Engine.
+	// Messages carry SentAt/ArriveAt simulated timestamps and stay queued
+	// from broadcast time until their simulated delivery, so long-latency or
+	// slow-uplink scenarios need a generously buffered mesh (see
+	// transport.NewInMemoryBuffered).
+	Mesh transport.Mesh
+
+	// OnRound is called after each emitted iteration row.
+	OnRound func(RoundMetrics)
+}
+
+// asyncNode is the scheduler's per-node state.
+type asyncNode struct {
+	live bool
+	gen  int // bumped on leave/join; stale train-done events are discarded
+	iter int // completed aggregations
+	// waiting is true while the node has broadcast iteration `iter` and is
+	// blocked on the local barrier.
+	waiting bool
+	// got[j] is the highest iteration for which sender j's payload arrived
+	// or was known dropped — the barrier bookkeeping.
+	got map[int]int
+	// inbox[j][k] buffers sender j's iteration-k payload. The barrier policy
+	// consumes entries <= the aggregated iteration; gossip keeps only the
+	// freshest entry per sender.
+	inbox map[int]map[int][]byte
+	// lastPayload/lastIter/lastBD cache the node's most recent broadcast so
+	// a rejoining neighbor can pull current state (see onJoin).
+	lastPayload []byte
+	lastIter    int
+	lastBD      codec.ByteBreakdown
+}
+
+// asyncRun is the mutable state of one AsyncEngine.Run.
+type asyncRun struct {
+	eng      *AsyncEngine
+	cfg      AsyncConfig
+	profiles []NodeProfile
+	masked   *topology.Masked
+	nodes    []asyncNode
+	queue    eventQueue
+	seq      int64
+	now      float64
+	ledger   byteLedger
+	faultRNG *vec.RNG
+
+	// per-iteration training-loss accumulators for row emission
+	lossSum   []float64
+	lossCount []int
+	emitted   int
+	res       *Result
+	stop      bool
+
+	// meshPending buffers mesh messages drained out of order, keyed by
+	// receiver then sender (FIFO per sender).
+	meshPending []map[int][]transport.Message
+}
+
+// Run executes the event-driven schedule and returns the collected metrics.
+func (e *AsyncEngine) Run() (*Result, error) {
+	cfg := e.Config
+	cfg.setDefaults()
+	n := len(e.Nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("simulation: no nodes")
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("simulation: rounds must be positive")
+	}
+	profiles := cfg.Profiles
+	if profiles == nil {
+		profiles = SampleProfiles(n, cfg.Config, cfg.Het)
+	}
+	if len(profiles) != n {
+		return nil, fmt.Errorf("simulation: %d profiles for %d nodes", len(profiles), n)
+	}
+
+	r := &asyncRun{
+		eng:       e,
+		cfg:       cfg,
+		profiles:  profiles,
+		masked:    topology.NewMasked(e.Topology, n),
+		nodes:     make([]asyncNode, n),
+		lossSum:   make([]float64, cfg.Rounds),
+		lossCount: make([]int, cfg.Rounds),
+		res:       &Result{RoundsToTarget: -1},
+	}
+	if cfg.DropProb > 0 {
+		r.faultRNG = vec.NewRNG(cfg.FaultSeed ^ 0xfa017)
+	}
+	if e.Mesh != nil {
+		r.meshPending = make([]map[int][]transport.Message, n)
+		for i := range r.meshPending {
+			r.meshPending[i] = map[int][]transport.Message{}
+		}
+	}
+	g, _ := r.masked.Round(0)
+	if g.N != n {
+		return nil, fmt.Errorf("simulation: topology has %d nodes, engine has %d", g.N, n)
+	}
+	for i := range r.nodes {
+		r.nodes[i] = asyncNode{
+			live:     true,
+			got:      make(map[int]int, g.Degree(i)),
+			inbox:    make(map[int]map[int][]byte, g.Degree(i)),
+			lastIter: -1,
+		}
+	}
+	heap.Init(&r.queue)
+	// Seed the schedule: every node starts training at t=0; churn arrives on
+	// its own clock.
+	for i := 0; i < n; i++ {
+		r.scheduleTrain(i)
+	}
+	for _, ch := range cfg.Churn {
+		if ch.Node < 0 || ch.Node >= n {
+			return nil, fmt.Errorf("simulation: churn event for node %d, engine has %d nodes", ch.Node, n)
+		}
+		kind := EventLeave
+		if ch.Join {
+			kind = EventJoin
+		}
+		r.push(&Event{Time: ch.Time, Kind: kind, Node: ch.Node})
+	}
+
+	for r.queue.Len() > 0 && !r.stop {
+		ev := heap.Pop(&r.queue).(*Event)
+		r.now = ev.Time
+		if cfg.OnEvent != nil {
+			cfg.OnEvent(*ev)
+		}
+		var err error
+		switch ev.Kind {
+		case EventTrainDone:
+			err = r.onTrainDone(ev)
+		case EventArrival:
+			err = r.onArrival(ev)
+		case EventLeave:
+			r.onLeave(ev.Node)
+		case EventJoin:
+			err = r.onJoin(ev.Node)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if r.emitted >= cfg.Rounds {
+			break
+		}
+	}
+
+	r.res.TotalBytes, r.res.ModelBytes, r.res.MetaBytes = r.ledger.total, r.ledger.model, r.ledger.meta
+	r.res.SimTime = r.now
+	if r.res.RoundsToTarget < 0 {
+		r.res.BytesToTarget = r.ledger.total
+		r.res.TimeToTarget = r.now
+	}
+	return r.res, nil
+}
+
+// push assigns the next sequence number and enqueues ev.
+func (r *asyncRun) push(ev *Event) {
+	ev.Seq = r.seq
+	r.seq++
+	heap.Push(&r.queue, ev)
+}
+
+// scheduleTrain enqueues node i's next train-done event under its profile.
+func (r *asyncRun) scheduleTrain(i int) {
+	st := &r.nodes[i]
+	dur := float64(localSteps(r.eng.Nodes[i])) * r.profiles[i].ComputeSecPerStep
+	r.push(&Event{
+		Time: r.now + dur, Kind: EventTrainDone,
+		Node: i, Iter: st.iter, gen: st.gen,
+	})
+}
+
+// onTrainDone runs the node's local steps and broadcast, then either blocks
+// on the barrier or (gossip) aggregates immediately.
+func (r *asyncRun) onTrainDone(ev *Event) error {
+	i := ev.Node
+	st := &r.nodes[i]
+	if !st.live || ev.gen != st.gen || ev.Iter != st.iter {
+		return nil // superseded by churn
+	}
+	loss, payload, bd, err := trainShare(r.eng.Nodes[i], st.iter)
+	if err != nil {
+		return fmt.Errorf("node %d share: %w", i, err)
+	}
+	if st.iter < len(r.lossSum) && !math.IsNaN(loss) {
+		r.lossSum[st.iter] += loss
+		r.lossCount[st.iter]++
+	}
+	if err := r.broadcast(i, st.iter, payload, bd); err != nil {
+		return err
+	}
+	if r.cfg.Gossip {
+		return r.aggregate(i)
+	}
+	st.waiting = true
+	return r.checkBarrier(i)
+}
+
+// broadcast serializes copies of payload through node i's uplink to every
+// live neighbor, charging the byte ledger per copy (drops included: the
+// sender pays, the receiver only learns the message is gone). The payload is
+// cached so rejoining neighbors can pull it later.
+func (r *asyncRun) broadcast(i, iter int, payload []byte, bd codec.ByteBreakdown) error {
+	st := &r.nodes[i]
+	st.lastPayload, st.lastIter, st.lastBD = payload, iter, bd
+	g, _ := r.masked.Round(0)
+	txEnd := 0.0
+	for _, j := range g.Neighbors(i) {
+		txEnd += float64(len(payload)+transport.FrameOverhead) / r.profiles[i].BandwidthBytesPerSec
+		dropped := r.faultRNG != nil && r.faultRNG.Float64() < r.cfg.DropProb
+		if err := r.sendOne(i, j, iter, payload, bd, txEnd, dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendOne schedules one delivery from i to j, txDelay seconds of uplink
+// serialization after now, and charges the ledger.
+func (r *asyncRun) sendOne(i, j, iter int, payload []byte, bd codec.ByteBreakdown, txDelay float64, dropped bool) error {
+	arriveAt := r.now + txDelay + r.profiles[i].LatencySec
+	r.ledger.addSend(bd, len(payload), 1)
+	if !dropped && r.eng.Mesh != nil {
+		if err := r.eng.Mesh.Send(transport.Message{
+			From: i, To: j, Round: iter, Payload: payload,
+			SentAt: r.now, ArriveAt: arriveAt,
+		}); err != nil {
+			return fmt.Errorf("simulation: send %d->%d: %w", i, j, err)
+		}
+	}
+	var cp []byte
+	if !dropped && r.eng.Mesh == nil {
+		cp = payload
+	}
+	r.push(&Event{
+		Time: arriveAt, Kind: EventArrival,
+		Node: j, From: i, Iter: iter, Dropped: dropped, payload: cp,
+	})
+	return nil
+}
+
+// onArrival records a delivery (or drop notice) and re-checks the receiver's
+// barrier.
+func (r *asyncRun) onArrival(ev *Event) error {
+	j := ev.Node
+	st := &r.nodes[j]
+	payload := ev.payload
+	if !ev.Dropped && r.eng.Mesh != nil {
+		msg, err := r.meshFetch(j, ev.From, ev.Iter)
+		if err != nil {
+			return err
+		}
+		payload = msg.Payload
+	}
+	if !st.live {
+		return nil // the receiver is gone; the message is lost
+	}
+	if prev, ok := st.got[ev.From]; !ok || ev.Iter > prev {
+		st.got[ev.From] = ev.Iter
+	}
+	if !ev.Dropped {
+		box := st.inbox[ev.From]
+		if box == nil {
+			box = make(map[int][]byte, 2)
+			st.inbox[ev.From] = box
+		}
+		if r.cfg.Gossip {
+			// Keep only the freshest payload per sender.
+			stale := false
+			for k := range box {
+				if k > ev.Iter {
+					stale = true
+				} else {
+					delete(box, k)
+				}
+			}
+			if stale {
+				return nil
+			}
+		}
+		box[ev.Iter] = payload
+	}
+	if st.waiting {
+		return r.checkBarrier(j)
+	}
+	return nil
+}
+
+// checkBarrier aggregates node i's pending iteration once every live
+// neighbor's payload (or drop notice, or departure) is in.
+func (r *asyncRun) checkBarrier(i int) error {
+	st := &r.nodes[i]
+	if !st.waiting {
+		return nil
+	}
+	g, _ := r.masked.Round(0)
+	for _, j := range g.Neighbors(i) {
+		if got, ok := st.got[j]; !ok || got < st.iter {
+			return nil
+		}
+	}
+	st.waiting = false
+	return r.aggregate(i)
+}
+
+// aggregate merges node i's buffered payloads under the live-subgraph mixing
+// weights, advances its iteration, and reschedules training.
+func (r *asyncRun) aggregate(i int) error {
+	st := &r.nodes[i]
+	g, w := r.masked.Round(0)
+	msgs := make(map[int][]byte, g.Degree(i))
+	for _, j := range g.Neighbors(i) {
+		box := st.inbox[j]
+		if len(box) == 0 {
+			continue
+		}
+		// Prefer the payload matching this iteration (barrier), falling back
+		// to the freshest buffered one (gossip, or a fast-forwarded joiner).
+		if p, ok := box[st.iter]; ok && !r.cfg.Gossip {
+			msgs[j] = p
+			continue
+		}
+		best := -1
+		for k := range box {
+			if k > best {
+				best = k
+			}
+		}
+		if best >= 0 {
+			msgs[j] = box[best]
+		}
+	}
+	if err := r.eng.Nodes[i].Aggregate(st.iter, w[i], msgs); err != nil {
+		return fmt.Errorf("node %d aggregate: %w", i, err)
+	}
+	if !r.cfg.Gossip {
+		// Consume everything at or below the aggregated iteration.
+		for j, box := range st.inbox {
+			for k := range box {
+				if k <= st.iter {
+					delete(box, k)
+				}
+			}
+			if len(box) == 0 {
+				delete(st.inbox, j)
+			}
+		}
+	}
+	st.iter++
+	if err := r.emitRows(); err != nil {
+		return err
+	}
+	if st.live && st.iter < r.cfg.Rounds && !r.stop {
+		r.scheduleTrain(i)
+	}
+	return nil
+}
+
+// onLeave takes a node offline: its pending work is invalidated, the live
+// subgraph shrinks, and neighbors blocked on it are re-checked.
+func (r *asyncRun) onLeave(i int) {
+	st := &r.nodes[i]
+	if !st.live {
+		return
+	}
+	st.live = false
+	st.gen++
+	st.waiting = false
+	r.masked.SetLive(i, false)
+	// Departure can unblock waiting neighbors and lower the row floor.
+	r.recheckAll()
+}
+
+// onJoin brings a node back: it keeps its (stale) model, fast-forwards to
+// the run's current row floor, pulls every live neighbor's latest broadcast
+// (the state sync that lets it participate in barriers whose payloads flew
+// while it was away — without it, a joiner and a waiting neighbor could each
+// block on a message the other will never resend), and starts training.
+func (r *asyncRun) onJoin(i int) error {
+	st := &r.nodes[i]
+	if st.live {
+		return nil
+	}
+	st.live = true
+	st.gen++
+	st.waiting = false
+	if st.iter < r.emitted {
+		st.iter = r.emitted
+	}
+	// Anything buffered before the departure is stale connectivity.
+	st.got = make(map[int]int)
+	st.inbox = make(map[int]map[int][]byte)
+	r.masked.SetLive(i, true)
+	g, _ := r.masked.Round(0)
+	for _, m := range g.Neighbors(i) {
+		ms := &r.nodes[m]
+		if ms.lastIter < 0 {
+			continue
+		}
+		tx := float64(len(ms.lastPayload)+transport.FrameOverhead) / r.profiles[m].BandwidthBytesPerSec
+		if err := r.sendOne(m, i, ms.lastIter, ms.lastPayload, ms.lastBD, tx, false); err != nil {
+			return err
+		}
+	}
+	if st.iter < r.cfg.Rounds && !r.stop {
+		r.scheduleTrain(i)
+	}
+	return r.recheckAll()
+}
+
+// recheckAll re-evaluates every waiting node's barrier and the emission
+// floor after a live-set change.
+func (r *asyncRun) recheckAll() error {
+	if err := r.emitRows(); err != nil {
+		return err
+	}
+	for i := range r.nodes {
+		if r.nodes[i].waiting {
+			if err := r.checkBarrier(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// meshFetch drains the mesh for receiver `to` until the message from `from`
+// carrying iteration `iter` surfaces, buffering everything else. Matching on
+// (sender, iteration) — not sender alone — matters: the mesh delivers in
+// send order, but arrival events fire in simulated-delivery order, and a
+// small iteration-k+1 payload can overtake a large iteration-k one through
+// the same uplink.
+func (r *asyncRun) meshFetch(to, from, iter int) (transport.Message, error) {
+	pending := r.meshPending[to][from]
+	for idx, msg := range pending {
+		if msg.Round == iter {
+			r.meshPending[to][from] = append(pending[:idx:idx], pending[idx+1:]...)
+			return msg, nil
+		}
+	}
+	for {
+		msg, err := r.eng.Mesh.Recv(to)
+		if err != nil {
+			return transport.Message{}, fmt.Errorf("simulation: recv for %d: %w", to, err)
+		}
+		if msg.From == from && msg.Round == iter {
+			return msg, nil
+		}
+		r.meshPending[to][msg.From] = append(r.meshPending[to][msg.From], msg)
+	}
+}
+
+// emitRows publishes iteration rows up to the minimum iteration completed by
+// all live nodes, evaluating on the sync engine's cadence.
+func (r *asyncRun) emitRows() error {
+	floor := r.minLiveIter()
+	for r.emitted < floor && r.emitted < r.cfg.Rounds && !r.stop {
+		k := r.emitted
+		rm := RoundMetrics{
+			Round:         k,
+			TrainLoss:     math.NaN(),
+			TestLoss:      math.NaN(),
+			TestAcc:       math.NaN(),
+			CumTotalBytes: r.ledger.total,
+			CumModelBytes: r.ledger.model,
+			CumMetaBytes:  r.ledger.meta,
+			SimTime:       r.now,
+			MeanAlpha:     meanAlphaOf(r.eng.Nodes),
+		}
+		if r.lossCount[k] > 0 {
+			rm.TrainLoss = r.lossSum[k] / float64(r.lossCount[k])
+		}
+		if k%r.cfg.EvalEvery == r.cfg.EvalEvery-1 || k == r.cfg.Rounds-1 {
+			loss, acc := evaluateNodes(r.eng.Nodes, r.eng.TestSet, r.cfg.Config)
+			rm.TestLoss, rm.TestAcc = loss, acc
+			r.res.FinalAccuracy, r.res.FinalLoss = acc, loss
+			if r.cfg.TargetAccuracy > 0 && acc >= r.cfg.TargetAccuracy && r.res.RoundsToTarget < 0 {
+				r.res.RoundsToTarget = k + 1
+				r.res.BytesToTarget = r.ledger.total
+				r.res.TimeToTarget = r.now
+				r.stop = true
+			}
+		}
+		r.res.Rounds = append(r.res.Rounds, rm)
+		if r.eng.OnRound != nil {
+			r.eng.OnRound(rm)
+		}
+		r.emitted++
+	}
+	return nil
+}
+
+// minLiveIter is the lowest completed iteration among live nodes, or the
+// full budget when nobody is live (dead nodes cannot hold rows back forever;
+// rows resume when someone rejoins behind the floor).
+func (r *asyncRun) minLiveIter() int {
+	min := r.cfg.Rounds
+	any := false
+	for i := range r.nodes {
+		if !r.nodes[i].live {
+			continue
+		}
+		any = true
+		if r.nodes[i].iter < min {
+			min = r.nodes[i].iter
+		}
+	}
+	if !any {
+		return r.emitted // freeze the floor while everyone is away
+	}
+	return min
+}

@@ -1,0 +1,317 @@
+package simulation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/vec"
+)
+
+// asyncEngineFor builds an AsyncEngine over the standard 8-node test task.
+func asyncEngineFor(t *testing.T, kind algo, rounds int, mut func(*AsyncConfig)) *AsyncEngine {
+	t.Helper()
+	const n = 8
+	ds, parts := buildTask(t, n, 42)
+	nodes := buildNodes(t, kind, ds, parts, 7)
+	g, err := topology.Regular(n, 4, vec.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := AsyncConfig{
+		Config: Config{Rounds: rounds, EvalEvery: rounds, Parallelism: 2},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return &AsyncEngine{
+		Nodes:    nodes,
+		Topology: topology.NewStatic(g),
+		TestSet:  ds,
+		Config:   cfg,
+	}
+}
+
+func runAsync(t *testing.T, kind algo, rounds int, mut func(*AsyncConfig)) *Result {
+	t.Helper()
+	res, err := asyncEngineFor(t, kind, rounds, mut).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestAsyncMatchesSyncDegenerate: with homogeneous profiles, no churn, and
+// the local-barrier policy, the event-driven scheduler must reproduce the
+// synchronous engine: same per-iteration aggregation inputs, hence the same
+// learning trajectory and the same cumulative byte ledger.
+func TestAsyncMatchesSyncDegenerate(t *testing.T) {
+	const rounds = 20
+	sync := runAlgo(t, algoJWINS, rounds)
+	async := runAsync(t, algoJWINS, rounds, nil)
+
+	if len(async.Rounds) != len(sync.Rounds) {
+		t.Fatalf("row counts differ: async %d, sync %d", len(async.Rounds), len(sync.Rounds))
+	}
+	for i := range sync.Rounds {
+		s, a := sync.Rounds[i], async.Rounds[i]
+		if a.CumTotalBytes != s.CumTotalBytes || a.CumMetaBytes != s.CumMetaBytes {
+			t.Fatalf("round %d bytes differ: async (%d,%d), sync (%d,%d)",
+				i, a.CumTotalBytes, a.CumMetaBytes, s.CumTotalBytes, s.CumMetaBytes)
+		}
+		if math.Abs(a.TrainLoss-s.TrainLoss) > 1e-9*(1+math.Abs(s.TrainLoss)) {
+			t.Fatalf("round %d train loss differs: async %v, sync %v", i, a.TrainLoss, s.TrainLoss)
+		}
+	}
+	// The acceptance bound: accuracy within 0.5 pp. With the barrier policy
+	// the trajectories are identical so this is usually exact.
+	if math.Abs(async.FinalAccuracy-sync.FinalAccuracy) > 0.005 {
+		t.Fatalf("final accuracy diverged: async %.4f, sync %.4f", async.FinalAccuracy, sync.FinalAccuracy)
+	}
+}
+
+// TestAsyncDeterministicTrace: same seed, same config => identical event
+// trace (kind, time, node, sender, iteration) and identical final metrics.
+func TestAsyncDeterministicTrace(t *testing.T) {
+	type traceEntry struct {
+		Time       float64
+		Kind       EventKind
+		Node, From int
+		Iter       int
+	}
+	capture := func() ([]traceEntry, *Result) {
+		var trace []traceEntry
+		eng := asyncEngineFor(t, algoJWINS, 8, func(cfg *AsyncConfig) {
+			cfg.Het = Heterogeneity{ComputeSpread: 0.4, BandwidthSpread: 0.3, LatencySpread: 0.2, Seed: 5}
+			cfg.Churn = GenerateChurn(8, 0.25, 0.02, 0.2, 0.1, 77)
+			cfg.DropProb = 0.1
+			cfg.FaultSeed = 3
+			cfg.OnEvent = func(ev Event) {
+				trace = append(trace, traceEntry{ev.Time, ev.Kind, ev.Node, ev.From, ev.Iter})
+			}
+		})
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace, res
+	}
+	traceA, resA := capture()
+	traceB, resB := capture()
+	if len(traceA) == 0 {
+		t.Fatal("no events traced")
+	}
+	if len(traceA) != len(traceB) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(traceA), len(traceB))
+	}
+	for i := range traceA {
+		if traceA[i] != traceB[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, traceA[i], traceB[i])
+		}
+	}
+	if resA.TotalBytes != resB.TotalBytes || resA.FinalAccuracy != resB.FinalAccuracy || resA.SimTime != resB.SimTime {
+		t.Fatalf("results differ: %+v vs %+v", resA, resB)
+	}
+}
+
+// TestAsyncStragglersSlowOnlyNeighbors: a heavy compute tail must stretch
+// simulated time, and the run must still learn.
+func TestAsyncStragglersStretchTime(t *testing.T) {
+	base := runAsync(t, algoFull, 12, nil)
+	straggled := runAsync(t, algoFull, 12, func(cfg *AsyncConfig) {
+		cfg.Het = Heterogeneity{ComputeSpread: 1.0, Seed: 11}
+	})
+	if straggled.SimTime <= base.SimTime {
+		t.Fatalf("stragglers did not stretch sim time: %v <= %v", straggled.SimTime, base.SimTime)
+	}
+	if straggled.FinalAccuracy < 0.55 {
+		t.Fatalf("straggled run failed to learn: %.2f", straggled.FinalAccuracy)
+	}
+}
+
+// TestAsyncChurnJWINSSurvives: a third of the nodes leave and rejoin mid-run
+// under the barrier policy; partial-sharing averaging must keep converging.
+func TestAsyncChurnJWINSSurvives(t *testing.T) {
+	res := runAsync(t, algoJWINS, 30, func(cfg *AsyncConfig) {
+		cfg.Churn = GenerateChurn(8, 0.33, 0.05, 0.5, 0.2, 13)
+	})
+	if res.FinalAccuracy < 0.5 {
+		t.Fatalf("JWINS under churn reached only %.2f", res.FinalAccuracy)
+	}
+	if len(res.Rounds) != 30 {
+		t.Fatalf("run did not complete all rows: %d/30", len(res.Rounds))
+	}
+}
+
+// TestAsyncGossipLearns: the non-blocking policy mixes stale models but must
+// still converge on the degenerate (homogeneous) task.
+func TestAsyncGossipLearns(t *testing.T) {
+	res := runAsync(t, algoFull, 30, func(cfg *AsyncConfig) {
+		cfg.Gossip = true
+		cfg.Het = Heterogeneity{ComputeSpread: 0.5, Seed: 21}
+	})
+	if res.FinalAccuracy < 0.5 {
+		t.Fatalf("gossip policy reached only %.2f", res.FinalAccuracy)
+	}
+}
+
+// TestAsyncMeshAccounting: routing through the in-memory mesh must leave the
+// engine's ledger equal to the mesh's own wire counters.
+func TestAsyncMeshAccounting(t *testing.T) {
+	eng := asyncEngineFor(t, algoFull, 5, nil)
+	mesh := transport.NewInMemory(len(eng.Nodes))
+	defer mesh.Close()
+	eng.Mesh = mesh
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire int64
+	for i := range eng.Nodes {
+		wire += mesh.SentBytes(i)
+	}
+	if wire != res.TotalBytes {
+		t.Fatalf("ledger says %d bytes, mesh says %d", res.TotalBytes, wire)
+	}
+}
+
+// TestAsyncMeshTransparency: a mesh-routed run must produce exactly the same
+// learning trajectory and ledger as direct delivery, even when heterogeneity
+// and churn reorder simulated deliveries relative to mesh send order (the
+// meshFetch pairing must match on iteration, not just sender).
+func TestAsyncMeshTransparency(t *testing.T) {
+	run := func(withMesh bool) *Result {
+		eng := asyncEngineFor(t, algoJWINS, 12, func(cfg *AsyncConfig) {
+			cfg.Het = Heterogeneity{ComputeSpread: 0.6, BandwidthSpread: 0.5, Seed: 41}
+			cfg.Churn = GenerateChurn(8, 0.25, 0.02, 0.2, 0.1, 43)
+		})
+		if withMesh {
+			mesh := transport.NewInMemoryBuffered(len(eng.Nodes), 256)
+			defer mesh.Close()
+			eng.Mesh = mesh
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	direct := run(false)
+	meshed := run(true)
+	if direct.TotalBytes != meshed.TotalBytes || direct.FinalAccuracy != meshed.FinalAccuracy {
+		t.Fatalf("mesh routing changed the run: direct (%d bytes, %.4f), meshed (%d bytes, %.4f)",
+			direct.TotalBytes, direct.FinalAccuracy, meshed.TotalBytes, meshed.FinalAccuracy)
+	}
+	for i := range direct.Rounds {
+		if direct.Rounds[i].TrainLoss != meshed.Rounds[i].TrainLoss {
+			t.Fatalf("round %d train loss differs under mesh routing", i)
+		}
+	}
+}
+
+// TestAsyncSimTimeMonotone: emitted rows must carry non-decreasing simulated
+// timestamps even under churn and heterogeneity.
+func TestAsyncSimTimeMonotone(t *testing.T) {
+	res := runAsync(t, algoFull, 15, func(cfg *AsyncConfig) {
+		cfg.Het = Heterogeneity{ComputeSpread: 0.6, BandwidthSpread: 0.4, Seed: 31}
+		cfg.Churn = GenerateChurn(8, 0.25, 0.05, 0.3, 0.1, 33)
+	})
+	prev := -1.0
+	for _, rm := range res.Rounds {
+		if rm.SimTime < prev {
+			t.Fatalf("sim time regressed: %v after %v", rm.SimTime, prev)
+		}
+		prev = rm.SimTime
+	}
+}
+
+// TestAsyncValidation: bad configurations must error, not hang.
+func TestAsyncValidation(t *testing.T) {
+	eng := &AsyncEngine{}
+	if _, err := eng.Run(); err == nil {
+		t.Fatal("empty async engine accepted")
+	}
+	eng2 := asyncEngineFor(t, algoFull, 3, func(cfg *AsyncConfig) {
+		cfg.Profiles = make([]NodeProfile, 2) // wrong length
+	})
+	if _, err := eng2.Run(); err == nil {
+		t.Fatal("profile length mismatch accepted")
+	}
+	eng3 := asyncEngineFor(t, algoFull, 3, func(cfg *AsyncConfig) {
+		cfg.Churn = []ChurnEvent{{Time: 0.01, Node: 99}} // out of range
+	})
+	if _, err := eng3.Run(); err == nil {
+		t.Fatal("out-of-range churn node accepted")
+	}
+}
+
+// TestSampleProfilesDegenerate: zero spreads must reproduce the base config
+// exactly, and sampling must be deterministic in the seed.
+func TestSampleProfilesDegenerate(t *testing.T) {
+	base := Config{}
+	base.setDefaults()
+	flat := SampleProfiles(4, Config{}, Heterogeneity{})
+	for i, p := range flat {
+		if p.ComputeSecPerStep != base.ComputeSecPerStep ||
+			p.BandwidthBytesPerSec != base.BandwidthBytesPerSec ||
+			p.LatencySec != base.LatencySec {
+			t.Fatalf("profile %d deviates from base without heterogeneity: %+v", i, p)
+		}
+	}
+	het := Heterogeneity{ComputeSpread: 0.5, Seed: 9}
+	a := SampleProfiles(4, Config{}, het)
+	b := SampleProfiles(4, Config{}, het)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("profile sampling not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	varied := false
+	for i := 1; i < len(a); i++ {
+		if a[i].ComputeSecPerStep != a[0].ComputeSecPerStep {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("nonzero spread produced identical profiles")
+	}
+}
+
+// TestGenerateChurnShape: trace is seeded, paired (leave before rejoin), and
+// sized by the requested fraction.
+func TestGenerateChurnShape(t *testing.T) {
+	tr := GenerateChurn(16, 0.25, 1, 10, 2, 5)
+	if len(tr) != 8 { // 4 victims x (leave + join)
+		t.Fatalf("expected 8 events, got %d", len(tr))
+	}
+	leaves := map[int]float64{}
+	for _, ev := range tr {
+		if !ev.Join {
+			if ev.Time < 1 || ev.Time >= 10 {
+				t.Fatalf("leave time %v outside [1,10)", ev.Time)
+			}
+			leaves[ev.Node] = ev.Time
+		}
+	}
+	for _, ev := range tr {
+		if ev.Join {
+			left, ok := leaves[ev.Node]
+			if !ok {
+				t.Fatalf("node %d rejoins without leaving", ev.Node)
+			}
+			if ev.Time <= left {
+				t.Fatalf("node %d rejoins at %v before leaving at %v", ev.Node, ev.Time, left)
+			}
+		}
+	}
+	again := GenerateChurn(16, 0.25, 1, 10, 2, 5)
+	for i := range tr {
+		if tr[i] != again[i] {
+			t.Fatalf("churn trace not deterministic at %d", i)
+		}
+	}
+	if got := GenerateChurn(16, 0, 1, 10, 2, 5); got != nil {
+		t.Fatalf("zero fraction should yield nil trace, got %v", got)
+	}
+}

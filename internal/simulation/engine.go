@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -149,7 +148,7 @@ func (e *Engine) Run() (*Result, error) {
 	}
 
 	res := &Result{RoundsToTarget: -1}
-	var cumTotal, cumModel, cumMeta int64
+	var ledger byteLedger
 	simTime := 0.0
 
 	payloads := make([][]byte, n)
@@ -180,13 +179,11 @@ func (e *Engine) Run() (*Result, error) {
 				breakdowns[i] = codec.ByteBreakdown{}
 				return nil
 			}
-			losses[i] = e.Nodes[i].LocalTrain()
-			p, bd, err := e.Nodes[i].Share(round)
+			loss, p, bd, err := trainShare(e.Nodes[i], round)
 			if err != nil {
 				return fmt.Errorf("node %d share: %w", i, err)
 			}
-			payloads[i] = p
-			breakdowns[i] = bd
+			losses[i], payloads[i], breakdowns[i] = loss, p, bd
 			return nil
 		}); err != nil {
 			return nil, err
@@ -213,7 +210,12 @@ func (e *Engine) Run() (*Result, error) {
 					continue // sender pays for the bytes; receiver never sees them
 				}
 				if e.Mesh != nil {
-					if err := e.Mesh.Send(transport.Message{From: i, To: j, Round: round, Payload: payloads[i]}); err != nil {
+					// The synchronous schedule delivers within the round, so
+					// both timestamps carry the round clock.
+					if err := e.Mesh.Send(transport.Message{
+						From: i, To: j, Round: round, Payload: payloads[i],
+						SentAt: simTime, ArriveAt: simTime,
+					}); err != nil {
 						return nil, fmt.Errorf("simulation: send %d->%d: %w", i, j, err)
 					}
 					expect[j]++
@@ -221,10 +223,7 @@ func (e *Engine) Run() (*Result, error) {
 					inbox[j][i] = payloads[i]
 				}
 			}
-			sent := sentTo * int64(len(payloads[i])+transport.FrameOverhead)
-			cumTotal += sent
-			cumModel += sentTo * int64(breakdowns[i].Model)
-			cumMeta += sentTo * int64(breakdowns[i].Meta+transport.FrameOverhead)
+			sent := ledger.addSend(breakdowns[i], len(payloads[i]), sentTo)
 			if sent > maxNodeBytes {
 				maxNodeBytes = sent
 			}
@@ -264,11 +263,11 @@ func (e *Engine) Run() (*Result, error) {
 			TrainLoss:     mean(losses),
 			TestLoss:      math.NaN(),
 			TestAcc:       math.NaN(),
-			CumTotalBytes: cumTotal,
-			CumModelBytes: cumModel,
-			CumMetaBytes:  cumMeta,
+			CumTotalBytes: ledger.total,
+			CumModelBytes: ledger.model,
+			CumMetaBytes:  ledger.meta,
 			SimTime:       simTime,
-			MeanAlpha:     e.meanAlpha(),
+			MeanAlpha:     meanAlphaOf(e.Nodes),
 		}
 
 		if round%cfg.EvalEvery == cfg.EvalEvery-1 || round == cfg.Rounds-1 {
@@ -277,7 +276,7 @@ func (e *Engine) Run() (*Result, error) {
 			res.FinalAccuracy, res.FinalLoss = acc, loss
 			if cfg.TargetAccuracy > 0 && acc >= cfg.TargetAccuracy && res.RoundsToTarget < 0 {
 				res.RoundsToTarget = round + 1
-				res.BytesToTarget = cumTotal
+				res.BytesToTarget = ledger.total
 				res.TimeToTarget = simTime
 			}
 		}
@@ -289,10 +288,10 @@ func (e *Engine) Run() (*Result, error) {
 			break
 		}
 	}
-	res.TotalBytes, res.ModelBytes, res.MetaBytes = cumTotal, cumModel, cumMeta
+	res.TotalBytes, res.ModelBytes, res.MetaBytes = ledger.total, ledger.model, ledger.meta
 	res.SimTime = simTime
 	if res.RoundsToTarget < 0 {
-		res.BytesToTarget = cumTotal
+		res.BytesToTarget = ledger.total
 		res.TimeToTarget = simTime
 	}
 	return res, nil
@@ -301,95 +300,11 @@ func (e *Engine) Run() (*Result, error) {
 // Evaluate returns mean test loss and accuracy over the evaluated nodes.
 func (e *Engine) Evaluate(cfg Config) (loss, acc float64) {
 	cfg.setDefaults()
-	k := len(e.Nodes)
-	if cfg.EvalNodes > 0 && cfg.EvalNodes < k {
-		k = cfg.EvalNodes
-	}
-	lossSum := make([]float64, k)
-	accSum := make([]float64, k)
-	_ = e.parallel(cfg.Parallelism, func(i int) error {
-		if i >= k {
-			return nil
-		}
-		l, a := datasets.Evaluate(e.TestSet, e.Nodes[i].Model(), cfg.EvalBatch, cfg.EvalMaxSamples)
-		lossSum[i], accSum[i] = l, a
-		return nil
-	})
-	return mean(lossSum), mean(accSum)
-}
-
-// meanAlpha averages LastAlpha over JWINS nodes (NaN if none).
-func (e *Engine) meanAlpha() float64 {
-	var sum float64
-	count := 0
-	for _, nd := range e.Nodes {
-		if j, ok := nd.(*core.JWINSNode); ok {
-			sum += j.LastAlpha
-			count++
-		}
-	}
-	if count == 0 {
-		return math.NaN()
-	}
-	return sum / float64(count)
+	return evaluateNodes(e.Nodes, e.TestSet, cfg)
 }
 
 // parallel runs fn(i) for every node index with bounded concurrency and
 // returns the first error.
 func (e *Engine) parallel(limit int, fn func(i int) error) error {
-	n := len(e.Nodes)
-	if limit > n {
-		limit = n
-	}
-	if limit <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, limit)
-	errCh := make(chan error, n)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := fn(i); err != nil {
-				errCh <- err
-			}
-		}(i)
-	}
-	wg.Wait()
-	close(errCh)
-	return <-errCh
-}
-
-// mean averages the non-NaN entries (offline nodes report NaN losses).
-func mean(x []float64) float64 {
-	var s float64
-	count := 0
-	for _, v := range x {
-		if math.IsNaN(v) {
-			continue
-		}
-		s += v
-		count++
-	}
-	if count == 0 {
-		return math.NaN()
-	}
-	return s / float64(count)
-}
-
-// localSteps peeks the per-round local step count for the time model.
-func localSteps(n core.Node) int {
-	type stepper interface{ LocalStepCount() int }
-	if s, ok := n.(stepper); ok {
-		return s.LocalStepCount()
-	}
-	return 1
+	return parallelFor(len(e.Nodes), limit, fn)
 }

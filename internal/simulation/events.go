@@ -1,0 +1,95 @@
+// events.go defines the event vocabulary and priority queue of the
+// event-driven scheduler in async.go. Events are ordered by simulated time
+// with a monotone sequence number as tie-break, so same-instant events are
+// processed in push order and whole runs are reproducible from a seed.
+package simulation
+
+import "fmt"
+
+// EventKind enumerates the scheduler's event types.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventTrainDone fires when a node finishes its local SGD phase; the
+	// scheduler then runs train+share and broadcasts the payload.
+	EventTrainDone EventKind = iota
+	// EventArrival fires when a payload (or the knowledge that it was
+	// dropped) reaches its receiver.
+	EventArrival
+	// EventLeave removes a node from the live set (churn).
+	EventLeave
+	// EventJoin returns a node to the live set (churn).
+	EventJoin
+)
+
+// String implements fmt.Stringer for trace output.
+func (k EventKind) String() string {
+	switch k {
+	case EventTrainDone:
+		return "train-done"
+	case EventArrival:
+		return "arrival"
+	case EventLeave:
+		return "leave"
+	case EventJoin:
+		return "join"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry in the async scheduler's queue. The exported fields are
+// visible to trace hooks (AsyncConfig.OnEvent); payload and generation are
+// scheduler-internal.
+type Event struct {
+	// Time is the simulated timestamp in seconds.
+	Time float64
+	// Seq breaks ties deterministically: same-time events process in the
+	// order they were pushed.
+	Seq int64
+	// Kind is the event type.
+	Kind EventKind
+	// Node is the subject: the trainer, receiver, leaver, or joiner.
+	Node int
+	// From is the sender id (EventArrival only).
+	From int
+	// Iter is the sender's local iteration for arrivals, or the node's
+	// iteration for train-done events.
+	Iter int
+	// Dropped marks an arrival whose payload was lost in flight: the
+	// receiver learns it should stop waiting, but gets no bytes (the sync
+	// engine's drop semantics, where senders still pay for the bytes).
+	Dropped bool
+
+	payload []byte
+	gen     int // node generation; events from before a leave/join are stale
+}
+
+// eventQueue is a binary min-heap over (Time, Seq). It implements
+// container/heap.Interface.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].Time != q[j].Time {
+		return q[i].Time < q[j].Time
+	}
+	return q[i].Seq < q[j].Seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push implements heap.Interface.
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*Event)) }
+
+// Pop implements heap.Interface.
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

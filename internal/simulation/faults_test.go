@@ -1,6 +1,7 @@
 package simulation
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/topology"
@@ -88,5 +89,75 @@ func TestDropsReduceBytes(t *testing.T) {
 	churned := runWithFaults(t, algoFull, 10, 0, 0.3)
 	if churned.TotalBytes >= clean.TotalBytes {
 		t.Fatalf("churned run sent %d bytes >= clean %d", churned.TotalBytes, clean.TotalBytes)
+	}
+}
+
+// TestAsyncFaultMatrix is the event-driven counterpart of the coin-flip fault
+// tests above: churn traces, straggler tails, and in-flight drops, table
+// driven across algorithms and severities. Each scenario must finish its full
+// iteration budget and stay above a floor accuracy (or, for the adversarial
+// CHOCO rows, is only required to complete without NaNs — the degradation
+// contrast itself is asserted by TestAsyncChocoVsJWINSUnderChurn).
+func TestAsyncFaultMatrix(t *testing.T) {
+	const rounds = 30
+	cases := []struct {
+		name     string
+		kind     algo
+		churn    float64 // fraction of nodes cycling out and back
+		compute  float64 // lognormal sigma on per-step compute time
+		drop     float64 // per-message drop probability
+		gossip   bool
+		minAcc   float64 // 0 = only require completion
+		wantRows int
+	}{
+		{name: "jwins/light-churn", kind: algoJWINS, churn: 0.15, minAcc: 0.5, wantRows: rounds},
+		{name: "jwins/heavy-churn", kind: algoJWINS, churn: 0.4, minAcc: 0.45, wantRows: rounds},
+		{name: "jwins/stragglers", kind: algoJWINS, compute: 1.2, minAcc: 0.5, wantRows: rounds},
+		{name: "jwins/churn+stragglers+drops", kind: algoJWINS, churn: 0.25, compute: 0.8, drop: 0.1, minAcc: 0.45, wantRows: rounds},
+		{name: "full/churn", kind: algoFull, churn: 0.25, minAcc: 0.5, wantRows: rounds},
+		{name: "full/gossip-stragglers", kind: algoFull, compute: 0.8, gossip: true, minAcc: 0.45, wantRows: rounds},
+		{name: "choco/churn-completes", kind: algoChoco, churn: 0.25, minAcc: 0, wantRows: rounds},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res := runAsync(t, tc.kind, rounds, func(cfg *AsyncConfig) {
+				if tc.churn > 0 {
+					cfg.Churn = GenerateChurn(8, tc.churn, 0.05, 0.5, 0.2, 17)
+				}
+				if tc.compute > 0 {
+					cfg.Het = Heterogeneity{ComputeSpread: tc.compute, Seed: 19}
+				}
+				cfg.DropProb = tc.drop
+				cfg.FaultSeed = 23
+				cfg.Gossip = tc.gossip
+			})
+			if len(res.Rounds) != tc.wantRows {
+				t.Fatalf("completed %d/%d rows", len(res.Rounds), tc.wantRows)
+			}
+			if math.IsNaN(res.FinalAccuracy) {
+				t.Fatal("run produced NaN accuracy")
+			}
+			if tc.minAcc > 0 && res.FinalAccuracy < tc.minAcc {
+				t.Fatalf("accuracy %.2f below floor %.2f", res.FinalAccuracy, tc.minAcc)
+			}
+		})
+	}
+}
+
+// TestAsyncChocoVsJWINSUnderChurn documents the paper's flexibility contrast
+// under the event-driven scheduler: when nodes leave and rejoin, CHOCO's
+// error-feedback replicas desynchronize while JWINS's partial-sharing
+// averaging renormalizes, so CHOCO must not come out meaningfully ahead.
+func TestAsyncChocoVsJWINSUnderChurn(t *testing.T) {
+	churn := func(cfg *AsyncConfig) {
+		cfg.Churn = GenerateChurn(8, 0.33, 0.05, 0.5, 0.25, 29)
+	}
+	jwins := runAsync(t, algoJWINS, 30, churn)
+	choco := runAsync(t, algoChoco, 30, churn)
+	t.Logf("async churn: jwins %.2f vs choco %.2f", jwins.FinalAccuracy, choco.FinalAccuracy)
+	if choco.FinalAccuracy > jwins.FinalAccuracy+0.05 {
+		t.Fatalf("expected CHOCO (%.2f) to degrade at least as much as JWINS (%.2f) under churn",
+			choco.FinalAccuracy, jwins.FinalAccuracy)
 	}
 }

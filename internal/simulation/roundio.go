@@ -1,0 +1,134 @@
+// roundio.go is the I/O layer shared by the synchronous round engine and the
+// event-driven async scheduler: per-node train+share execution, cumulative
+// byte accounting, fleet evaluation, and bounded-concurrency fan-out. Both
+// engines express their schedules in terms of these primitives so that byte
+// ledgers and metrics stay comparable across execution modes.
+package simulation
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/transport"
+)
+
+// byteLedger accumulates the cumulative model/metadata byte split. Senders
+// pay for every neighbor copy (payload + framing), mirroring the paper's
+// per-node uplink accounting.
+type byteLedger struct {
+	total, model, meta int64
+}
+
+// addSend charges one sender for `receivers` copies of a payload and returns
+// the bytes charged.
+func (l *byteLedger) addSend(bd codec.ByteBreakdown, payloadLen int, receivers int64) int64 {
+	sent := receivers * int64(payloadLen+transport.FrameOverhead)
+	l.total += sent
+	l.model += receivers * int64(bd.Model)
+	l.meta += receivers * int64(bd.Meta+transport.FrameOverhead)
+	return sent
+}
+
+// trainShare runs one node's local-training phase and builds its broadcast
+// payload for the given round/iteration.
+func trainShare(nd core.Node, round int) (loss float64, payload []byte, bd codec.ByteBreakdown, err error) {
+	loss = nd.LocalTrain()
+	payload, bd, err = nd.Share(round)
+	return loss, payload, bd, err
+}
+
+// evaluateNodes returns mean test loss and accuracy over the first k nodes
+// (k capped by cfg.EvalNodes when set), with bounded parallelism.
+func evaluateNodes(nodes []core.Node, testSet *datasets.Dataset, cfg Config) (loss, acc float64) {
+	k := len(nodes)
+	if cfg.EvalNodes > 0 && cfg.EvalNodes < k {
+		k = cfg.EvalNodes
+	}
+	lossSum := make([]float64, k)
+	accSum := make([]float64, k)
+	_ = parallelFor(k, cfg.Parallelism, func(i int) error {
+		l, a := datasets.Evaluate(testSet, nodes[i].Model(), cfg.EvalBatch, cfg.EvalMaxSamples)
+		lossSum[i], accSum[i] = l, a
+		return nil
+	})
+	return mean(lossSum), mean(accSum)
+}
+
+// meanAlphaOf averages LastAlpha over JWINS nodes (NaN if none) — the
+// Figure 3 sharing-fraction series.
+func meanAlphaOf(nodes []core.Node) float64 {
+	var sum float64
+	count := 0
+	for _, nd := range nodes {
+		if j, ok := nd.(*core.JWINSNode); ok {
+			sum += j.LastAlpha
+			count++
+		}
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return sum / float64(count)
+}
+
+// parallelFor runs fn(i) for i in [0, n) with bounded concurrency and
+// returns the first error.
+func parallelFor(n, limit int, fn func(i int) error) error {
+	if limit > n {
+		limit = n
+	}
+	if limit <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, limit)
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(i); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// mean averages the non-NaN entries (offline nodes report NaN losses).
+func mean(x []float64) float64 {
+	var s float64
+	count := 0
+	for _, v := range x {
+		if math.IsNaN(v) {
+			continue
+		}
+		s += v
+		count++
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return s / float64(count)
+}
+
+// localSteps peeks the per-round local step count for the time model.
+func localSteps(n core.Node) int {
+	type stepper interface{ LocalStepCount() int }
+	if s, ok := n.(stepper); ok {
+		return s.LocalStepCount()
+	}
+	return 1
+}

@@ -282,6 +282,88 @@ func NewStatic(g *Graph) *Static {
 // Round implements Provider.
 func (s *Static) Round(int) (*Graph, []Weights) { return s.G, s.W }
 
+// Induced returns the subgraph of g induced by the live set: node ids are
+// preserved, but every edge with a dead endpoint is removed, so dead nodes
+// become isolated vertices. The async engine uses this to shrink and grow the
+// active communication graph as nodes leave and rejoin mid-run.
+func Induced(g *Graph, live []bool) *Graph {
+	out := &Graph{N: g.N, Adj: make([][]int, g.N)}
+	for i := 0; i < g.N; i++ {
+		if i < len(live) && !live[i] {
+			continue
+		}
+		adj := make([]int, 0, len(g.Adj[i]))
+		for _, j := range g.Adj[i] {
+			if j >= len(live) || live[j] {
+				adj = append(adj, j)
+			}
+		}
+		out.Adj[i] = adj
+	}
+	return out
+}
+
+// Masked wraps a Provider and restricts every round's graph to the currently
+// live nodes, recomputing Metropolis-Hastings weights on the induced
+// subgraph. Rows of dead nodes are empty with Self == 1, so a rejoining node
+// that has not yet re-earned edges simply keeps its own model.
+type Masked struct {
+	Base Provider
+
+	live []bool
+	// cache keyed by (round, liveVersion) so repeated queries within an epoch
+	// don't rebuild the induced graph.
+	liveVersion int
+	cachedRound int
+	cachedVer   int
+	cachedG     *Graph
+	cachedW     []Weights
+}
+
+// NewMasked builds a masked provider with all n nodes initially live.
+func NewMasked(base Provider, n int) *Masked {
+	live := make([]bool, n)
+	for i := range live {
+		live[i] = true
+	}
+	return &Masked{Base: base, live: live, cachedRound: -1, cachedVer: -1}
+}
+
+// SetLive flips one node's liveness, invalidating the cached subgraph.
+func (m *Masked) SetLive(node int, alive bool) {
+	if m.live[node] == alive {
+		return
+	}
+	m.live[node] = alive
+	m.liveVersion++
+}
+
+// Live reports whether node is currently live.
+func (m *Masked) Live(node int) bool { return m.live[node] }
+
+// NumLive counts the live nodes.
+func (m *Masked) NumLive() int {
+	n := 0
+	for _, a := range m.live {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Round implements Provider over the live-induced subgraph.
+func (m *Masked) Round(t int) (*Graph, []Weights) {
+	if t == m.cachedRound && m.liveVersion == m.cachedVer {
+		return m.cachedG, m.cachedW
+	}
+	base, _ := m.Base.Round(t)
+	g := Induced(base, m.live)
+	m.cachedG, m.cachedW = g, MetropolisHastings(g)
+	m.cachedRound, m.cachedVer = t, m.liveVersion
+	return m.cachedG, m.cachedW
+}
+
 // Dynamic regenerates a random d-regular graph every round, modelling the
 // paper's dynamic-topology experiment (randomized neighbors each round).
 type Dynamic struct {

@@ -239,3 +239,91 @@ func TestQuickRegularAlwaysValid(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestInducedSubgraph(t *testing.T) {
+	g, err := Regular(10, 4, vec.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make([]bool, 10)
+	for i := range live {
+		live[i] = true
+	}
+	live[2], live[7] = false, false
+	sub := Induced(g, live)
+	if sub.N != g.N {
+		t.Fatalf("induced graph renumbered nodes: N=%d", sub.N)
+	}
+	if sub.Degree(2) != 0 || sub.Degree(7) != 0 {
+		t.Fatal("dead nodes kept edges")
+	}
+	for i := 0; i < 10; i++ {
+		for _, j := range sub.Neighbors(i) {
+			if !live[i] || !live[j] {
+				t.Fatalf("edge {%d,%d} touches a dead node", i, j)
+			}
+			if !g.HasEdge(i, j) {
+				t.Fatalf("induced edge {%d,%d} not in base graph", i, j)
+			}
+		}
+	}
+	// Edges between live nodes are preserved.
+	for i := 0; i < 10; i++ {
+		if !live[i] {
+			continue
+		}
+		for _, j := range g.Neighbors(i) {
+			if live[j] && !sub.HasEdge(i, j) {
+				t.Fatalf("live edge {%d,%d} lost", i, j)
+			}
+		}
+	}
+}
+
+func TestMaskedProviderWeights(t *testing.T) {
+	g, err := Regular(8, 4, vec.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMasked(NewStatic(g), 8)
+	if m.NumLive() != 8 {
+		t.Fatalf("expected 8 live nodes, got %d", m.NumLive())
+	}
+	full, fullW := m.Round(0)
+	if full.NumEdges() != g.NumEdges() {
+		t.Fatal("fully live mask altered the graph")
+	}
+	for i, w := range fullW {
+		sum := w.Self
+		for _, v := range w.Neighbor {
+			sum += v
+		}
+		if d := sum - 1; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("row %d weights sum to %v", i, sum)
+		}
+	}
+
+	m.SetLive(3, false)
+	if m.Live(3) || m.NumLive() != 7 {
+		t.Fatal("SetLive(3,false) not reflected")
+	}
+	sub, w := m.Round(0)
+	if sub.Degree(3) != 0 {
+		t.Fatal("dead node kept edges in masked round")
+	}
+	if w[3].Self != 1 || len(w[3].Neighbor) != 0 {
+		t.Fatalf("dead node weight row should be self-only, got %+v", w[3])
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok := w[i].Neighbor[3]; ok {
+			t.Fatalf("node %d still mixes with dead node 3", i)
+		}
+	}
+
+	// Rejoining restores the original subgraph (cache must invalidate).
+	m.SetLive(3, true)
+	back, _ := m.Round(0)
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatal("rejoin did not restore edges")
+	}
+}

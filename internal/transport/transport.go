@@ -19,6 +19,15 @@ type Message struct {
 	From, To int
 	Round    int
 	Payload  []byte
+
+	// SentAt and ArriveAt are simulated-clock timestamps (seconds) stamped by
+	// the engines: the synchronous engine stamps both with the round clock,
+	// the event-driven engine stamps the sender's transmit-start time and the
+	// scheduled delivery time (latency + uplink serialization). They are
+	// simulation metadata, not wire bytes — the TCP mesh's frame format (and
+	// therefore FrameOverhead and all byte accounting) is unchanged, so
+	// timestamps do not survive a socket hop.
+	SentAt, ArriveAt float64
 }
 
 // FrameOverhead is the per-message framing cost in bytes (length + from +
@@ -47,16 +56,29 @@ type InMemory struct {
 	sent   []atomic.Int64
 	closed atomic.Bool
 	once   sync.Once
+	// mu serializes Send against Close: senders hold the read side so Close
+	// cannot close a queue between a sender's closed-check and its channel
+	// send (a send on a closed channel panics).
+	mu sync.RWMutex
 }
 
 var _ Mesh = (*InMemory)(nil)
 
 // NewInMemory builds a mesh for n nodes. Queues are buffered so that a full
-// round of sends (every node to every neighbor) never blocks.
+// synchronous round of sends (every node to every neighbor) never blocks.
+// Event-driven schedules can hold more messages in flight (sends happen at
+// broadcast time, receives only at simulated delivery time); size those
+// meshes explicitly with NewInMemoryBuffered.
 func NewInMemory(n int) *InMemory {
+	return NewInMemoryBuffered(n, 4*n+16)
+}
+
+// NewInMemoryBuffered builds a mesh whose per-node queues hold perQueue
+// undelivered messages before Send reports a full queue.
+func NewInMemoryBuffered(n, perQueue int) *InMemory {
 	m := &InMemory{n: n, queues: make([]chan Message, n), sent: make([]atomic.Int64, n)}
 	for i := range m.queues {
-		m.queues[i] = make(chan Message, 4*n+16)
+		m.queues[i] = make(chan Message, perQueue)
 	}
 	return m
 }
@@ -66,6 +88,8 @@ func (m *InMemory) Send(msg Message) error {
 	if msg.To < 0 || msg.To >= m.n || msg.From < 0 || msg.From >= m.n {
 		return fmt.Errorf("transport: node id out of range in %d->%d", msg.From, msg.To)
 	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if m.closed.Load() {
 		return ErrClosed
 	}
@@ -99,10 +123,12 @@ func (m *InMemory) SentBytes(node int) int64 { return m.sent[node].Load() }
 // Close implements Mesh.
 func (m *InMemory) Close() error {
 	m.once.Do(func() {
+		m.mu.Lock()
 		m.closed.Store(true)
 		for _, q := range m.queues {
 			close(q)
 		}
+		m.mu.Unlock()
 	})
 	return nil
 }
@@ -124,6 +150,10 @@ type TCP struct {
 	sent     atomic.Int64
 	closed   atomic.Bool
 	wg       sync.WaitGroup
+	// inboxMu serializes loopback Sends against Close's close(inbox): the
+	// self-delivery path is not covered by wg (unlike readLoops), so without
+	// it a concurrent Close could close the channel mid-send and panic.
+	inboxMu sync.RWMutex
 }
 
 var _ Mesh = (*TCP)(nil)
@@ -238,9 +268,15 @@ func (t *TCP) Send(msg Message) error {
 	if msg.To == t.id {
 		cp := make([]byte, len(msg.Payload))
 		copy(cp, msg.Payload)
+		msg.Payload = cp
+		t.inboxMu.RLock()
+		defer t.inboxMu.RUnlock()
+		if t.closed.Load() {
+			return ErrClosed
+		}
 		t.sent.Add(int64(len(cp) + FrameOverhead))
 		select {
-		case t.inbox <- Message{From: msg.From, To: msg.To, Round: msg.Round, Payload: cp}:
+		case t.inbox <- msg:
 			return nil
 		case <-t.done:
 			return ErrClosed
@@ -301,6 +337,8 @@ func (t *TCP) Close() error {
 	}
 	t.mu.Unlock()
 	t.wg.Wait()
+	t.inboxMu.Lock()
 	close(t.inbox)
+	t.inboxMu.Unlock()
 	return err
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -244,5 +245,131 @@ func TestTCPCloseUnblocksRecv(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("Recv did not unblock on close")
+	}
+}
+
+// TestInMemorySendCloseRace hammers Send from many goroutines while Close
+// fires concurrently. Before Send/Close were serialized, this panicked with
+// "send on closed channel" when Close won the race between a sender's
+// closed-check and its channel send.
+func TestInMemorySendCloseRace(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		m := NewInMemory(4)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for k := 0; ; k++ {
+					err := m.Send(Message{From: g % 4, To: (g + 1) % 4, Payload: []byte{1}})
+					if err == ErrClosed {
+						return
+					}
+					if err != nil && k > 1024 {
+						return // queue full near close; good enough
+					}
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runtime.Gosched()
+			m.Close()
+		}()
+		wg.Wait()
+	}
+}
+
+// TestTCPSelfSendCloseRace: the loopback fast path bypasses the socket (and
+// the reader WaitGroup), so it needs its own serialization against Close.
+func TestTCPSelfSendCloseRace(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		ep, err := NewTCP(0, []string{"127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if err := ep.Send(Message{From: 0, To: 0, Payload: []byte{2}}); err != nil {
+						return
+					}
+					// Drain so the inbox never fills.
+					if _, err := ep.Recv(0); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runtime.Gosched()
+			ep.Close()
+		}()
+		wg.Wait()
+	}
+}
+
+// TestTCPSetPeerAddrConcurrent: peer-addr updates must be safe against
+// concurrent dialing sends.
+func TestTCPSetPeerAddrConcurrent(t *testing.T) {
+	a, err := NewTCP(0, []string{"127.0.0.1:0", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCP(1, []string{"127.0.0.1:0", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// Resolve the real address up front so every dial succeeds; the race
+	// under test is concurrent map updates against dialing sends.
+	a.SetPeerAddr(1, b.Addr())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				a.SetPeerAddr(1, b.Addr())
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 50; k++ {
+			if err := a.Send(Message{From: 0, To: 1, Payload: []byte{3}}); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if _, err := b.Recv(1); err != nil {
+		t.Fatalf("no message survived concurrent addr updates: %v", err)
+	}
+}
+
+// TestMessageTimestampsSurviveInMemory: the simulated-clock annotations ride
+// through the in-memory mesh (the TCP wire format intentionally drops them).
+func TestMessageTimestampsSurviveInMemory(t *testing.T) {
+	m := NewInMemory(2)
+	defer m.Close()
+	if err := m.Send(Message{From: 0, To: 1, Round: 3, Payload: []byte{9}, SentAt: 1.5, ArriveAt: 2.25}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Recv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SentAt != 1.5 || got.ArriveAt != 2.25 {
+		t.Fatalf("timestamps lost: %+v", got)
 	}
 }
