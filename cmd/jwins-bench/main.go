@@ -12,6 +12,7 @@
 //	jwins-bench -exp fig9              # metadata compression
 //	jwins-bench -exp fig10             # scalability sweep
 //	jwins-bench -exp ext-asyncchurn    # event-driven stragglers + churn
+//	jwins-bench -exp ext-replay        # trace record/replay parity + staleness
 //	jwins-bench -exp all               # everything, in paper order
 //
 // Flags: -scale micro|small|paper (default small), -seed N,
@@ -63,7 +64,7 @@ func run() error {
 	names := []string{*expName}
 	if *expName == "all" {
 		names = []string{"fig2", "fig3", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-			"ext-powergossip", "ext-adaptive", "ext-faults", "ext-asyncchurn"}
+			"ext-powergossip", "ext-adaptive", "ext-faults", "ext-asyncchurn", "ext-replay"}
 	}
 	for _, name := range names {
 		start := time.Now()
@@ -95,6 +96,8 @@ func run() error {
 			result, err = experiments.ExtFaults(scale, *seed)
 		case "ext-asyncchurn":
 			result, err = experiments.ExtAsyncChurn(scale, *seed)
+		case "ext-replay":
+			result, err = experiments.ExtReplay(scale, *seed)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

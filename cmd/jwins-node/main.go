@@ -1,0 +1,99 @@
+// Command jwins-node runs one node of a real decentralized training cluster
+// over TCP sockets — the multi-process counterpart of the simulator's
+// event-driven schedule. One process acts as the coordinator (hands out node
+// ids and the address map, fires the start signal, merges per-worker event
+// logs into a wall-clock trace); every other process is a worker executing
+// the local-barrier schedule against its neighbors.
+//
+// 4-node loopback cluster:
+//
+//	jwins-node -role coordinator -nodes 4 -listen 127.0.0.1:7600 \
+//	    -dataset cifar10 -scale micro -rounds 6 -trace-out cluster.jsonl &
+//	for i in 1 2 3 4; do jwins-node -role worker -coordinator 127.0.0.1:7600 & done
+//	wait
+//
+// The emitted trace replays through the simulator (jwins-trace replay) to
+// check schedule parity and measure the time model's error against observed
+// wall-clock timings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jwins-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		role    = flag.String("role", "worker", "coordinator or worker")
+		listen  = flag.String("listen", "", "coordinator: control listen address (host:port); worker: data-plane listen address (default 127.0.0.1:0)")
+		coord   = flag.String("coordinator", "", "worker: coordinator control address")
+		timeout = flag.Duration("timeout", 5*time.Minute, "per-phase control timeout")
+
+		// Coordinator-only run parameters (workers receive them over the
+		// control plane).
+		nodes    = flag.Int("nodes", 4, "coordinator: fleet size (= worker count)")
+		rounds   = flag.Int("rounds", 6, "coordinator: per-node iteration budget")
+		dataset  = flag.String("dataset", "cifar10", "coordinator: workload name")
+		scale    = flag.String("scale", "micro", "coordinator: micro, small, or paper")
+		algo     = flag.String("algo", "jwins", "coordinator: algorithm name")
+		seed     = flag.Uint64("seed", 42, "coordinator: root random seed")
+		traceOut = flag.String("trace-out", "", "coordinator: write the merged cluster trace here (.jtb = binary, else JSONL)")
+	)
+	flag.Parse()
+
+	switch *role {
+	case "coordinator":
+		addr := *listen
+		if addr == "" {
+			addr = "127.0.0.1:7600"
+		}
+		cfg := cluster.RunConfig{
+			Dataset: *dataset, Scale: *scale, Algo: *algo,
+			Nodes: *nodes, Rounds: *rounds, Seed: *seed,
+		}
+		c, err := cluster.NewCoordinator(addr, cfg)
+		if err != nil {
+			return err
+		}
+		c.Timeout = *timeout
+		fmt.Printf("coordinator listening on %s: %d nodes, %s/%s/%s, %d rounds, seed %d\n",
+			c.Addr(), cfg.Nodes, cfg.Dataset, cfg.Scale, cfg.Algo, cfg.Rounds, cfg.Seed)
+		tr, err := c.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Print(trace.ComputeStats(tr))
+		if *traceOut != "" {
+			if err := trace.WriteFile(*traceOut, tr); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d events)\n", *traceOut, len(tr.Events))
+		}
+		return nil
+
+	case "worker":
+		if *coord == "" {
+			return fmt.Errorf("worker needs -coordinator host:port")
+		}
+		dataListen := *listen
+		if dataListen == "" {
+			dataListen = "127.0.0.1:0"
+		}
+		return cluster.RunWorker(*coord, dataListen, *timeout)
+
+	default:
+		return fmt.Errorf("unknown role %q (want coordinator or worker)", *role)
+	}
+}

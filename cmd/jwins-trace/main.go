@@ -1,0 +1,171 @@
+// Command jwins-trace inspects, compares, and replays event traces recorded
+// by the simulator (jwins-train -trace-out) or a real cluster (jwins-node).
+//
+//	jwins-trace stats run.jsonl           # counts, byte ledger, staleness
+//	jwins-trace diff sim.jsonl real.jsonl # per-event time error, ordering
+//	jwins-trace convert run.jsonl run.jtb # re-encode (JSONL <-> binary)
+//	jwins-trace replay run.jsonl          # re-execute through the simulator
+//	jwins-trace replay -check run.jsonl   # exit non-zero on parity failure
+//
+// replay rebuilds the fleet from the trace header's metadata (dataset,
+// scale, algo, seed), re-executes the recorded schedule through the async
+// engine, and reports parity: emitted rows, the byte ledger against the
+// trace's send ledger, and the event diff. For cluster traces it
+// additionally runs a pure simulation of the same configuration and diffs it
+// against the observed timings — the time-model error the cost model's
+// claims rest on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jwins-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: jwins-trace stats <file> | diff <a> <b> | convert <in> <out> | replay [-check] <file>")
+}
+
+func run() error {
+	if len(os.Args) < 2 {
+		return usage()
+	}
+	switch os.Args[1] {
+	case "stats":
+		if len(os.Args) != 3 {
+			return usage()
+		}
+		tr, err := trace.ReadFile(os.Args[2])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s trace, %d nodes, %d rounds, %s policy\n",
+			os.Args[2], tr.Header.Source, tr.Header.Nodes, tr.Header.Rounds, tr.Header.Policy)
+		fmt.Print(trace.ComputeStats(tr))
+		return nil
+
+	case "diff":
+		if len(os.Args) != 4 {
+			return usage()
+		}
+		a, err := trace.ReadFile(os.Args[2])
+		if err != nil {
+			return err
+		}
+		b, err := trace.ReadFile(os.Args[3])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("A = %s (%s), B = %s (%s)\n", os.Args[2], a.Header.Source, os.Args[3], b.Header.Source)
+		fmt.Print(trace.Compare(a, b))
+		return nil
+
+	case "convert":
+		if len(os.Args) != 4 {
+			return usage()
+		}
+		tr, err := trace.ReadFile(os.Args[2])
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteFile(os.Args[3], tr); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events)\n", os.Args[3], len(tr.Events))
+		return nil
+
+	case "replay":
+		fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+		check := fs.Bool("check", false, "exit non-zero unless the replay matches the trace exactly")
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return usage()
+		}
+		return replay(fs.Arg(0), *check)
+
+	default:
+		return usage()
+	}
+}
+
+func replay(path string, check bool) error {
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	stats := trace.ComputeStats(tr)
+	res, replayed, err := experiments.ReplayTrace(tr)
+	if err != nil {
+		return err
+	}
+	d := trace.Compare(replayed, tr)
+
+	fmt.Printf("replayed %s (%s trace) through the simulator:\n", path, tr.Header.Source)
+	fmt.Printf("  rows: %d/%d, final accuracy %.1f%%\n", len(res.Rounds), tr.Header.Rounds, res.FinalAccuracy*100)
+	fmt.Printf("  byte ledger: replay %d vs trace %d (delta %d)\n",
+		res.TotalBytes, stats.TotalBytes, res.TotalBytes-stats.TotalBytes)
+	fmt.Printf("  schedule: %d matched, %d unmatched, %d/%d nodes reordered, time err max %.6fs\n",
+		d.Matched, d.OnlyA+d.OnlyB, d.OrderMismatches, d.Nodes, d.TimeErrMax)
+
+	inSync := d.InSync() && len(res.Rounds) == tr.Header.Rounds && res.TotalBytes == stats.TotalBytes
+
+	// For a cluster trace, also measure how well the simulator's time model
+	// predicts the observed wall clock: run the same configuration purely
+	// simulated and diff it against the recording.
+	if tr.Header.Source == trace.SourceCluster {
+		if sim, err := simulatePrediction(tr); err != nil {
+			fmt.Printf("  time-model comparison unavailable: %v\n", err)
+		} else {
+			md := trace.Compare(sim, tr)
+			fmt.Printf("time-model error (pure sim vs observed wall clock):\n")
+			fmt.Printf("  per-event: mean %.4fs, p95 %.4fs, max %.4fs\n", md.TimeErrMean, md.TimeErrP95, md.TimeErrMax)
+			fmt.Printf("  duration: sim %.3fs vs real %.3fs (ratio %.3f)\n",
+				md.DurationA, md.DurationB, ratio(md.DurationA, md.DurationB))
+		}
+	}
+
+	if check && !inSync {
+		return fmt.Errorf("replay parity check failed (rows %d/%d, byte delta %d, unmatched %d, reordered nodes %d)",
+			len(res.Rounds), tr.Header.Rounds, res.TotalBytes-stats.TotalBytes, d.OnlyA+d.OnlyB, d.OrderMismatches)
+	}
+	if inSync {
+		fmt.Println("replay parity: OK")
+	}
+	return nil
+}
+
+// simulatePrediction runs the trace's configuration through the plain async
+// engine (default homogeneous profiles, no churn) and records the predicted
+// schedule.
+func simulatePrediction(tr *trace.Trace) (*trace.Trace, error) {
+	spec, err := experiments.SpecFromTraceHeader(tr.Header)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder(tr.Header)
+	rec.Trace().Header.Source = trace.SourceSim
+	spec.Recorder = rec
+	if _, err := experiments.Run(spec); err != nil {
+		return nil, err
+	}
+	return rec.Trace(), nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -8,6 +8,7 @@
 //	jwins-train -dataset movielens -algo choco -choco-gamma 0.4 -choco-frac 0.2
 //	jwins-train -dataset shakespeare -algo full-sharing -dynamic
 //	jwins-train -dataset cifar10 -algo jwins -async -churn 0.2 -compute-spread 0.5
+//	jwins-train -dataset cifar10 -algo jwins -async -trace-out run.jsonl
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/simulation"
+	"repro/internal/trace"
 	"repro/internal/vec"
 )
 
@@ -54,11 +56,24 @@ func run() error {
 		computeSpread = flag.Float64("compute-spread", 0, "async: lognormal sigma on per-node compute time")
 		bwSpread      = flag.Float64("bw-spread", 0, "async: lognormal sigma on per-node uplink bandwidth")
 		latencySpread = flag.Float64("latency-spread", 0, "async: lognormal sigma on per-node latency")
+		traceOut      = flag.String("trace-out", "", "async: record the executed schedule to this trace file (.jtb = binary, else JSONL; replay with jwins-trace)")
 	)
 	flag.Parse()
 
-	if !*async && (*gossip || *churnFrac != 0 || *computeSpread != 0 || *bwSpread != 0 || *latencySpread != 0) {
-		return fmt.Errorf("-gossip/-churn/-compute-spread/-bw-spread/-latency-spread require -async")
+	// The async-only knobs are rejected without -async rather than silently
+	// ignored: a sync run has no schedule to record and no event times for
+	// gossip/churn/heterogeneity to shape.
+	if !*async {
+		switch {
+		case *gossip:
+			return fmt.Errorf("-gossip requires -async (the synchronous engine has a single blocking aggregation policy)")
+		case *churnFrac != 0:
+			return fmt.Errorf("-churn requires -async (synchronous runs model failures via the fault experiments instead)")
+		case *computeSpread != 0 || *bwSpread != 0 || *latencySpread != 0:
+			return fmt.Errorf("-compute-spread/-bw-spread/-latency-spread require -async (the synchronous time model is per-round, not per-node)")
+		case *traceOut != "":
+			return fmt.Errorf("-trace-out requires -async (only the event-driven scheduler produces an event trace)")
+		}
 	}
 
 	scale, err := experiments.ParseScale(*scaleName)
@@ -89,6 +104,12 @@ func run() error {
 		spec.Choco = &choco.Config{Fraction: *chocoFrac, Gamma: *chocoGamma}
 	}
 
+	var recorder *trace.Recorder
+	if *traceOut != "" {
+		recorder = trace.NewRecorder(experiments.TraceHeaderFor(
+			w, experiments.Algo(*algo), *rounds, *seed, *gossip))
+	}
+
 	fmt.Printf("dataset=%s algo=%s nodes=%d degree=%d params=%d rounds=%d\n",
 		w.Name, *algo, w.Nodes, w.Degree, w.NewModel(vec.NewRNG(*seed)).ParamCount(), pick(*rounds, w.Rounds))
 	fmt.Printf("%-7s %-11s %-10s %-9s %-13s %-10s\n",
@@ -104,6 +125,7 @@ func run() error {
 		Async:          *async,
 		Gossip:         *gossip,
 		ChurnFraction:  *churnFrac,
+		Recorder:       recorder,
 		Het: simulation.Heterogeneity{
 			ComputeSpread:   *computeSpread,
 			BandwidthSpread: *bwSpread,
@@ -125,6 +147,17 @@ func run() error {
 	fmt.Printf("\nfinal: accuracy %.1f%%, loss %.4f, %s sent (%s metadata), %.1fs simulated\n",
 		res.FinalAccuracy*100, res.FinalLoss,
 		experiments.FormatBytes(res.TotalBytes), experiments.FormatBytes(res.MetaBytes), res.SimTime)
+	if *async {
+		fmt.Printf("staleness: mean %.3f, max %.0f, p95 %.3f iterations\n",
+			res.StaleMean, res.StaleMax, res.StaleP95)
+	}
+	if recorder != nil {
+		if err := trace.WriteFile(*traceOut, recorder.Trace()); err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %s (%d events; replay with: jwins-trace replay %s)\n",
+			*traceOut, recorder.Len(), *traceOut)
+	}
 	if *target > 0 {
 		if res.RoundsToTarget > 0 {
 			fmt.Printf("target %.1f%% reached in %d rounds, %s\n",

@@ -1,0 +1,255 @@
+// Package cluster executes the event-driven schedule over real sockets
+// across processes: a coordinator hands out node ids and the address map,
+// fires a shared start signal, and merges per-worker event logs into one
+// wall-clock trace in the internal/trace format; workers run the local
+// barrier schedule (train, broadcast over the timestamped TCP mesh, wait for
+// the neighborhood, aggregate) and stamp observed SentAt/ArriveAt times.
+//
+// The resulting trace replays through simulation.AsyncEngine (the fleet
+// build is deterministic in the seed, so the replayed trajectory and byte
+// ledger must match the cluster's exactly), and diffs against a simulated
+// trace of the same configuration to quantify the time model's error —
+// closing the sim-to-real loop.
+//
+// cmd/jwins-node wraps both roles for multi-process/multi-machine runs; the
+// package API runs in-process for tests.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/vec"
+)
+
+// RunConfig describes one cluster run. Every worker receives it from the
+// coordinator and rebuilds the identical fleet from it (identical initial
+// weights and per-node RNG streams — the same construction the simulator
+// uses), so a worker only ever needs the coordinator's address.
+type RunConfig struct {
+	Dataset string // workload name (cifar10, movielens, ...)
+	Scale   string // micro, small, or paper
+	Algo    string // algorithm name (jwins, full-sharing, choco, ...)
+	Nodes   int    // fleet size == worker count
+	Rounds  int    // per-node iteration budget
+	Seed    uint64 // root seed; must match for replay parity
+}
+
+// Validate checks the configuration without building the workload.
+func (c RunConfig) Validate() error {
+	if c.Nodes <= 1 {
+		return fmt.Errorf("cluster: need at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("cluster: rounds must be positive, got %d", c.Rounds)
+	}
+	if _, err := experiments.ParseScale(c.Scale); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Header builds the trace header describing this run; Meta carries enough to
+// rebuild the fleet for replay (see experiments.ReplayTrace).
+func (c RunConfig) Header() trace.Header {
+	return trace.Header{
+		Nodes: c.Nodes, Rounds: c.Rounds,
+		Source: trace.SourceCluster, Policy: trace.PolicyBarrier,
+		Meta: map[string]string{
+			"dataset": c.Dataset,
+			"scale":   c.Scale,
+			"algo":    c.Algo,
+			"seed":    strconv.FormatUint(c.Seed, 10),
+		},
+	}
+}
+
+// buildRun constructs the deterministic run state shared by every worker:
+// the workload, the full fleet (cheap at cluster scales, and the only way to
+// consume the root RNG exactly like the simulator), and the topology.
+func buildRun(cfg RunConfig) (*experiments.Workload, []core.Node, *topology.Graph, []topology.Weights, error) {
+	scale, err := experiments.ParseScale(cfg.Scale)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	w, err := experiments.NewWorkload(cfg.Dataset, scale, cfg.Nodes, cfg.Seed)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	nodes, err := experiments.BuildFleet(w, experiments.AlgoSpec{Kind: experiments.Algo(cfg.Algo)}, cfg.Seed)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	// The same topology seed the simulator's run path derives ("topo").
+	g, err := topology.Regular(w.Nodes, w.Degree, vec.NewRNG(cfg.Seed^0x746f706f))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return w, nodes, g, topology.MetropolisHastings(g), nil
+}
+
+// ctrlMsg is the single control-plane message shape; Type selects the fields
+// in use (hello → assign → ready → start → report → bye).
+type ctrlMsg struct {
+	Type   string        `json:"type"`
+	ID     int           `json:"id,omitempty"`
+	Cfg    *RunConfig    `json:"cfg,omitempty"`
+	Addr   string        `json:"addr,omitempty"`
+	Addrs  []string      `json:"addrs,omitempty"`
+	Epoch  int64         `json:"epoch,omitempty"` // unix nanos of the start signal
+	Err    string        `json:"err,omitempty"`
+	Events []trace.Event `json:"events,omitempty"`
+}
+
+// expect reads the next control message and checks its type.
+func expect(c *transport.ControlConn, want string) (ctrlMsg, error) {
+	var m ctrlMsg
+	if err := c.Recv(&m); err != nil {
+		return m, err
+	}
+	if m.Type != want {
+		return m, fmt.Errorf("cluster: expected %q message, got %q", want, m.Type)
+	}
+	return m, nil
+}
+
+// Coordinator runs the control plane of one cluster run.
+type Coordinator struct {
+	cfg RunConfig
+	srv *transport.ControlServer
+	// Timeout bounds each control-plane phase per worker (default 5m; the
+	// report phase spans the whole training run).
+	Timeout time.Duration
+}
+
+// NewCoordinator starts listening for workers. Use "host:0" and Addr to
+// bind an ephemeral port in tests.
+func NewCoordinator(listenAddr string, cfg RunConfig) (*Coordinator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	srv, err := transport.ListenControl(listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{cfg: cfg, srv: srv, Timeout: 5 * time.Minute}, nil
+}
+
+// Addr returns the control listen address workers dial.
+func (c *Coordinator) Addr() string { return c.srv.Addr() }
+
+// Run drives one full cluster run: registration, address exchange, start
+// signal, report collection, and trace merge. It blocks until every worker
+// reported (or a phase times out) and returns the merged, validated trace.
+func (c *Coordinator) Run() (*trace.Trace, error) {
+	defer c.srv.Close()
+	n := c.cfg.Nodes
+	conns := make([]*transport.ControlConn, n)
+	defer func() {
+		for _, conn := range conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	}()
+
+	// Phase 1: registration + id assignment.
+	for i := 0; i < n; i++ {
+		conn, err := c.srv.Accept()
+		if err != nil {
+			return nil, err
+		}
+		conns[i] = conn
+		conn.SetDeadline(time.Now().Add(c.Timeout))
+		if _, err := expect(conn, "hello"); err != nil {
+			return nil, err
+		}
+		cfg := c.cfg
+		if err := conn.Send(ctrlMsg{Type: "assign", ID: i, Cfg: &cfg}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: collect data-plane addresses (workers build their fleet and
+	// endpoint before answering).
+	addrs := make([]string, n)
+	for i, conn := range conns {
+		conn.SetDeadline(time.Now().Add(c.Timeout))
+		m, err := expect(conn, "ready")
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: %w", i, err)
+		}
+		addrs[i] = m.Addr
+	}
+
+	// Phase 3: the start signal carries the shared epoch every worker stamps
+	// its event times against.
+	epoch := time.Now().UnixNano()
+	for i, conn := range conns {
+		conn.SetDeadline(time.Now().Add(c.Timeout))
+		if err := conn.Send(ctrlMsg{Type: "start", Addrs: addrs, Epoch: epoch}); err != nil {
+			return nil, fmt.Errorf("worker %d: %w", i, err)
+		}
+	}
+
+	// Phase 4: collect reports. Workers keep their data plane open until the
+	// bye in phase 5, so stragglers can still drain in-flight payloads.
+	events := make([]trace.Event, 0, n*c.cfg.Rounds*8)
+	for i, conn := range conns {
+		conn.SetDeadline(time.Now().Add(c.Timeout))
+		m, err := expect(conn, "report")
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: %w", i, err)
+		}
+		if m.Err != "" {
+			return nil, fmt.Errorf("cluster: worker %d failed: %s", i, m.Err)
+		}
+		events = append(events, m.Events...)
+	}
+
+	// Phase 5: release the workers.
+	for _, conn := range conns {
+		conn.SetDeadline(time.Now().Add(c.Timeout))
+		if err := conn.Send(ctrlMsg{Type: "bye"}); err != nil {
+			return nil, err
+		}
+	}
+
+	return mergeTrace(c.cfg, events)
+}
+
+// mergeTrace orders the per-worker logs into one globally time-sorted trace
+// and validates it. Per-worker logs are monotone; across workers, ties (and
+// sub-clock-resolution skew) break deterministically.
+func mergeTrace(cfg RunConfig, events []trace.Event) (*trace.Trace, error) {
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Iter != b.Iter {
+			return a.Iter < b.Iter
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Peer < b.Peer
+	})
+	h := cfg.Header()
+	h.Format = trace.FormatName
+	h.Version = trace.FormatVersion
+	if err := trace.Validate(h, events); err != nil {
+		return nil, fmt.Errorf("cluster: merged trace invalid: %w", err)
+	}
+	return &trace.Trace{Header: h, Events: events}, nil
+}

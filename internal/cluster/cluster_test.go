@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+// runLoopbackCluster spins up a coordinator and cfg.Nodes in-process workers
+// on 127.0.0.1 and returns the merged trace.
+func runLoopbackCluster(t *testing.T, cfg RunConfig) *trace.Trace {
+	t.Helper()
+	coord, err := NewCoordinator("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Timeout = 2 * time.Minute
+	workerErrs := make(chan error, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		go func() {
+			workerErrs <- RunWorker(coord.Addr(), "127.0.0.1:0", 2*time.Minute)
+		}()
+	}
+	tr, err := coord.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		if err := <-workerErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// TestClusterLoopbackReplayParity: the acceptance scenario. A 4-node
+// loopback cluster runs the barrier schedule over real sockets; the merged
+// wall-clock trace must validate, carry the full schedule, and — because the
+// fleet build is deterministic in the seed — replay through the simulator
+// into the identical byte ledger and per-node event ordering.
+func TestClusterLoopbackReplayParity(t *testing.T) {
+	cfg := RunConfig{Dataset: "cifar10", Scale: "micro", Algo: "jwins", Nodes: 4, Rounds: 5, Seed: 11}
+	tr := runLoopbackCluster(t, cfg)
+
+	if err := trace.Validate(tr.Header, tr.Events); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	stats := trace.ComputeStats(tr)
+	wantAggs := cfg.Nodes * cfg.Rounds
+	if stats.ByKind[trace.KindTrainDone] != wantAggs || stats.ByKind[trace.KindAggregate] != wantAggs {
+		t.Fatalf("schedule incomplete: %v (want %d train-done and aggregate)", stats.ByKind, wantAggs)
+	}
+	if stats.ByKind[trace.KindSend] == 0 || stats.ByKind[trace.KindSend] != stats.ByKind[trace.KindArrival] {
+		t.Fatalf("sends (%d) and arrivals (%d) must pair on a lossless loopback",
+			stats.ByKind[trace.KindSend], stats.ByKind[trace.KindArrival])
+	}
+	if stats.Duration <= 0 {
+		t.Fatalf("wall-clock duration %v", stats.Duration)
+	}
+
+	// Replay the observed schedule through the simulator.
+	res, replayed, err := experiments.ReplayTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != cfg.Rounds {
+		t.Fatalf("replay emitted %d/%d rows", len(res.Rounds), cfg.Rounds)
+	}
+	// Deterministic fleet + barrier schedule => identical payload bytes.
+	if res.TotalBytes != stats.TotalBytes {
+		t.Fatalf("replayed ledger %d bytes, cluster observed %d", res.TotalBytes, stats.TotalBytes)
+	}
+	d := trace.Compare(replayed, tr)
+	if !d.InSync() {
+		t.Fatalf("replay diverges from observed schedule: %+v", d)
+	}
+	// The authoritative events reuse recorded wall-clock times, so the only
+	// time error is on derived events (sends/aggregates fire at the engine's
+	// trigger time, a hair before the cluster's own stamps).
+	if d.TimeErrMax > 1.0 {
+		t.Fatalf("per-event time error implausibly large: %+v", d)
+	}
+	// The replay must also carry the wall-clock span into simulated time.
+	if res.SimTime <= 0 {
+		t.Fatalf("replayed SimTime = %v", res.SimTime)
+	}
+}
+
+// TestClusterRejectsBadConfig: validation runs before any socket work.
+func TestClusterRejectsBadConfig(t *testing.T) {
+	cases := []RunConfig{
+		{Dataset: "cifar10", Scale: "micro", Algo: "jwins", Nodes: 1, Rounds: 3, Seed: 1},
+		{Dataset: "cifar10", Scale: "micro", Algo: "jwins", Nodes: 4, Rounds: 0, Seed: 1},
+		{Dataset: "cifar10", Scale: "nano", Algo: "jwins", Nodes: 4, Rounds: 3, Seed: 1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewCoordinator("127.0.0.1:0", cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestClusterWorkerFailurePropagates: a worker that cannot build its fleet
+// reports the failure; the coordinator surfaces it instead of hanging.
+func TestClusterWorkerFailurePropagates(t *testing.T) {
+	cfg := RunConfig{Dataset: "cifar10", Scale: "micro", Algo: "jwins", Nodes: 2, Rounds: 2, Seed: 3}
+	coord, err := NewCoordinator("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Timeout = 30 * time.Second
+	// One honest worker, one that reports a failure by dialing with a bad
+	// data-plane listen address.
+	done := make(chan struct{})
+	go func() {
+		RunWorker(coord.Addr(), "127.0.0.1:0", 30*time.Second)
+		close(done)
+	}()
+	go RunWorker(coord.Addr(), "256.256.256.256:1", 30*time.Second)
+	if _, err := coord.Run(); err == nil {
+		t.Fatal("coordinator ignored a failing worker")
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("honest worker did not unwind")
+	}
+}

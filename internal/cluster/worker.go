@@ -1,0 +1,166 @@
+// worker.go is one cluster node's run loop: register with the coordinator,
+// rebuild the deterministic fleet, open a timestamped TCP endpoint, then
+// execute the local-barrier schedule for the iteration budget — training,
+// broadcasting to the neighborhood, buffering early arrivals, aggregating —
+// while logging every train-done/send/arrival/aggregate as a trace event
+// stamped with wall-clock seconds since the coordinator's start signal.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// RunWorker executes one worker against the coordinator at coordAddr.
+// dataListen is the data-plane listen address ("127.0.0.1:0" on loopback; a
+// routable host:0 across machines). It blocks until the coordinator releases
+// the run.
+func RunWorker(coordAddr, dataListen string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 5 * time.Minute
+	}
+	conn, err := transport.DialControl(coordAddr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := conn.Send(ctrlMsg{Type: "hello"}); err != nil {
+		return err
+	}
+	assign, err := expect(conn, "assign")
+	if err != nil {
+		return err
+	}
+	if assign.Cfg == nil {
+		return fmt.Errorf("cluster: assign message carries no config")
+	}
+	cfg := *assign.Cfg
+	id := assign.ID
+
+	_, nodes, g, weights, err := buildRun(cfg)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d build: %w", id, err)
+	}
+	addrs := make([]string, cfg.Nodes)
+	addrs[id] = dataListen
+	ep, err := transport.NewTCP(id, addrs)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d data plane: %w", id, err)
+	}
+	defer ep.Close()
+	ep.EnableTimestamps()
+
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := conn.Send(ctrlMsg{Type: "ready", Addr: ep.Addr()}); err != nil {
+		return err
+	}
+	start, err := expect(conn, "start")
+	if err != nil {
+		return err
+	}
+	if len(start.Addrs) != cfg.Nodes {
+		return fmt.Errorf("cluster: start carries %d addrs for %d nodes", len(start.Addrs), cfg.Nodes)
+	}
+	for peer, addr := range start.Addrs {
+		ep.SetPeerAddr(peer, addr)
+	}
+
+	events, runErr := runSchedule(id, cfg, nodes[id], g, weights[id], ep, start.Epoch)
+	report := ctrlMsg{Type: "report", ID: id, Events: events}
+	if runErr != nil {
+		report.Err = runErr.Error()
+		report.Events = nil
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := conn.Send(report); err != nil {
+		return err
+	}
+	// Wait for the coordinator's release before closing the data plane, so a
+	// straggling neighbor can still drain in-flight payloads from us.
+	if _, err := expect(conn, "bye"); err != nil {
+		return err
+	}
+	return runErr
+}
+
+// runSchedule is the worker's local-barrier loop. Event times are wall-clock
+// seconds since the epoch; arrivals additionally carry the sender's in-frame
+// SentAt through the timestamped mesh (stamped into Message.SentAt/ArriveAt,
+// the trace's send/arrival pair).
+func runSchedule(id int, cfg RunConfig, node core.Node, g *topology.Graph, w topology.Weights, ep *transport.TCP, epoch int64) ([]trace.Event, error) {
+	now := func() float64 { return float64(time.Now().UnixNano()-epoch) / 1e9 }
+	neighbors := g.Neighbors(id)
+	deg := len(neighbors)
+	events := make([]trace.Event, 0, cfg.Rounds*(2+2*deg))
+	// Neighbors can run at most one iteration ahead (they block on our
+	// payload before advancing), so early payloads are buffered per
+	// iteration rather than dropped.
+	pending := map[int]map[int][]byte{}
+
+	for iter := 0; iter < cfg.Rounds; iter++ {
+		node.LocalTrain()
+		payload, bd, err := node.Share(iter)
+		if err != nil {
+			return nil, fmt.Errorf("node %d share: %w", id, err)
+		}
+		events = append(events, trace.Event{
+			Time: now(), Kind: trace.KindTrainDone, Node: id, Peer: -1, Iter: iter,
+		})
+		for _, j := range neighbors {
+			sentAt := now()
+			if err := ep.Send(transport.Message{
+				From: id, To: j, Round: iter, Payload: payload, SentAt: sentAt,
+			}); err != nil {
+				return nil, fmt.Errorf("node %d send to %d: %w", id, j, err)
+			}
+			events = append(events, trace.Event{
+				Time: sentAt, Kind: trace.KindSend, Node: id, Peer: j, Iter: iter,
+				Bytes:      len(payload) + transport.FrameOverhead,
+				ModelBytes: bd.Model,
+				MetaBytes:  bd.Meta + transport.FrameOverhead,
+			})
+		}
+
+		inbox := pending[iter]
+		if inbox == nil {
+			inbox = map[int][]byte{}
+		}
+		delete(pending, iter)
+		for len(inbox) < deg {
+			msg, err := ep.Recv(id)
+			if err != nil {
+				return nil, fmt.Errorf("node %d recv: %w", id, err)
+			}
+			msg.ArriveAt = now()
+			events = append(events, trace.Event{
+				Time: msg.ArriveAt, Kind: trace.KindArrival, Node: id, Peer: msg.From, Iter: msg.Round,
+			})
+			if msg.Round == iter {
+				inbox[msg.From] = msg.Payload
+			} else if msg.Round > iter {
+				if pending[msg.Round] == nil {
+					pending[msg.Round] = map[int][]byte{}
+				}
+				pending[msg.Round][msg.From] = msg.Payload
+			} else {
+				return nil, fmt.Errorf("node %d: stale payload for iteration %d while at %d", id, msg.Round, iter)
+			}
+		}
+		if err := node.Aggregate(iter, w, inbox); err != nil {
+			return nil, fmt.Errorf("node %d aggregate: %w", id, err)
+		}
+		// The barrier consumed exactly current-iteration payloads: zero lag.
+		events = append(events, trace.Event{
+			Time: now(), Kind: trace.KindAggregate, Node: id, Peer: -1, Iter: iter,
+			LagN: len(inbox),
+		})
+	}
+	return events, nil
+}

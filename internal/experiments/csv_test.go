@@ -88,3 +88,29 @@ func TestResultCSVs(t *testing.T) {
 		t.Fatalf("fig8 CSV malformed:\n%s", f8.CSV())
 	}
 }
+
+func TestCurvesCSVStalenessColumns(t *testing.T) {
+	curves := map[string][]simulation.RoundMetrics{
+		"gossip": {{Round: 0, TrainLoss: 1, StaleMean: 0.5, StaleMax: 3, StaleP95: 2}},
+	}
+	out := CurvesCSV(curves)
+	if !strings.Contains(out, "stale_mean,stale_max,stale_p95") {
+		t.Fatalf("staleness columns missing from header:\n%s", out)
+	}
+	if !strings.Contains(out, "0.5000,3,2.0000") {
+		t.Fatalf("staleness values not rendered:\n%s", out)
+	}
+}
+
+func TestExtReplayCSV(t *testing.T) {
+	r := &ExtReplayResult{
+		Nodes: 8, Rounds: 10, Events: 500,
+		RecordedBytes: 1000, ReplayedBytes: 1000,
+		RowsRecorded: 10, RowsReplayed: 10, SequenceMatch: true,
+		StaleMean: 0.1, StaleMax: 2, StaleP95: 1,
+	}
+	out := r.CSV()
+	if !strings.Contains(out, "sequence_match") || !strings.Contains(out, "8,10,500,1000,1000") {
+		t.Fatalf("ext-replay CSV malformed:\n%s", out)
+	}
+}

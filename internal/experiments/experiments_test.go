@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/trace"
 	"repro/internal/vec"
 )
 
@@ -150,4 +151,51 @@ func TestFig9Micro(t *testing.T) {
 		t.Fatalf("uncompressed metadata share %.2f, expected ~0.5", r.WastedFraction)
 	}
 	_ = r.String()
+}
+
+// TestExtReplayMicro: the record → write → read → replay loop must report an
+// exact sequence match at micro scale.
+func TestExtReplayMicro(t *testing.T) {
+	r, err := ExtReplay(Micro, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SequenceMatch {
+		t.Fatalf("replay did not reproduce the recorded schedule: %+v", r.Diff)
+	}
+	if r.RecordedBytes != r.ReplayedBytes {
+		t.Fatalf("byte ledgers differ: recorded %d, replayed %d", r.RecordedBytes, r.ReplayedBytes)
+	}
+	if r.RowsRecorded != r.Rounds || r.RowsReplayed != r.Rounds {
+		t.Fatalf("rows: recorded %d, replayed %d, want %d", r.RowsRecorded, r.RowsReplayed, r.Rounds)
+	}
+	if r.Events == 0 || r.Stats.ByKind == nil {
+		t.Fatal("empty stats")
+	}
+	if !strings.Contains(r.String(), "sequence match: true") {
+		t.Fatalf("report:\n%s", r)
+	}
+}
+
+// TestSpecFromTraceHeaderRejects: replay without fleet metadata must fail
+// with a clear error, not build a wrong fleet.
+func TestSpecFromTraceHeaderRejects(t *testing.T) {
+	h := trace.Header{Format: trace.FormatName, Version: trace.FormatVersion, Nodes: 4, Rounds: 2}
+	if _, err := SpecFromTraceHeader(h); err == nil {
+		t.Fatal("header without metadata accepted")
+	}
+}
+
+// TestRecorderRequiresAsync: trace hooks on a synchronous run are a user
+// error, reported as such.
+func TestRecorderRequiresAsync(t *testing.T) {
+	w, err := NewWorkload("cifar10", Micro, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(TraceHeaderFor(w, AlgoJWINS, 0, 1, false))
+	_, err = Run(RunSpec{Workload: w, Algo: AlgoSpec{Kind: AlgoJWINS}, Seed: 1, Recorder: rec})
+	if err == nil || !strings.Contains(err.Error(), "Async") {
+		t.Fatalf("sync run with recorder: got %v", err)
+	}
 }

@@ -25,7 +25,21 @@ type ExtAsyncChurnResult struct {
 	// arm (a divergent or stalled run completes fewer than Rounds).
 	RowsJWINSAsync int
 
+	// Staleness of merged payloads per async arm (mean/max/p95 iteration
+	// lag) — the first cut of the gossip-staleness study. Zero under the
+	// barrier except for rejoining nodes merging cached broadcasts.
+	StaleJWINS, StaleChoco StalenessSummary
+
 	Curves map[string][]simulation.RoundMetrics
+}
+
+// StalenessSummary is one run's payload iteration-lag distribution.
+type StalenessSummary struct {
+	Mean, Max, P95 float64
+}
+
+func stalenessOf(r *simulation.Result) StalenessSummary {
+	return StalenessSummary{Mean: r.StaleMean, Max: r.StaleMax, P95: r.StaleP95}
 }
 
 // ExtAsyncChurnNodes returns the arm's node count at a scale: the small
@@ -88,12 +102,14 @@ func ExtAsyncChurn(scale Scale, seed uint64) (*ExtAsyncChurnResult, error) {
 	}
 	res.AccJWINSAsync, res.SimJWINSAsync = jwins.FinalAccuracy*100, jwins.SimTime
 	res.RowsJWINSAsync = len(jwins.Rounds)
+	res.StaleJWINS = stalenessOf(jwins)
 
 	choco, err := arm("choco-async-churn", AlgoChoco, true)
 	if err != nil {
 		return nil, err
 	}
 	res.AccChoco, res.SimChoco = choco.FinalAccuracy*100, choco.SimTime
+	res.StaleChoco = stalenessOf(choco)
 	return res, nil
 }
 
@@ -109,6 +125,9 @@ func (r *ExtAsyncChurnResult) String() string {
 	fmt.Fprintf(&b, "  %-22s %8.1f%% %11.1fs (%d/%d rows)\n", "jwins async+churn", r.AccJWINSAsync, r.SimJWINSAsync,
 		r.RowsJWINSAsync, r.Rounds)
 	fmt.Fprintf(&b, "  %-22s %8.1f%% %11.1fs\n", "choco async+churn", r.AccChoco, r.SimChoco)
+	fmt.Fprintf(&b, "  staleness (mean/max/p95 iterations): jwins %.3f/%.0f/%.3f, choco %.3f/%.0f/%.3f\n",
+		r.StaleJWINS.Mean, r.StaleJWINS.Max, r.StaleJWINS.P95,
+		r.StaleChoco.Mean, r.StaleChoco.Max, r.StaleChoco.P95)
 	return b.String()
 }
 
@@ -116,11 +135,13 @@ func (r *ExtAsyncChurnResult) String() string {
 // format for external plotting.
 func (r *ExtAsyncChurnResult) CSV() string {
 	var b strings.Builder
-	b.WriteString("nodes,rounds,churn_fraction,compute_spread,acc_jwins_sync,acc_jwins_async,acc_choco_async,sim_jwins_sync,sim_jwins_async,sim_choco_async\n")
-	fmt.Fprintf(&b, "%d,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.4f,%.4f,%.4f\n",
+	b.WriteString("nodes,rounds,churn_fraction,compute_spread,acc_jwins_sync,acc_jwins_async,acc_choco_async,sim_jwins_sync,sim_jwins_async,sim_choco_async,stale_mean_jwins,stale_max_jwins,stale_p95_jwins,stale_mean_choco,stale_max_choco,stale_p95_choco\n")
+	fmt.Fprintf(&b, "%d,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.4f,%.4f,%.4f,%.4f,%.0f,%.4f,%.4f,%.0f,%.4f\n",
 		r.Nodes, r.Rounds, r.ChurnFraction, r.ComputeSpread,
 		r.AccJWINSSync, r.AccJWINSAsync, r.AccChoco,
-		r.SimJWINSSync, r.SimJWINSAsync, r.SimChoco)
+		r.SimJWINSSync, r.SimJWINSAsync, r.SimChoco,
+		r.StaleJWINS.Mean, r.StaleJWINS.Max, r.StaleJWINS.P95,
+		r.StaleChoco.Mean, r.StaleChoco.Max, r.StaleChoco.P95)
 	b.WriteString("\n")
 	b.WriteString(CurvesCSV(r.Curves))
 	return b.String()

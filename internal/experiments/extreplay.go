@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/simulation"
+	"repro/internal/trace"
+)
+
+// TraceHeaderFor builds the trace header for a recorded run, carrying enough
+// metadata (dataset, scale, algo, seed) for ReplayTrace to rebuild the fleet
+// without any flags.
+func TraceHeaderFor(w *Workload, algo Algo, rounds int, seed uint64, gossip bool) trace.Header {
+	policy := trace.PolicyBarrier
+	if gossip {
+		policy = trace.PolicyGossip
+	}
+	if rounds <= 0 {
+		rounds = w.Rounds
+	}
+	return trace.Header{
+		Nodes: w.Nodes, Rounds: rounds, Source: trace.SourceSim, Policy: policy,
+		Meta: map[string]string{
+			"dataset": w.Name,
+			"scale":   w.Scale.String(),
+			"algo":    string(algo),
+			"seed":    strconv.FormatUint(seed, 10),
+		},
+	}
+}
+
+// ReplayTrace rebuilds the fleet a trace describes (from its header
+// metadata) and re-executes the recorded schedule through the async engine,
+// recording the replayed schedule alongside. For a sim trace the replay must
+// be event-identical; for a cluster trace it re-costs the observed wall-clock
+// schedule under the simulator's byte ledger.
+func ReplayTrace(tr *trace.Trace) (*simulation.Result, *trace.Trace, error) {
+	spec, err := SpecFromTraceHeader(tr.Header)
+	if err != nil {
+		return nil, nil, err
+	}
+	rp, err := trace.NewReplayer(tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec.Replay = rp
+	rec := trace.NewRecorder(tr.Header)
+	rec.Trace().Header.Source = trace.SourceSim // the replay itself is simulated
+	spec.Recorder = rec
+	res, err := Run(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, rec.Trace(), nil
+}
+
+// SpecFromTraceHeader reconstructs the run specification a trace header
+// describes. Only default algorithm knobs are representable; runs with
+// custom alphas/gammas replay through the library API instead.
+func SpecFromTraceHeader(h trace.Header) (RunSpec, error) {
+	for _, key := range []string{"dataset", "scale", "algo", "seed"} {
+		if h.Meta[key] == "" {
+			return RunSpec{}, fmt.Errorf("experiments: trace header lacks %q metadata; replay needs dataset/scale/algo/seed", key)
+		}
+	}
+	scale, err := ParseScale(h.Meta["scale"])
+	if err != nil {
+		return RunSpec{}, err
+	}
+	seed, err := strconv.ParseUint(h.Meta["seed"], 10, 64)
+	if err != nil {
+		return RunSpec{}, fmt.Errorf("experiments: trace header seed %q: %w", h.Meta["seed"], err)
+	}
+	w, err := NewWorkload(h.Meta["dataset"], scale, h.Nodes, seed)
+	if err != nil {
+		return RunSpec{}, err
+	}
+	return RunSpec{
+		Workload: w,
+		Algo:     AlgoSpec{Kind: Algo(h.Meta["algo"])},
+		Rounds:   h.Rounds,
+		Seed:     seed,
+		Async:    true,
+		Gossip:   h.Policy == trace.PolicyGossip,
+	}, nil
+}
+
+// ExtReplayResult is the record/replay extension experiment: one async run
+// with heterogeneity and churn is recorded, round-tripped through the wire
+// format, and replayed as the authoritative schedule. The replay must
+// reproduce the event sequence and byte ledger exactly — the property that
+// makes cluster traces re-costable through the simulator.
+type ExtReplayResult struct {
+	Nodes, Rounds int
+
+	// Recorded-run outcome.
+	Events        int
+	RecordedBytes int64
+	RecordedAcc   float64
+
+	// Replay parity.
+	ReplayedBytes int64
+	ReplayedAcc   float64
+	RowsRecorded  int
+	RowsReplayed  int
+	SequenceMatch bool
+
+	// Staleness of the recorded run (the gossip-staleness study's columns).
+	StaleMean, StaleMax, StaleP95 float64
+
+	Stats trace.Stats
+	Diff  trace.Diff
+}
+
+// ExtReplay runs the record → write → read → replay loop on the CIFAR-10-like
+// workload under stragglers and churn.
+func ExtReplay(scale Scale, seed uint64) (*ExtReplayResult, error) {
+	w, err := NewWorkload("cifar10", scale, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder(TraceHeaderFor(w, AlgoJWINS, 0, seed, false))
+	spec := RunSpec{
+		Workload: w, Algo: AlgoSpec{Kind: AlgoJWINS}, Seed: seed, Async: true,
+		Het:           simulation.Heterogeneity{ComputeSpread: 0.5, BandwidthSpread: 0.3, LatencySpread: 0.2},
+		ChurnFraction: 0.2,
+		Recorder:      rec,
+	}
+	recorded, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Round-trip through the wire format before replaying: the parity claim
+	// covers serialization, not just the in-memory recording.
+	var wire bytes.Buffer
+	if err := trace.WriteBinary(&wire, rec.Trace()); err != nil {
+		return nil, fmt.Errorf("serialize: %w", err)
+	}
+	decoded, err := trace.Read(&wire)
+	if err != nil {
+		return nil, fmt.Errorf("deserialize: %w", err)
+	}
+	replayRes, replayedTrace, err := ReplayTrace(decoded)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+
+	diff := trace.Compare(replayedTrace, rec.Trace())
+	return &ExtReplayResult{
+		Nodes: w.Nodes, Rounds: w.Rounds,
+		Events:        rec.Len(),
+		RecordedBytes: recorded.TotalBytes,
+		RecordedAcc:   recorded.FinalAccuracy * 100,
+		ReplayedBytes: replayRes.TotalBytes,
+		ReplayedAcc:   replayRes.FinalAccuracy * 100,
+		RowsRecorded:  len(recorded.Rounds),
+		RowsReplayed:  len(replayRes.Rounds),
+		SequenceMatch: diff.InSync() && diff.TimeErrMax == 0,
+		StaleMean:     recorded.StaleMean,
+		StaleMax:      recorded.StaleMax,
+		StaleP95:      recorded.StaleP95,
+		Stats:         trace.ComputeStats(rec.Trace()),
+		Diff:          diff,
+	}, nil
+}
+
+// String renders the parity report.
+func (r *ExtReplayResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: trace record/replay (%d nodes, %d rounds, CIFAR-10-like, stragglers + 20%% churn)\n",
+		r.Nodes, r.Rounds)
+	fmt.Fprintf(&b, "  recorded: %d events, %s, %.1f%% accuracy, %d rows\n",
+		r.Events, FormatBytes(r.RecordedBytes), r.RecordedAcc, r.RowsRecorded)
+	fmt.Fprintf(&b, "  replayed: %s, %.1f%% accuracy, %d rows\n",
+		FormatBytes(r.ReplayedBytes), r.ReplayedAcc, r.RowsReplayed)
+	fmt.Fprintf(&b, "  sequence match: %v (time err max %.6fs, %d/%d unmatched)\n",
+		r.SequenceMatch, r.Diff.TimeErrMax, r.Diff.OnlyA+r.Diff.OnlyB, r.Diff.Matched)
+	fmt.Fprintf(&b, "  staleness: mean %.3f, max %.0f, p95 %.3f iterations\n",
+		r.StaleMean, r.StaleMax, r.StaleP95)
+	return b.String()
+}
+
+// CSV implements CSVer.
+func (r *ExtReplayResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("nodes,rounds,events,recorded_bytes,replayed_bytes,recorded_acc,replayed_acc,rows_recorded,rows_replayed,sequence_match,time_err_max,stale_mean,stale_max,stale_p95\n")
+	fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%.2f,%.2f,%d,%d,%v,%.6f,%.4f,%.0f,%.4f\n",
+		r.Nodes, r.Rounds, r.Events, r.RecordedBytes, r.ReplayedBytes,
+		r.RecordedAcc, r.ReplayedAcc, r.RowsRecorded, r.RowsReplayed,
+		r.SequenceMatch, r.Diff.TimeErrMax, r.StaleMean, r.StaleMax, r.StaleP95)
+	return b.String()
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/simulation"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/vec"
 )
 
@@ -141,6 +142,12 @@ type RunSpec struct {
 	// (async only); the trace is seeded from Seed and placed over the
 	// nominal run horizon.
 	ChurnFraction float64
+	// Recorder, if set, captures the executed async schedule as a trace
+	// (async only — the synchronous engine has no event schedule to record).
+	Recorder *trace.Recorder
+	// Replay, if set, makes a recorded trace the authoritative async
+	// schedule; Het/ChurnFraction stop influencing event times (async only).
+	Replay *trace.Replayer
 
 	// failure injection, set by runFleetWithFaults
 	faultDrop, faultOffline float64
@@ -195,6 +202,9 @@ func runWithNodes(spec RunSpec, nodes []core.Node) (*simulation.Result, error) {
 		FaultSeed:      spec.Seed,
 	}
 	if !spec.Async {
+		if spec.Recorder != nil || spec.Replay != nil {
+			return nil, fmt.Errorf("experiments: trace recording and replay require Async runs (the synchronous engine has no event schedule)")
+		}
 		eng := &simulation.Engine{
 			Nodes:    nodes,
 			Topology: provider,
@@ -211,11 +221,14 @@ func runWithNodes(spec RunSpec, nodes []core.Node) (*simulation.Result, error) {
 		// the combination would silently run a static-graph experiment.
 		return nil, fmt.Errorf("experiments: Dynamic topologies are not supported with Async runs yet")
 	}
-	acfg := simulation.AsyncConfig{Config: cfg, Het: spec.Het, Gossip: spec.Gossip}
+	acfg := simulation.AsyncConfig{
+		Config: cfg, Het: spec.Het, Gossip: spec.Gossip,
+		Record: spec.Recorder, Replay: spec.Replay,
+	}
 	if acfg.Het.Seed == 0 {
 		acfg.Het.Seed = spec.Seed ^ 0x686574 // "het"
 	}
-	if spec.ChurnFraction > 0 {
+	if spec.ChurnFraction > 0 && spec.Replay == nil {
 		// Place the churn window over the nominal run horizon, estimated from
 		// an uncompressed payload. That is an upper bound — compression can
 		// shorten real rounds severalfold — so the window sits early

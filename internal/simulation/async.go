@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/vec"
 )
@@ -166,6 +167,20 @@ type AsyncConfig struct {
 	// OnEvent, if set, observes every processed event in order — the
 	// deterministic event trace.
 	OnEvent func(Event)
+
+	// Record, if set, captures the full executed schedule as trace events:
+	// the authoritative train-done/arrival/leave/join sequence plus derived
+	// send records (byte breakdowns) and aggregate records (staleness lags).
+	// Write the result with the trace package; feed it back through Replay.
+	Record *trace.Recorder
+
+	// Replay, if set, makes a recorded trace the authoritative schedule:
+	// train-done times, arrival times, message drops, and leave/join churn
+	// all come from the recording. Profiles/Het/Churn/DropProb stop
+	// influencing the schedule, so a run replays deterministically — or a
+	// wall-clock cluster trace re-executes under the simulator's ledger. A
+	// Replayer is consumed by the run; build a fresh one per replay.
+	Replay *trace.Replayer
 }
 
 // AsyncEngine runs one experiment under the event-driven scheduler.
@@ -231,6 +246,14 @@ type asyncRun struct {
 	// meshPending buffers mesh messages drained out of order, keyed by
 	// receiver then sender (FIFO per sender).
 	meshPending []map[int][]transport.Message
+
+	// trace subsystem state: recorder hook, replay oracle, staleness
+	// accumulator, and the count of replay lookups that found no recorded
+	// event (a nonzero count on a stalled replay means config mismatch).
+	rec          *trace.Recorder
+	replay       *trace.Replayer
+	stale        *staleTracker
+	replayMisses int
 }
 
 // Run executes the event-driven schedule and returns the collected metrics.
@@ -261,9 +284,18 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		lossSum:   make([]float64, cfg.Rounds),
 		lossCount: make([]int, cfg.Rounds),
 		res:       &Result{RoundsToTarget: -1},
+		rec:       cfg.Record,
+		replay:    cfg.Replay,
+		stale:     newStaleTracker(cfg.Rounds),
 	}
-	if cfg.DropProb > 0 {
+	if cfg.DropProb > 0 && r.replay == nil {
+		// Under replay, drops come from the recorded arrivals instead.
 		r.faultRNG = vec.NewRNG(cfg.FaultSeed ^ 0xfa017)
+	}
+	if r.replay != nil {
+		if rn := r.replay.Header().Nodes; rn != n {
+			return nil, fmt.Errorf("simulation: replay trace has %d nodes, engine has %d", rn, n)
+		}
 	}
 	if e.Mesh != nil {
 		r.meshPending = make([]map[int][]transport.Message, n)
@@ -289,15 +321,26 @@ func (e *AsyncEngine) Run() (*Result, error) {
 	for i := 0; i < n; i++ {
 		r.scheduleTrain(i)
 	}
-	for _, ch := range cfg.Churn {
-		if ch.Node < 0 || ch.Node >= n {
-			return nil, fmt.Errorf("simulation: churn event for node %d, engine has %d nodes", ch.Node, n)
+	if r.replay != nil {
+		// The recorded leave/join sequence is the churn schedule.
+		for _, ev := range r.replay.Churn() {
+			kind := EventLeave
+			if ev.Kind == trace.KindJoin {
+				kind = EventJoin
+			}
+			r.push(&Event{Time: ev.Time, Kind: kind, Node: ev.Node})
 		}
-		kind := EventLeave
-		if ch.Join {
-			kind = EventJoin
+	} else {
+		for _, ch := range cfg.Churn {
+			if ch.Node < 0 || ch.Node >= n {
+				return nil, fmt.Errorf("simulation: churn event for node %d, engine has %d nodes", ch.Node, n)
+			}
+			kind := EventLeave
+			if ch.Join {
+				kind = EventJoin
+			}
+			r.push(&Event{Time: ch.Time, Kind: kind, Node: ch.Node})
 		}
-		r.push(&Event{Time: ch.Time, Kind: kind, Node: ch.Node})
 	}
 
 	for r.queue.Len() > 0 && !r.stop {
@@ -305,6 +348,11 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		r.now = ev.Time
 		if cfg.OnEvent != nil {
 			cfg.OnEvent(*ev)
+		}
+		if r.rec != nil {
+			if tev, ok := schedTraceEvent(ev); ok {
+				r.rec.Record(tev)
+			}
 		}
 		var err error
 		switch ev.Kind {
@@ -325,8 +373,19 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		}
 	}
 
+	if r.replay != nil && !r.stop && r.emitted < cfg.Rounds {
+		return nil, fmt.Errorf("simulation: replay stalled at %d/%d rows (%d missed schedule lookups): trace does not match this run configuration",
+			r.emitted, cfg.Rounds, r.replayMisses)
+	}
+	if r.rec != nil && r.emitted > 0 && r.emitted < cfg.Rounds {
+		// The run stopped early (target accuracy): the trace holds only the
+		// executed prefix, so the header must advertise the executed budget —
+		// otherwise a replay would chase rounds that were never scheduled.
+		r.rec.Trace().Header.Rounds = r.emitted
+	}
 	r.res.TotalBytes, r.res.ModelBytes, r.res.MetaBytes = r.ledger.total, r.ledger.model, r.ledger.meta
 	r.res.SimTime = r.now
+	r.res.StaleMean, r.res.StaleMax, r.res.StaleP95 = r.stale.runStats()
 	if r.res.RoundsToTarget < 0 {
 		r.res.BytesToTarget = r.ledger.total
 		r.res.TimeToTarget = r.now
@@ -341,12 +400,25 @@ func (r *asyncRun) push(ev *Event) {
 	heap.Push(&r.queue, ev)
 }
 
-// scheduleTrain enqueues node i's next train-done event under its profile.
+// scheduleTrain enqueues node i's next train-done event under its profile —
+// or, under replay, at the recorded completion time. A missing recording
+// means the original event was superseded by churn before it mattered;
+// skipping it is safe (the node's leave is on the schedule), and a stalled
+// replay surfaces the miss count as a config-mismatch error.
 func (r *asyncRun) scheduleTrain(i int) {
 	st := &r.nodes[i]
-	dur := float64(localSteps(r.eng.Nodes[i])) * r.profiles[i].ComputeSecPerStep
+	t := r.now + float64(localSteps(r.eng.Nodes[i]))*r.profiles[i].ComputeSecPerStep
+	if r.replay != nil {
+		rt, ok := r.replay.TrainDoneTime(i, st.iter)
+		if !ok {
+			r.replayMisses++
+			return
+		}
+		// Clamp: a skewed cluster clock must not move simulated time backward.
+		t = math.Max(rt, r.now)
+	}
 	r.push(&Event{
-		Time: r.now + dur, Kind: EventTrainDone,
+		Time: t, Kind: EventTrainDone,
 		Node: i, Iter: st.iter, gen: st.gen,
 	})
 }
@@ -397,10 +469,39 @@ func (r *asyncRun) broadcast(i, iter int, payload []byte, bd codec.ByteBreakdown
 }
 
 // sendOne schedules one delivery from i to j, txDelay seconds of uplink
-// serialization after now, and charges the ledger.
+// serialization after now, and charges the ledger. Under replay the recorded
+// schedule decides everything: the send record carries the drop flag, the
+// arrival record the delivery time — and a send whose arrival was never
+// recorded was still in flight when the recorded run ended, so it is paid
+// for but never delivered, exactly like the original.
 func (r *asyncRun) sendOne(i, j, iter int, payload []byte, bd codec.ByteBreakdown, txDelay float64, dropped bool) error {
 	arriveAt := r.now + txDelay + r.profiles[i].LatencySec
+	deliver := true
+	if r.replay != nil {
+		at, d, ok := r.replay.NextArrival(i, j, iter)
+		if sd, sok := r.replay.NextSend(i, j, iter); sok {
+			dropped = sd
+		} else if ok {
+			dropped = d
+		} else {
+			// Neither a send nor an arrival on record: count the miss; a
+			// stalled replay reports it as a config mismatch.
+			r.replayMisses++
+		}
+		if ok {
+			// Clamp: skewed cluster clocks must not move simulated time back.
+			arriveAt = math.Max(at, r.now)
+		} else {
+			deliver = false
+		}
+	}
 	r.ledger.addSend(bd, len(payload), 1)
+	if r.rec != nil {
+		r.rec.Record(sendTraceEvent(r.now, i, j, iter, len(payload), bd, dropped))
+	}
+	if !deliver {
+		return nil
+	}
 	if !dropped && r.eng.Mesh != nil {
 		if err := r.eng.Mesh.Send(transport.Message{
 			From: i, To: j, Round: iter, Payload: payload,
@@ -490,6 +591,10 @@ func (r *asyncRun) aggregate(i int) error {
 	st := &r.nodes[i]
 	g, w := r.masked.Round(0)
 	msgs := make(map[int][]byte, g.Degree(i))
+	// lags holds one staleness sample per merged payload: the aggregator's
+	// iteration minus the payload's, clamped at zero (neighbors running
+	// ahead are not stale).
+	lags := make([]float64, 0, g.Degree(i))
 	for _, j := range g.Neighbors(i) {
 		box := st.inbox[j]
 		if len(box) == 0 {
@@ -499,6 +604,7 @@ func (r *asyncRun) aggregate(i int) error {
 		// to the freshest buffered one (gossip, or a fast-forwarded joiner).
 		if p, ok := box[st.iter]; ok && !r.cfg.Gossip {
 			msgs[j] = p
+			lags = append(lags, 0)
 			continue
 		}
 		best := -1
@@ -509,10 +615,19 @@ func (r *asyncRun) aggregate(i int) error {
 		}
 		if best >= 0 {
 			msgs[j] = box[best]
+			lags = append(lags, math.Max(0, float64(st.iter-best)))
 		}
 	}
 	if err := r.eng.Nodes[i].Aggregate(st.iter, w[i], msgs); err != nil {
 		return fmt.Errorf("node %d aggregate: %w", i, err)
+	}
+	r.stale.add(st.iter, lags)
+	if r.rec != nil {
+		mean, max, _ := summarizeLags(lags)
+		r.rec.Record(trace.Event{
+			Time: r.now, Kind: trace.KindAggregate, Node: i, Peer: -1, Iter: st.iter,
+			LagMax: int(max), LagMean: mean, LagN: len(lags),
+		})
 	}
 	if !r.cfg.Gossip {
 		// Consume everything at or below the aggregated iteration.
@@ -648,6 +763,7 @@ func (r *asyncRun) emitRows() error {
 			SimTime:       r.now,
 			MeanAlpha:     meanAlphaOf(r.eng.Nodes),
 		}
+		rm.StaleMean, rm.StaleMax, rm.StaleP95 = r.stale.rowStats(k)
 		if r.lossCount[k] > 0 {
 			rm.TrainLoss = r.lossSum[k] / float64(r.lossCount[k])
 		}

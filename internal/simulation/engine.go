@@ -97,6 +97,15 @@ type RoundMetrics struct {
 	// MeanAlpha is the mean sharing fraction sampled this round (JWINS only,
 	// NaN otherwise) — the Figure 3 series.
 	MeanAlpha float64
+	// StaleMean/StaleMax/StaleP95 summarize the iteration lag (staleness) of
+	// payloads merged by this iteration's aggregations: per merged payload,
+	// lag = aggregator's iteration - payload's iteration, clamped at zero.
+	// Identically 0 under the synchronous engine and the async local barrier
+	// (every aggregation consumes current-iteration payloads); nonzero under
+	// gossip and for rejoining nodes that merge cached broadcasts.
+	StaleMean float64
+	StaleMax  float64
+	StaleP95  float64
 }
 
 // Result aggregates a full run.
@@ -117,6 +126,11 @@ type Result struct {
 	ModelBytes   int64
 	MetaBytes    int64
 	SimTime      float64
+	// StaleMean/StaleMax/StaleP95 summarize payload staleness over every
+	// aggregation of the run (see RoundMetrics).
+	StaleMean float64
+	StaleMax  float64
+	StaleP95  float64
 }
 
 // Engine runs one experiment.

@@ -1,0 +1,93 @@
+// record.go bridges the async scheduler and the trace subsystem: it maps
+// processed scheduler events to trace records (the authoritative schedule a
+// Replayer later feeds back), builds the derived send/aggregate records that
+// carry byte breakdowns and staleness lags, and accumulates the staleness
+// distribution reported in RoundMetrics/Result rows.
+package simulation
+
+import (
+	"repro/internal/codec"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// schedTraceEvent converts a popped scheduler event to its trace record.
+// ok is false for kinds that have no trace representation.
+func schedTraceEvent(ev *Event) (trace.Event, bool) {
+	out := trace.Event{Time: ev.Time, Node: ev.Node, Peer: -1, Iter: ev.Iter}
+	switch ev.Kind {
+	case EventTrainDone:
+		out.Kind = trace.KindTrainDone
+	case EventArrival:
+		out.Kind = trace.KindArrival
+		out.Peer = ev.From
+		out.Dropped = ev.Dropped
+	case EventLeave:
+		out.Kind = trace.KindLeave
+		out.Iter = 0
+	case EventJoin:
+		out.Kind = trace.KindJoin
+		out.Iter = 0
+	default:
+		return trace.Event{}, false
+	}
+	return out, true
+}
+
+// sendTraceEvent builds the derived send record, mirroring the byte ledger's
+// accounting (payload + framing, metadata charged for the frame header).
+func sendTraceEvent(now float64, from, to, iter, payloadLen int, bd codec.ByteBreakdown, dropped bool) trace.Event {
+	return trace.Event{
+		Time: now, Kind: trace.KindSend, Node: from, Peer: to, Iter: iter, Dropped: dropped,
+		Bytes:      payloadLen + transport.FrameOverhead,
+		ModelBytes: bd.Model,
+		MetaBytes:  bd.Meta + transport.FrameOverhead,
+	}
+}
+
+// staleTracker accumulates per-aggregation payload iteration lags, bucketed
+// by iteration for row emission and pooled for the run summary.
+type staleTracker struct {
+	perIter [][]float64
+	all     []float64
+}
+
+func newStaleTracker(rounds int) *staleTracker {
+	return &staleTracker{perIter: make([][]float64, rounds)}
+}
+
+// add records the lags of one aggregation at the given iteration.
+func (s *staleTracker) add(iter int, lags []float64) {
+	if iter >= 0 && iter < len(s.perIter) {
+		s.perIter[iter] = append(s.perIter[iter], lags...)
+	}
+	s.all = append(s.all, lags...)
+}
+
+// rowStats summarizes one iteration's samples (zeros when empty: nothing
+// stale was merged).
+func (s *staleTracker) rowStats(iter int) (mean, max, p95 float64) {
+	if iter < 0 || iter >= len(s.perIter) {
+		return 0, 0, 0
+	}
+	return summarizeLags(s.perIter[iter])
+}
+
+// runStats summarizes the whole run.
+func (s *staleTracker) runStats() (mean, max, p95 float64) {
+	return summarizeLags(s.all)
+}
+
+func summarizeLags(lags []float64) (mean, max, p95 float64) {
+	if len(lags) == 0 {
+		return 0, 0, 0
+	}
+	var sum float64
+	for _, l := range lags {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	return sum / float64(len(lags)), max, trace.Quantile(lags, 0.95)
+}

@@ -1,0 +1,226 @@
+// reader.go parses traces back, sniffing the encoding from the first bytes
+// and validating strictly: a wrong magic/format is ErrNotTrace, a wrong
+// version ErrVersion, a missing or short footer ErrTruncated, and anything
+// structurally invalid (unknown kinds, range violations, time regressions,
+// footer count mismatches) ErrCorrupt.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// maxHeaderLen bounds the binary header's declared JSON length so corrupt
+// length prefixes cannot trigger huge allocations.
+const maxHeaderLen = 1 << 20
+
+// Read parses a trace in either encoding and validates it fully.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("%w: empty input", ErrNotTrace)
+	}
+	var t *Trace
+	switch first[0] {
+	case binaryMagic[0]:
+		t, err = readBinary(br)
+	case '{':
+		t, err = readJSONL(br)
+	default:
+		return nil, fmt.Errorf("%w: unrecognized leading byte %q", ErrNotTrace, first[0])
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(t.Header, t.Events); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadFile reads and validates the trace at path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+func readJSONL(br *bufio.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: no header line", ErrNotTrace)
+	}
+	var h Header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrNotTrace, err)
+	}
+	if h.Format != FormatName {
+		return nil, fmt.Errorf("%w: header format %q", ErrNotTrace, h.Format)
+	}
+	if h.Version != FormatVersion {
+		return nil, fmt.Errorf("%w: %d (reader supports %d)", ErrVersion, h.Version, FormatVersion)
+	}
+	t := &Trace{Header: h}
+	// Streaming parse with a single deferred parse error: an unparsable
+	// line is corruption if anything follows it, but a file cut off
+	// mid-write (ErrTruncated) if it is the last line before EOF.
+	sawFooter := false
+	var pendingErr error
+	line := 1
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
+		if sawFooter {
+			return nil, fmt.Errorf("%w: line %d: content after footer", ErrCorrupt, line)
+		}
+		var f footer
+		if err := json.Unmarshal(raw, &f); err == nil && f.End {
+			if f.Events != len(t.Events) {
+				return nil, fmt.Errorf("%w: footer declares %d events, read %d", ErrCorrupt, f.Events, len(t.Events))
+			}
+			sawFooter = true
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			pendingErr = fmt.Errorf("%w: line %d: %v", ErrCorrupt, line, err)
+			continue
+		}
+		t.Events = append(t.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if pendingErr != nil {
+		// The unparsable line was the last one: a mid-write cut-off.
+		return nil, fmt.Errorf("%w: last line unparsable after %d events", ErrTruncated, len(t.Events))
+	}
+	if !sawFooter {
+		return nil, fmt.Errorf("%w: footer missing after %d events", ErrTruncated, len(t.Events))
+	}
+	return t, nil
+}
+
+func readBinary(br *bufio.Reader) (*Trace, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: short magic", ErrNotTrace)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrNotTrace, magic[:])
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing version byte", ErrTruncated)
+	}
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w: %d (reader supports %d)", ErrVersion, version, FormatVersion)
+	}
+	hdrLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, truncOr(err, "header length")
+	}
+	if hdrLen > maxHeaderLen {
+		return nil, fmt.Errorf("%w: header length %d exceeds limit", ErrCorrupt, hdrLen)
+	}
+	hdr := make([]byte, hdrLen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, truncOr(err, "header")
+	}
+	var h Header
+	if err := json.Unmarshal(hdr, &h); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	t := &Trace{Header: h}
+	for {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, truncOr(err, "event kind")
+		}
+		if kind == 0 { // end marker
+			count, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, truncOr(err, "event count")
+			}
+			if int(count) != len(t.Events) {
+				return nil, fmt.Errorf("%w: end marker declares %d events, read %d", ErrCorrupt, count, len(t.Events))
+			}
+			if _, err := br.ReadByte(); err != io.EOF {
+				return nil, fmt.Errorf("%w: content after end marker", ErrCorrupt)
+			}
+			return t, nil
+		}
+		ev, err := readBinaryEvent(br, Kind(kind))
+		if err != nil {
+			return nil, err
+		}
+		t.Events = append(t.Events, ev)
+	}
+}
+
+func readBinaryEvent(br *bufio.Reader, kind Kind) (Event, error) {
+	ev := Event{Kind: kind}
+	if !kind.Valid() {
+		return ev, fmt.Errorf("%w: unknown event kind %d", ErrCorrupt, uint8(kind))
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return ev, truncOr(err, "event flags")
+	}
+	ev.Dropped = flags&1 != 0
+	var tb [8]byte
+	if _, err := io.ReadFull(br, tb[:]); err != nil {
+		return ev, truncOr(err, "event time")
+	}
+	ev.Time = math.Float64frombits(binary.LittleEndian.Uint64(tb[:]))
+	fields := [8]*int{&ev.Node, &ev.Peer, &ev.Iter, &ev.Bytes, &ev.ModelBytes, &ev.MetaBytes, &ev.LagMax, &ev.LagN}
+	for i, dst := range fields {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return ev, truncOr(err, "event field")
+		}
+		if v > math.MaxInt32 {
+			return ev, fmt.Errorf("%w: event field %d overflows", ErrCorrupt, i)
+		}
+		*dst = int(v)
+	}
+	ev.Peer-- // stored shifted by one so -1 packs as zero
+	if kind == KindAggregate {
+		if _, err := io.ReadFull(br, tb[:]); err != nil {
+			return ev, truncOr(err, "lag mean")
+		}
+		ev.LagMean = math.Float64frombits(binary.LittleEndian.Uint64(tb[:]))
+	}
+	return ev, nil
+}
+
+// truncOr maps unexpected EOFs to ErrTruncated and everything else to
+// ErrCorrupt, annotated with what was being read.
+func truncOr(err error, what string) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: mid %s", ErrTruncated, what)
+	}
+	return fmt.Errorf("%w: reading %s: %v", ErrCorrupt, what, err)
+}

@@ -1,0 +1,249 @@
+// stats.go summarizes and compares traces: per-kind counts, the byte ledger,
+// the staleness distribution, and — for sim-vs-real validation — a keyed diff
+// reporting per-event time error and ordering agreement.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes one trace.
+type Stats struct {
+	Events int
+	ByKind map[Kind]int
+	// Duration is the last event's timestamp.
+	Duration float64
+	// NodesSeen counts distinct subject nodes.
+	NodesSeen int
+	// Byte ledger accumulated over send events (drops included: senders pay).
+	TotalBytes, ModelBytes, MetaBytes int64
+	// Drops counts sends lost in flight.
+	Drops int
+	// StaleMean/StaleMax/StaleP95 summarize staleness over aggregations.
+	// StaleMean is weighted by each aggregation's payload count (LagN), so
+	// it equals the per-payload mean a Result reports for the same run;
+	// StaleMax is the max of per-aggregation maxima (also exact). StaleP95
+	// is the 95th percentile of per-aggregation MEAN lags — individual
+	// payload lags are not stored in the trace, so it is coarser than the
+	// Result's per-payload p95.
+	StaleMean, StaleMax, StaleP95 float64
+}
+
+// ComputeStats scans t once.
+func ComputeStats(t *Trace) Stats {
+	s := Stats{Events: len(t.Events), ByKind: make(map[Kind]int), Duration: t.Duration()}
+	nodes := make(map[int]struct{})
+	var lagMeans []float64
+	var lagSum float64
+	lagCount := 0
+	for _, ev := range t.Events {
+		s.ByKind[ev.Kind]++
+		nodes[ev.Node] = struct{}{}
+		switch ev.Kind {
+		case KindSend:
+			s.TotalBytes += int64(ev.Bytes)
+			s.ModelBytes += int64(ev.ModelBytes)
+			s.MetaBytes += int64(ev.MetaBytes)
+			if ev.Dropped {
+				s.Drops++
+			}
+		case KindAggregate:
+			if ev.LagN > 0 {
+				lagMeans = append(lagMeans, ev.LagMean)
+				lagSum += ev.LagMean * float64(ev.LagN)
+				lagCount += ev.LagN
+			}
+			if float64(ev.LagMax) > s.StaleMax {
+				s.StaleMax = float64(ev.LagMax)
+			}
+		}
+	}
+	s.NodesSeen = len(nodes)
+	if lagCount > 0 {
+		s.StaleMean = lagSum / float64(lagCount)
+		s.StaleP95 = Quantile(lagMeans, 0.95)
+	}
+	return s
+}
+
+// String renders a human-readable summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events: %d over %.3fs, %d nodes\n", s.Events, s.Duration, s.NodesSeen)
+	kinds := make([]Kind, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-11s %d\n", k.String(), s.ByKind[k])
+	}
+	fmt.Fprintf(&b, "bytes: %d total (%d model, %d metadata), %d sends dropped\n",
+		s.TotalBytes, s.ModelBytes, s.MetaBytes, s.Drops)
+	fmt.Fprintf(&b, "staleness: mean %.3f, max %.0f iterations (p95 of per-aggregation means %.3f)\n",
+		s.StaleMean, s.StaleMax, s.StaleP95)
+	return b.String()
+}
+
+// Diff reports how two traces of the same logical run differ. Events are
+// matched by (kind, node, peer, iteration) with repeated keys paired in
+// order, so a simulated schedule lines up with its cluster execution even
+// when global interleavings differ.
+type Diff struct {
+	// Matched counts events present in both traces; OnlyA/OnlyB count the
+	// leftovers.
+	Matched, OnlyA, OnlyB int
+	// TimeErrMean/Max/P95 summarize |timeA - timeB| over matched events —
+	// the per-event time error of A's clock against B's.
+	TimeErrMean, TimeErrMax, TimeErrP95 float64
+	// DurationA/DurationB are the traces' total spans (their ratio is the
+	// aggregate time-model error).
+	DurationA, DurationB float64
+	// BytesA/BytesB are the traces' send-ledger totals.
+	BytesA, BytesB int64
+	// OrderMismatches counts nodes whose own event sequence (the per-node
+	// observed ordering) differs between the traces; Nodes is how many nodes
+	// appeared in either.
+	OrderMismatches, Nodes int
+}
+
+type diffKey struct {
+	kind       Kind
+	node, peer int
+	iter       int
+}
+
+// Compare diffs a against b.
+func Compare(a, b *Trace) Diff {
+	d := Diff{DurationA: a.Duration(), DurationB: b.Duration()}
+	d.BytesA = sendBytes(a)
+	d.BytesB = sendBytes(b)
+
+	// Pair events by key, FIFO within a key.
+	bTimes := make(map[diffKey][]float64)
+	for _, ev := range b.Events {
+		k := keyOf(ev)
+		bTimes[k] = append(bTimes[k], ev.Time)
+	}
+	var errs []float64
+	for _, ev := range a.Events {
+		k := keyOf(ev)
+		q := bTimes[k]
+		if len(q) == 0 {
+			d.OnlyA++
+			continue
+		}
+		bTimes[k] = q[1:]
+		d.Matched++
+		errs = append(errs, math.Abs(ev.Time-q[0]))
+	}
+	for _, q := range bTimes {
+		d.OnlyB += len(q)
+	}
+	if len(errs) > 0 {
+		var sum float64
+		for _, e := range errs {
+			sum += e
+			if e > d.TimeErrMax {
+				d.TimeErrMax = e
+			}
+		}
+		d.TimeErrMean = sum / float64(len(errs))
+		d.TimeErrP95 = Quantile(errs, 0.95)
+	}
+
+	// Per-node observed ordering: the sequence of a node's own events.
+	seqA, seqB := nodeSequences(a), nodeSequences(b)
+	nodes := make(map[int]struct{})
+	for n := range seqA {
+		nodes[n] = struct{}{}
+	}
+	for n := range seqB {
+		nodes[n] = struct{}{}
+	}
+	d.Nodes = len(nodes)
+	for n := range nodes {
+		if !equalKeys(seqA[n], seqB[n]) {
+			d.OrderMismatches++
+		}
+	}
+	return d
+}
+
+// String renders the diff report.
+func (d Diff) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "matched %d events (%d only in A, %d only in B)\n", d.Matched, d.OnlyA, d.OnlyB)
+	fmt.Fprintf(&b, "per-event time error: mean %.4fs, p95 %.4fs, max %.4fs\n",
+		d.TimeErrMean, d.TimeErrP95, d.TimeErrMax)
+	ratio := math.NaN()
+	if d.DurationB > 0 {
+		ratio = d.DurationA / d.DurationB
+	}
+	fmt.Fprintf(&b, "duration: A %.3fs vs B %.3fs (ratio %.3f)\n", d.DurationA, d.DurationB, ratio)
+	fmt.Fprintf(&b, "send bytes: A %d vs B %d (delta %d)\n", d.BytesA, d.BytesB, d.BytesA-d.BytesB)
+	fmt.Fprintf(&b, "per-node ordering: %d/%d nodes diverge\n", d.OrderMismatches, d.Nodes)
+	return b.String()
+}
+
+// InSync reports whether the traces describe the same schedule: every event
+// matched, identical byte ledgers, and identical per-node orderings. Time
+// errors are allowed — that is the measurement.
+func (d Diff) InSync() bool {
+	return d.OnlyA == 0 && d.OnlyB == 0 && d.BytesA == d.BytesB && d.OrderMismatches == 0
+}
+
+func keyOf(ev Event) diffKey {
+	return diffKey{kind: ev.Kind, node: ev.Node, peer: ev.Peer, iter: ev.Iter}
+}
+
+func sendBytes(t *Trace) int64 {
+	var total int64
+	for _, ev := range t.Events {
+		if ev.Kind == KindSend {
+			total += int64(ev.Bytes)
+		}
+	}
+	return total
+}
+
+func nodeSequences(t *Trace) map[int][]diffKey {
+	seq := make(map[int][]diffKey)
+	for _, ev := range t.Events {
+		seq[ev.Node] = append(seq[ev.Node], keyOf(ev))
+	}
+	return seq
+}
+
+func equalKeys(a, b []diffKey) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Quantile returns the q-quantile (0..1) of xs by the nearest-rank method,
+// without mutating xs. Returns 0 for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,269 @@
+// Package trace defines the versioned event-trace format shared by the
+// simulated async scheduler and the real multi-process cluster runner: a
+// header describing the run, followed by the executed schedule as a
+// time-ordered event sequence (train-done, send, arrival, aggregate, leave,
+// join) with iteration numbers, per-send byte breakdowns, and per-aggregation
+// staleness lags.
+//
+// Two encodings carry the same data: JSONL (one JSON object per line,
+// greppable, diff-friendly) and a compact binary variant (varint-packed,
+// roughly 5x smaller). Both end with an explicit footer carrying the event
+// count so truncation is always detectable. Readers validate strictly and
+// report typed errors (ErrNotTrace, ErrVersion, ErrTruncated, ErrCorrupt).
+//
+// A recorded trace is a complete, authoritative schedule: feeding it back
+// into the async engine (see Replayer and simulation.AsyncConfig.Replay)
+// reproduces the run event for event, or re-costs a wall-clock trace captured
+// on a real cluster through the simulator's byte ledger.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FormatName identifies trace files in the JSONL header line.
+const FormatName = "jwins-trace"
+
+// FormatVersion is the current trace format version. Readers reject other
+// versions with ErrVersion rather than guessing.
+const FormatVersion = 1
+
+// Typed reader errors. Wrapped errors add positional detail; match with
+// errors.Is.
+var (
+	// ErrNotTrace marks input that is not a trace file at all.
+	ErrNotTrace = errors.New("trace: not a trace file")
+	// ErrVersion marks a trace written by an unsupported format version.
+	ErrVersion = errors.New("trace: unsupported format version")
+	// ErrTruncated marks a trace whose footer is missing or short — the file
+	// was cut off mid-write.
+	ErrTruncated = errors.New("trace: truncated")
+	// ErrCorrupt marks structurally invalid content: unknown event kinds,
+	// out-of-range nodes, time regressions, or a footer count mismatch.
+	ErrCorrupt = errors.New("trace: corrupt")
+)
+
+// Kind enumerates trace event types.
+type Kind uint8
+
+// Event kinds. KindTrainDone, KindArrival, KindLeave, and KindJoin are the
+// scheduler's authoritative events (a Replayer feeds them back as the
+// schedule); KindSend and KindAggregate are derived observations used for
+// byte accounting and staleness analysis.
+const (
+	KindTrainDone Kind = iota + 1
+	KindSend
+	KindArrival
+	KindAggregate
+	KindLeave
+	KindJoin
+	kindEnd // exclusive upper bound for validation
+)
+
+var kindNames = map[Kind]string{
+	KindTrainDone: "train-done",
+	KindSend:      "send",
+	KindArrival:   "arrival",
+	KindAggregate: "aggregate",
+	KindLeave:     "leave",
+	KindJoin:      "join",
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a known event kind.
+func (k Kind) Valid() bool { return k >= KindTrainDone && k < kindEnd }
+
+// MarshalJSON encodes the kind as its short name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	n, ok := kindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("trace: cannot marshal %v", k)
+	}
+	return []byte(`"` + n + `"`), nil
+}
+
+// UnmarshalJSON decodes a short kind name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("trace: kind must be a string, got %s", b)
+	}
+	v, ok := kindByName[string(b[1:len(b)-1])]
+	if !ok {
+		return fmt.Errorf("trace: unknown kind %s", b)
+	}
+	*k = v
+	return nil
+}
+
+// Header describes the run a trace was captured from.
+type Header struct {
+	// Format is FormatName; readers reject anything else.
+	Format string `json:"format"`
+	// Version is FormatVersion at write time.
+	Version int `json:"version"`
+	// Nodes is the fleet size; every event's Node/Peer must be below it.
+	Nodes int `json:"nodes"`
+	// Rounds is the per-node iteration budget of the recorded run.
+	Rounds int `json:"rounds"`
+	// Source is "sim" for simulated schedules (timestamps are simulated
+	// seconds) or "cluster" for real runs (wall-clock seconds since the
+	// coordinator's start signal).
+	Source string `json:"source"`
+	// Policy is the aggregation policy: "barrier" or "gossip".
+	Policy string `json:"policy"`
+	// Meta carries free-form run parameters (dataset, scale, algo, seed...)
+	// so tools can rebuild the fleet for replay without extra flags.
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// Trace sources.
+const (
+	SourceSim     = "sim"
+	SourceCluster = "cluster"
+)
+
+// Aggregation policies.
+const (
+	PolicyBarrier = "barrier"
+	PolicyGossip  = "gossip"
+)
+
+// Event is one entry of the executed schedule. Field use by kind:
+//
+//	train-done  Node trained iteration Iter (Time = compute finished)
+//	send        Node sent its Iter payload to Peer (bytes = payload+framing,
+//	            split into model and metadata; Dropped marks a send whose
+//	            delivery was lost — the sender still pays)
+//	arrival     Node received Peer's Iter payload (or its drop notice)
+//	aggregate   Node merged its Iter neighborhood; LagMax/LagMean/LagN
+//	            summarize the iteration lag (staleness) of merged payloads
+//	leave/join  Node left or rejoined the run (churn)
+type Event struct {
+	// Time is seconds since run start (simulated or wall-clock per
+	// Header.Source). Within a trace, times are non-decreasing.
+	Time float64 `json:"t"`
+	Kind Kind    `json:"k"`
+	// Node is the subject: trainer, sender, receiver, aggregator, or churner.
+	Node int `json:"n"`
+	// Peer is the counterpart (receiver for send, sender for arrival), or -1
+	// when not applicable.
+	Peer int `json:"p"`
+	// Iter is the iteration the event belongs to.
+	Iter int `json:"i"`
+	// Dropped marks lost deliveries (send and arrival only).
+	Dropped bool `json:"d,omitempty"`
+	// Bytes/ModelBytes/MetaBytes are the send's wire cost (send only).
+	Bytes      int `json:"b,omitempty"`
+	ModelBytes int `json:"bm,omitempty"`
+	MetaBytes  int `json:"bx,omitempty"`
+	// LagMax/LagMean/LagN summarize staleness at an aggregation: per merged
+	// payload, lag = aggregator's iteration - payload's iteration, clamped at
+	// zero (a neighbor running ahead is not stale). LagN counts payloads.
+	LagMax  int     `json:"lx,omitempty"`
+	LagMean float64 `json:"lm,omitempty"`
+	LagN    int     `json:"ln,omitempty"`
+}
+
+// Trace is a fully-read trace: header plus the complete event sequence.
+type Trace struct {
+	Header Header
+	Events []Event
+}
+
+// Duration returns the last event's timestamp (0 for an empty trace).
+func (t *Trace) Duration() float64 {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return t.Events[len(t.Events)-1].Time
+}
+
+// Validate checks header sanity and every event against the header: known
+// kinds, in-range node/peer ids, non-negative iterations and byte counts,
+// and non-decreasing timestamps. Violations return ErrCorrupt (wrapped with
+// the offending event index).
+func Validate(h Header, events []Event) error {
+	if h.Format != FormatName {
+		return fmt.Errorf("%w: header format %q", ErrNotTrace, h.Format)
+	}
+	if h.Version != FormatVersion {
+		return fmt.Errorf("%w: %d (reader supports %d)", ErrVersion, h.Version, FormatVersion)
+	}
+	if h.Nodes <= 0 {
+		return fmt.Errorf("%w: header declares %d nodes", ErrCorrupt, h.Nodes)
+	}
+	prev := math.Inf(-1)
+	for i, ev := range events {
+		if !ev.Kind.Valid() {
+			return fmt.Errorf("%w: event %d has unknown kind %d", ErrCorrupt, i, uint8(ev.Kind))
+		}
+		if math.IsNaN(ev.Time) || ev.Time < prev {
+			return fmt.Errorf("%w: event %d time %v regresses below %v", ErrCorrupt, i, ev.Time, prev)
+		}
+		prev = ev.Time
+		if ev.Node < 0 || ev.Node >= h.Nodes {
+			return fmt.Errorf("%w: event %d node %d out of range [0,%d)", ErrCorrupt, i, ev.Node, h.Nodes)
+		}
+		switch ev.Kind {
+		case KindSend, KindArrival:
+			if ev.Peer < 0 || ev.Peer >= h.Nodes {
+				return fmt.Errorf("%w: event %d peer %d out of range [0,%d)", ErrCorrupt, i, ev.Peer, h.Nodes)
+			}
+		default:
+			if ev.Peer != -1 {
+				return fmt.Errorf("%w: event %d (%v) has peer %d, want -1", ErrCorrupt, i, ev.Kind, ev.Peer)
+			}
+		}
+		if ev.Iter < 0 {
+			return fmt.Errorf("%w: event %d iteration %d negative", ErrCorrupt, i, ev.Iter)
+		}
+		if ev.Bytes < 0 || ev.ModelBytes < 0 || ev.MetaBytes < 0 || ev.LagMax < 0 || ev.LagN < 0 {
+			return fmt.Errorf("%w: event %d has negative counters", ErrCorrupt, i)
+		}
+	}
+	return nil
+}
+
+// Recorder accumulates a trace in memory as a run executes. The zero-cost
+// hook for the async engine (simulation.AsyncConfig.Record) and the cluster
+// worker loop; write the result out with Write/WriteBinary/WriteFile.
+type Recorder struct {
+	t Trace
+}
+
+// NewRecorder starts a recorder. Format and Version are filled in; the caller
+// provides the run description.
+func NewRecorder(h Header) *Recorder {
+	h.Format = FormatName
+	h.Version = FormatVersion
+	return &Recorder{t: Trace{Header: h}}
+}
+
+// Record appends one event.
+func (r *Recorder) Record(ev Event) {
+	r.t.Events = append(r.t.Events, ev)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.t.Events) }
+
+// Trace returns the recorded trace. The recorder retains ownership; callers
+// must not mutate it while recording continues.
+func (r *Recorder) Trace() *Trace { return &r.t }

@@ -1,0 +1,151 @@
+// writer.go serializes traces. JSONL: a header object line, one event object
+// per line, and a {"end":true,"events":N} footer. Binary: "JWTR" magic, a
+// version byte, the JSON header length-prefixed, then varint-packed events
+// terminated by a zero kind byte and the event count. The footer/count makes
+// truncation detectable in both encodings.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// binaryMagic opens every binary trace; JSONL traces open with '{'.
+var binaryMagic = [4]byte{'J', 'W', 'T', 'R'}
+
+// footer terminates a JSONL trace.
+type footer struct {
+	End    bool `json:"end"`
+	Events int  `json:"events"`
+}
+
+// BinaryExt is the conventional file extension for the binary encoding;
+// WriteFile and ReadFile key on it.
+const BinaryExt = ".jtb"
+
+// Write emits t as JSONL. The header is validated against the events first,
+// so a malformed recording never reaches disk.
+func Write(w io.Writer, t *Trace) error {
+	if err := Validate(t.Header, t.Events); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline JSONL needs
+	if err := enc.Encode(t.Header); err != nil {
+		return err
+	}
+	for i := range t.Events {
+		if err := enc.Encode(&t.Events[i]); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(footer{End: true, Events: len(t.Events)}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteBinary emits t in the compact binary encoding.
+func WriteBinary(w io.Writer, t *Trace) error {
+	if err := Validate(t.Header, t.Events); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(FormatVersion); err != nil {
+		return err
+	}
+	hdr, err := json.Marshal(t.Header)
+	if err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(hdr))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	for i := range t.Events {
+		if err := writeBinaryEvent(bw, putUvarint, &t.Events[i]); err != nil {
+			return err
+		}
+	}
+	// End marker: kind 0 followed by the event count.
+	if err := bw.WriteByte(0); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Events))); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeBinaryEvent(bw *bufio.Writer, putUvarint func(uint64) error, ev *Event) error {
+	if err := bw.WriteByte(byte(ev.Kind)); err != nil {
+		return err
+	}
+	var flags byte
+	if ev.Dropped {
+		flags |= 1
+	}
+	if err := bw.WriteByte(flags); err != nil {
+		return err
+	}
+	var tb [8]byte
+	binary.LittleEndian.PutUint64(tb[:], math.Float64bits(ev.Time))
+	if _, err := bw.Write(tb[:]); err != nil {
+		return err
+	}
+	// Peer is shifted by one so -1 ("none") packs as a single zero byte.
+	for _, v := range []uint64{
+		uint64(ev.Node), uint64(ev.Peer + 1), uint64(ev.Iter),
+		uint64(ev.Bytes), uint64(ev.ModelBytes), uint64(ev.MetaBytes),
+		uint64(ev.LagMax), uint64(ev.LagN),
+	} {
+		if err := putUvarint(v); err != nil {
+			return err
+		}
+	}
+	if ev.Kind == KindAggregate {
+		binary.LittleEndian.PutUint64(tb[:], math.Float64bits(ev.LagMean))
+		if _, err := bw.Write(tb[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile writes t to path, choosing the encoding by extension: BinaryExt
+// selects binary, everything else JSONL.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, BinaryExt) {
+		err = WriteBinary(f, t)
+	} else {
+		err = Write(f, t)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	return nil
+}

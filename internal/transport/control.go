@@ -1,0 +1,90 @@
+// control.go is the cluster runner's control plane: a minimal JSON-message
+// stream over TCP used for the coordinator/worker handshake (registration,
+// id assignment, address exchange, start signal, result reports). The data
+// plane — model payloads — stays on the framed TCP mesh; control traffic is
+// low-rate and favours debuggability over compactness.
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// ControlConn is one JSON-message stream. Messages are arbitrary JSON
+// values; the application defines the schema (the stream format itself is
+// self-framing).
+type ControlConn struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// DialControl connects to a control listener.
+func DialControl(addr string, timeout time.Duration) (*ControlConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial control %s: %w", addr, err)
+	}
+	return newControlConn(conn), nil
+}
+
+func newControlConn(conn net.Conn) *ControlConn {
+	return &ControlConn{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}
+}
+
+// Send writes one JSON message.
+func (c *ControlConn) Send(v any) error {
+	if err := c.enc.Encode(v); err != nil {
+		return fmt.Errorf("transport: control send: %w", err)
+	}
+	return nil
+}
+
+// Recv reads the next JSON message into v.
+func (c *ControlConn) Recv(v any) error {
+	if err := c.dec.Decode(v); err != nil {
+		return fmt.Errorf("transport: control recv: %w", err)
+	}
+	return nil
+}
+
+// SetDeadline bounds both reads and writes; use it to keep a wedged peer
+// from hanging a cluster run forever.
+func (c *ControlConn) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// RemoteAddr reports the peer's address (for log lines).
+func (c *ControlConn) RemoteAddr() string { return c.conn.RemoteAddr().String() }
+
+// Close closes the stream.
+func (c *ControlConn) Close() error { return c.conn.Close() }
+
+// ControlServer accepts control connections.
+type ControlServer struct {
+	ln net.Listener
+}
+
+// ListenControl starts a control listener ("host:0" picks a port; see Addr).
+func ListenControl(addr string) (*ControlServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen control %s: %w", addr, err)
+	}
+	return &ControlServer{ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (s *ControlServer) Addr() string { return s.ln.Addr().String() }
+
+// Accept waits for the next control connection.
+func (s *ControlServer) Accept() (*ControlConn, error) {
+	conn, err := s.ln.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: control accept: %w", err)
+	}
+	return newControlConn(conn), nil
+}
+
+// Close stops the listener. Accepted connections stay open.
+func (s *ControlServer) Close() error { return s.ln.Close() }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,13 @@ type Message struct {
 // FrameOverhead is the per-message framing cost in bytes (length + from +
 // round header), identical for both meshes so byte accounting matches.
 const FrameOverhead = 12
+
+// TimestampOverhead is the extra per-frame cost of the timestamped frame
+// extension (see TCP.EnableTimestamps): the sender's SentAt as 8 bytes. It
+// is measurement instrumentation for the cluster runner and deliberately NOT
+// part of FrameOverhead — the byte ledger and the paper's cost model charge
+// the plain frame, so sim and cluster byte accounting stay comparable.
+const TimestampOverhead = 8
 
 // Mesh delivers messages between nodes 0..N-1.
 type Mesh interface {
@@ -135,12 +143,18 @@ func (m *InMemory) Close() error {
 
 // TCP is a socket mesh: every node runs a listener and dials persistent
 // connections to peers on demand. Frames are length-prefixed:
-// [u32 payloadLen][u32 from][u32 round][payload].
+// [u32 payloadLen][u32 from][u32 round][payload] — or, with timestamps
+// enabled, [u32 payloadLen][u32 from][u32 round][f64 sentAt][payload].
 type TCP struct {
 	id    int
 	n     int
 	addrs []string
 	ln    net.Listener
+	// ts enables the timestamped frame extension. All endpoints of a mesh
+	// must agree (the frame layout changes); set it before any traffic.
+	// Atomic because the accept/read goroutines are already running when
+	// EnableTimestamps is called after NewTCP.
+	ts atomic.Bool
 
 	mu       sync.Mutex
 	conns    map[int]net.Conn
@@ -187,6 +201,14 @@ func NewTCP(id int, addrs []string) (*TCP, error) {
 // Addr returns the bound listen address (useful with port 0).
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
 
+// EnableTimestamps switches the endpoint to timestamped frames: Send writes
+// Message.SentAt after the header (TimestampOverhead extra wire bytes,
+// reflected in SentBytes but not in the cost model's FrameOverhead), and
+// received messages carry the sender's stamp. Every endpoint of the mesh
+// must enable it, before any traffic — the cluster runner's handshake does.
+// The receiver's clock stamps ArriveAt at the consumer, not here.
+func (t *TCP) EnableTimestamps() { t.ts.Store(true) }
+
 // SetPeerAddr updates the dialing address for a peer (used after peers bind
 // ephemeral ports).
 func (t *TCP) SetPeerAddr(node int, addr string) {
@@ -224,6 +246,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 		t.mu.Unlock()
 	}()
 	var header [FrameOverhead]byte
+	var stamp [TimestampOverhead]byte
 	for {
 		if _, err := io.ReadFull(conn, header[:]); err != nil {
 			return
@@ -234,12 +257,19 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if payloadLen > 1<<30 {
 			return // corrupt frame; drop connection
 		}
+		sentAt := 0.0
+		if t.ts.Load() {
+			if _, err := io.ReadFull(conn, stamp[:]); err != nil {
+				return
+			}
+			sentAt = math.Float64frombits(binary.LittleEndian.Uint64(stamp[:]))
+		}
 		payload := make([]byte, payloadLen)
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
 		select {
-		case t.inbox <- Message{From: from, To: t.id, Round: round, Payload: payload}:
+		case t.inbox <- Message{From: from, To: t.id, Round: round, Payload: payload, SentAt: sentAt}:
 		case <-t.done:
 			return
 		}
@@ -274,7 +304,13 @@ func (t *TCP) Send(msg Message) error {
 		if t.closed.Load() {
 			return ErrClosed
 		}
-		t.sent.Add(int64(len(cp) + FrameOverhead))
+		// Charge what the frame would cost on the wire, so loopback and
+		// remote peers meter identically (including the timestamp extension).
+		frameLen := len(cp) + FrameOverhead
+		if t.ts.Load() {
+			frameLen += TimestampOverhead
+		}
+		t.sent.Add(int64(frameLen))
 		select {
 		case t.inbox <- msg:
 			return nil
@@ -286,11 +322,19 @@ func (t *TCP) Send(msg Message) error {
 	if err != nil {
 		return err
 	}
-	frame := make([]byte, FrameOverhead+len(msg.Payload))
+	ts := t.ts.Load()
+	headerLen := FrameOverhead
+	if ts {
+		headerLen += TimestampOverhead
+	}
+	frame := make([]byte, headerLen+len(msg.Payload))
 	binary.LittleEndian.PutUint32(frame[0:], uint32(len(msg.Payload)))
 	binary.LittleEndian.PutUint32(frame[4:], uint32(msg.From))
 	binary.LittleEndian.PutUint32(frame[8:], uint32(msg.Round))
-	copy(frame[FrameOverhead:], msg.Payload)
+	if ts {
+		binary.LittleEndian.PutUint64(frame[FrameOverhead:], math.Float64bits(msg.SentAt))
+	}
+	copy(frame[headerLen:], msg.Payload)
 	t.mu.Lock()
 	_, err = conn.Write(frame)
 	t.mu.Unlock()

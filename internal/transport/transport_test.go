@@ -373,3 +373,87 @@ func TestMessageTimestampsSurviveInMemory(t *testing.T) {
 		t.Fatalf("timestamps lost: %+v", got)
 	}
 }
+
+// TestTCPTimestampedFrames: with the frame extension enabled on both ends,
+// the sender's SentAt crosses the socket, the wire cost grows by exactly
+// TimestampOverhead, and payloads stay intact.
+func TestTCPTimestampedFrames(t *testing.T) {
+	nodes := newTCPCluster(t, 2)
+	for _, n := range nodes {
+		n.EnableTimestamps()
+	}
+	payload := []byte("stamped")
+	if err := nodes[0].Send(Message{From: 0, To: 1, Round: 3, Payload: payload, SentAt: 1.25}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := nodes[1].Recv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.From != 0 || msg.Round != 3 || string(msg.Payload) != string(payload) {
+		t.Fatalf("got %+v", msg)
+	}
+	if msg.SentAt != 1.25 {
+		t.Fatalf("SentAt = %v, want 1.25", msg.SentAt)
+	}
+	want := int64(len(payload) + FrameOverhead + TimestampOverhead)
+	if got := nodes[0].SentBytes(0); got != want {
+		t.Fatalf("SentBytes = %d, want %d", got, want)
+	}
+}
+
+// TestControlRoundTrip: the JSON control plane delivers typed messages both
+// ways and honours deadlines.
+func TestControlRoundTrip(t *testing.T) {
+	srv, err := ListenControl("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	type hello struct {
+		Type string
+		N    int
+	}
+	done := make(chan error, 1)
+	go func() {
+		conn, err := srv.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		var h hello
+		if err := conn.Recv(&h); err != nil {
+			done <- err
+			return
+		}
+		if h.Type != "hello" || h.N != 7 {
+			done <- fmt.Errorf("server got %+v", h)
+			return
+		}
+		done <- conn.Send(hello{Type: "ack", N: h.N + 1})
+	}()
+
+	cli, err := DialControl(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Send(hello{Type: "hello", N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var ack hello
+	if err := cli.Recv(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Type != "ack" || ack.N != 8 {
+		t.Fatalf("client got %+v", ack)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
