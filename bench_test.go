@@ -6,18 +6,16 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/codec"
-	"repro/internal/core"
-	"repro/internal/datasets"
 	"repro/internal/dwt"
 	"repro/internal/experiments"
 	"repro/internal/fourier"
 	"repro/internal/nn"
-	"repro/internal/simulation"
+	"repro/internal/perf"
 	"repro/internal/sparsify"
-	"repro/internal/topology"
 	"repro/internal/vec"
 )
 
@@ -132,97 +130,55 @@ func BenchmarkFigure10Scalability(b *testing.B) {
 }
 
 // --- Engine throughput: synchronous vs event-driven -------------------------
-
-// benchEngineFleet builds a 16-node full-sharing fleet over a 4-regular graph
-// on the standard small non-IID image task, shared by the engine benchmarks.
-func benchEngineFleet(b *testing.B) ([]core.Node, *datasets.Dataset, topology.Provider) {
-	b.Helper()
-	const n = 16
-	rng := vec.NewRNG(benchSeed)
-	ds, err := datasets.SyntheticImages(datasets.ImageConfig{
-		Classes: 4, Channels: 1, Height: 8, Width: 8,
-		TrainPerClass: 40, TestPerClass: 10,
-	}, rng)
-	if err != nil {
-		b.Fatal(err)
-	}
-	parts, err := datasets.PartitionShards(ds, n, 2, rng)
-	if err != nil {
-		b.Fatal(err)
-	}
-	opts := core.TrainOpts{LR: 0.05, LocalSteps: 2}
-	nodes := make([]core.Node, n)
-	for i := range nodes {
-		nodeRNG := rng.Split()
-		model := nn.NewMLP(64, 24, 4, nodeRNG)
-		loader := datasets.NewLoader(ds, parts[i], 8, nodeRNG.Split())
-		nodes[i], err = core.NewFullSharing(i, model, loader, opts, codec.Raw32{})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	g, err := topology.Regular(n, 4, vec.NewRNG(benchSeed^1))
-	if err != nil {
-		b.Fatal(err)
-	}
-	return nodes, ds, topology.NewStatic(g)
-}
+//
+// The fleets live in internal/perf so `go test -bench` and `jwins-bench
+// -bench-json` measure identical workloads. Async benchmarks run at
+// parallelism 1 (the serial reference) and at NumCPU, bracketing the worker
+// pool's win; the parallelism-invariance tests assert the two are
+// bit-identical in everything but wall-clock time.
 
 // BenchmarkEngineSync16 measures synchronous-engine throughput: 10 rounds of
 // a 16-node full-sharing run per iteration.
 func BenchmarkEngineSync16(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		nodes, ds, topo := benchEngineFleet(b)
-		eng := &simulation.Engine{
-			Nodes: nodes, Topology: topo, TestSet: ds,
-			Config: simulation.Config{Rounds: 10, EvalEvery: 10},
-		}
-		res, err := eng.Run()
-		if err != nil {
+		if _, err := perf.RunSync16(perf.MaxParallelism()); err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(res.TotalBytes), "bytes/run")
 	}
 }
 
 // BenchmarkEngineAsync16 is the event-driven counterpart on identical inputs
-// (homogeneous profiles, no churn), so the two benchmarks bracket the
-// scheduler's bookkeeping overhead.
+// (homogeneous profiles, no churn), so sync vs async/p1 brackets the
+// scheduler's bookkeeping overhead and p1 vs pmax the pool speedup.
 func BenchmarkEngineAsync16(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		nodes, ds, topo := benchEngineFleet(b)
-		eng := &simulation.AsyncEngine{
-			Nodes: nodes, Topology: topo, TestSet: ds,
-			Config: simulation.AsyncConfig{
-				Config: simulation.Config{Rounds: 10, EvalEvery: 10},
-			},
-		}
-		res, err := eng.Run()
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(res.TotalBytes), "bytes/run")
+	for _, p := range []int{1, perf.MaxParallelism()} {
+		p := p
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				events, err := perf.RunAsync16(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(events), "events/run")
+			}
+		})
 	}
 }
 
 // BenchmarkEngineAsyncChurn16 adds a straggler tail and 25% churn, the cost
 // of the scenario the scheduler exists to express.
 func BenchmarkEngineAsyncChurn16(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		nodes, ds, topo := benchEngineFleet(b)
-		eng := &simulation.AsyncEngine{
-			Nodes: nodes, Topology: topo, TestSet: ds,
-			Config: simulation.AsyncConfig{
-				Config: simulation.Config{Rounds: 10, EvalEvery: 10},
-				Het:    simulation.Heterogeneity{ComputeSpread: 0.5, Seed: benchSeed},
-				Churn:  simulation.GenerateChurn(16, 0.25, 0.02, 0.15, 0.05, benchSeed),
-			},
-		}
-		res, err := eng.Run()
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(res.TotalBytes), "bytes/run")
+	for _, p := range []int{1, perf.MaxParallelism()} {
+		p := p
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				events, err := perf.RunAsyncChurn16(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(events), "events/run")
+			}
+		})
 	}
 }
 
@@ -327,25 +283,14 @@ func BenchmarkFloatCodecXOR32(b *testing.B)   { benchFloatCodec(b, codec.XOR32{}
 // BenchmarkJWINSShareAggregate measures one full JWINS communication round
 // (share + aggregate) for a 100k-parameter model, excluding local training.
 func BenchmarkJWINSShareAggregate(b *testing.B) {
-	const dim = 100_000
-	rng := vec.NewRNG(3)
-	ds, err := datasets.SyntheticImages(datasets.ImageConfig{
-		Classes: 2, Channels: 1, Height: 4, Width: 4, TrainPerClass: 4, TestPerClass: 2,
-	}, rng)
+	node, neighbor, err := perf.JWINSPair(100_000)
 	if err != nil {
 		b.Fatal(err)
 	}
-	loader := datasets.NewLoader(ds, []int{0, 1, 2, 3}, 2, rng.Split())
-	model := &flatModel{params: benchParams(dim)}
-	node, err := core.NewJWINS(0, model, loader, core.TrainOpts{LR: 0.1, LocalSteps: 1}, core.DefaultJWINSConfig(), rng.Split())
-	if err != nil {
-		b.Fatal(err)
-	}
-	neighbor, err := core.NewJWINS(1, &flatModel{params: benchParams(dim)}, loader, core.TrainOpts{LR: 0.1, LocalSteps: 1}, core.DefaultJWINSConfig(), rng.Split())
-	if err != nil {
-		b.Fatal(err)
-	}
-	w := weightsForID(1)
+	wA, wB := perf.PairWeights(1), perf.PairWeights(0)
+	msgsA := make(map[int][]byte, 1)
+	msgsB := make(map[int][]byte, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p1, _, err := node.Share(i)
@@ -356,12 +301,87 @@ func BenchmarkJWINSShareAggregate(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := node.Aggregate(i, w, map[int][]byte{1: p2}); err != nil {
+		msgsA[1] = p2
+		if err := node.Aggregate(i, wA, msgsA); err != nil {
 			b.Fatal(err)
 		}
-		if err := neighbor.Aggregate(i, weightsForID(0), map[int][]byte{0: p1}); err != nil {
+		msgsB[0] = p1
+		if err := neighbor.Aggregate(i, wB, msgsB); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkJWINSShare isolates the share half of the pipeline (accumulate,
+// DWT, top-k, encode): the allocs/op here are the PR's zero-allocation
+// acceptance metric. The flate32 sub-benchmark is the paper's default; the
+// raw32 one shows the repository's own pipeline with compress/flate's
+// internal allocations out of the picture.
+func BenchmarkJWINSShare(b *testing.B) {
+	for _, v := range microCodecVariants() {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			node, _, err := perf.JWINSPairCodec(100_000, v.fc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := node.Share(0); err != nil { // warm the scratch buffers
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := node.Share(i + 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJWINSAggregate isolates the aggregate half (decode, partial
+// average, inverse DWT, accumulator fold) by re-merging a fixed payload.
+func BenchmarkJWINSAggregate(b *testing.B) {
+	for _, v := range microCodecVariants() {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			node, neighbor, err := perf.JWINSPairCodec(100_000, v.fc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := node.Share(0); err != nil {
+				b.Fatal(err)
+			}
+			payload, _, err := neighbor.Share(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := perf.PairWeights(1)
+			msgs := map[int][]byte{1: payload}
+			if err := node.Aggregate(0, w, msgs); err != nil { // warm the scratch
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := node.Aggregate(i+1, w, msgs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func microCodecVariants() []struct {
+	name string
+	fc   codec.FloatCodec
+} {
+	return []struct {
+		name string
+		fc   codec.FloatCodec
+	}{
+		{"flate32", nil},
+		{"raw32", codec.Raw32{}},
 	}
 }
 
@@ -383,19 +403,3 @@ func BenchmarkLocalSGDStep(b *testing.B) {
 	}
 }
 
-// flatModel is a minimal Trainable over a raw parameter vector.
-type flatModel struct {
-	params []float64
-}
-
-func (m *flatModel) ParamCount() int                                   { return len(m.params) }
-func (m *flatModel) CopyParams(dst []float64)                          { copy(dst, m.params) }
-func (m *flatModel) SetParams(src []float64)                           { copy(m.params, src) }
-func (m *flatModel) TrainBatch(*nn.Tensor, []float64, float64) float64 { return 0 }
-func (m *flatModel) EvalBatch(*nn.Tensor, []float64) (float64, int, int) {
-	return 0, 0, 1
-}
-
-func weightsForID(neighbor int) topology.Weights {
-	return topology.Weights{Self: 0.5, Neighbor: map[int]float64{neighbor: 0.5}}
-}

@@ -17,6 +17,16 @@
 //
 // Flags: -scale micro|small|paper (default small), -seed N,
 // -datasets a,b,c (table1/fig5 only).
+//
+// Performance mode: -bench-json FILE runs the engine + hot-path benchmark
+// suite (see internal/perf), checks serial-vs-parallel determinism, and
+// writes a BENCH_*.json artifact; -bench-quick runs each benchmark once
+// (CI smoke). -cpuprofile / -memprofile write pprof profiles of whichever
+// mode ran, so regressions are diagnosable without editing code:
+//
+//	jwins-bench -bench-json BENCH_1.json
+//	jwins-bench -exp table1 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof cpu.pprof
 package main
 
 import (
@@ -24,10 +34,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/perf"
 )
 
 func main() {
@@ -39,17 +52,51 @@ func main() {
 
 func run() error {
 	var (
-		expName   = flag.String("exp", "all", "experiment: fig2, fig3, table1, fig5..fig10, ext-*, or all")
-		scaleName = flag.String("scale", "small", "experiment scale: micro, small, or paper")
-		seed      = flag.Uint64("seed", 42, "root random seed")
-		datasets  = flag.String("datasets", "", "comma-separated dataset filter for table1/fig5")
-		outDir    = flag.String("out", "", "directory for per-experiment CSV files (optional)")
+		expName    = flag.String("exp", "all", "experiment: fig2, fig3, table1, fig5..fig10, ext-*, or all")
+		scaleName  = flag.String("scale", "small", "experiment scale: micro, small, or paper")
+		seed       = flag.Uint64("seed", 42, "root random seed")
+		datasets   = flag.String("datasets", "", "comma-separated dataset filter for table1/fig5")
+		outDir     = flag.String("out", "", "directory for per-experiment CSV files (optional)")
+		benchJSON  = flag.String("bench-json", "", "run the benchmark suite and write a BENCH_*.json report to this path (skips experiments)")
+		benchQuick = flag.Bool("bench-quick", false, "with -bench-json: run each benchmark once (-benchtime=1x semantics)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this path on exit")
 	)
 	flag.Parse()
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			return err
 		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jwins-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "jwins-bench: memprofile:", err)
+			}
+		}()
+	}
+
+	if *benchJSON != "" {
+		return runBenchSuite(*benchJSON, *benchQuick)
 	}
 
 	scale, err := experiments.ParseScale(*scaleName)
@@ -115,5 +162,30 @@ func run() error {
 			}
 		}
 	}
+	return nil
+}
+
+// runBenchSuite measures the standard suite, verifies that parallel engine
+// execution is bit-identical to serial, and writes the JSON artifact. A
+// determinism mismatch is a hard error (CI's bench smoke job relies on the
+// non-zero exit).
+func runBenchSuite(path string, quick bool) error {
+	fmt.Printf("=== benchmark suite (quick=%v, NumCPU=%d)\n", quick, runtime.NumCPU())
+	rep, err := perf.Run(quick, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print("determinism check (serial vs parallel): ")
+	if err := perf.CheckDeterminism(); err != nil {
+		fmt.Println("FAIL")
+		return fmt.Errorf("determinism check: %w", err)
+	}
+	fmt.Println("ok")
+	if err := rep.WriteJSON(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }

@@ -46,14 +46,21 @@ func ReadEliasGamma(r *BitReader) (uint64, error) {
 // then successive gaps), exactly the scheme the paper adopts from QSGD for
 // sparsification metadata. An empty list encodes to an empty buffer.
 func EncodeIndicesGamma(indices []int) ([]byte, error) {
+	return AppendIndicesGamma(nil, indices)
+}
+
+// AppendIndicesGamma is EncodeIndicesGamma appending into dst (which may be
+// nil or a reused buffer sliced to zero length). An empty index list appends
+// nothing and returns dst unchanged.
+func AppendIndicesGamma(dst []byte, indices []int) ([]byte, error) {
 	if len(indices) == 0 {
-		return nil, nil
+		return dst, nil
 	}
-	var w BitWriter
+	w := BitWriter{buf: dst}
 	prev := -1
 	for pos, idx := range indices {
 		if idx <= prev {
-			return nil, fmt.Errorf("codec: indices must be strictly increasing (position %d: %d after %d)", pos, idx, prev)
+			return dst, fmt.Errorf("codec: indices must be strictly increasing (position %d: %d after %d)", pos, idx, prev)
 		}
 		WriteEliasGamma(&w, uint64(idx-prev)) // gap >= 1
 		prev = idx
@@ -63,21 +70,26 @@ func EncodeIndicesGamma(indices []int) ([]byte, error) {
 
 // DecodeIndicesGamma decodes count indices produced by EncodeIndicesGamma.
 func DecodeIndicesGamma(buf []byte, count int) ([]int, error) {
+	return AppendDecodeIndicesGamma(nil, buf, count)
+}
+
+// AppendDecodeIndicesGamma is DecodeIndicesGamma appending into dst, for
+// callers that reuse index scratch across payloads.
+func AppendDecodeIndicesGamma(dst []int, buf []byte, count int) ([]int, error) {
 	if count == 0 {
-		return nil, nil
+		return dst, nil
 	}
-	r := NewBitReader(buf)
-	out := make([]int, count)
+	r := BitReader{buf: buf}
 	prev := -1
 	for i := 0; i < count; i++ {
-		gap, err := ReadEliasGamma(r)
+		gap, err := ReadEliasGamma(&r)
 		if err != nil {
 			return nil, fmt.Errorf("codec: index %d: %w", i, err)
 		}
 		prev += int(gap)
-		out[i] = prev
+		dst = append(dst, prev)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // GammaEncodedBits returns the exact bit length of the gamma code of v.

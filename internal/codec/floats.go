@@ -1,7 +1,6 @@
 package codec
 
 import (
-	"bytes"
 	"compress/flate"
 	"encoding/binary"
 	"fmt"
@@ -49,24 +48,38 @@ var _ FloatCodec = Raw32{}
 func (Raw32) Name() string { return "raw32" }
 
 // Encode implements FloatCodec.
-func (Raw32) Encode(values []float64) ([]byte, error) {
-	out := make([]byte, 4*len(values))
-	for i, v := range values {
-		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(float32(v)))
+func (c Raw32) Encode(values []float64) ([]byte, error) {
+	return c.AppendEncode(make([]byte, 0, 4*len(values)), values)
+}
+
+// AppendEncode implements FloatAppender.
+func (Raw32) AppendEncode(dst []byte, values []float64) ([]byte, error) {
+	var tmp [4]byte
+	for _, v := range values {
+		binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(float32(v)))
+		dst = append(dst, tmp[:]...)
+	}
+	return dst, nil
+}
+
+// Decode implements FloatCodec.
+func (c Raw32) Decode(buf []byte, count int) ([]float64, error) {
+	out := make([]float64, count)
+	if err := c.DecodeInto(buf, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// Decode implements FloatCodec.
-func (Raw32) Decode(buf []byte, count int) ([]float64, error) {
-	if len(buf) < 4*count {
-		return nil, fmt.Errorf("codec: raw32 needs %d bytes, have %d: %w", 4*count, len(buf), ErrCorrupt)
+// DecodeInto implements FloatDecoderInto.
+func (Raw32) DecodeInto(buf []byte, out []float64) error {
+	if len(buf) < 4*len(out) {
+		return fmt.Errorf("codec: raw32 needs %d bytes, have %d: %w", 4*len(out), len(buf), ErrCorrupt)
 	}
-	out := make([]float64, count)
 	for i := range out {
 		out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
 	}
-	return out, nil
+	return nil
 }
 
 // PlaneFlate32 transposes float32 values into four byte planes (all sign/
@@ -82,9 +95,17 @@ var _ FloatCodec = PlaneFlate32{}
 func (PlaneFlate32) Name() string { return "flate32" }
 
 // Encode implements FloatCodec.
-func (PlaneFlate32) Encode(values []float64) ([]byte, error) {
+func (c PlaneFlate32) Encode(values []float64) ([]byte, error) {
+	return c.AppendEncode(nil, values)
+}
+
+// AppendEncode implements FloatAppender with pooled plane scratch and a
+// pooled DEFLATE compressor (flate.NewWriter allocates ~600 KB per call).
+func (PlaneFlate32) AppendEncode(dst []byte, values []float64) ([]byte, error) {
 	n := len(values)
-	planes := make([]byte, 4*n)
+	pp := getByteBuf(4 * n)
+	defer putByteBuf(pp)
+	planes := *pp
 	for i, v := range values {
 		b := math.Float32bits(float32(v))
 		planes[i] = byte(b >> 24)
@@ -92,36 +113,49 @@ func (PlaneFlate32) Encode(values []float64) ([]byte, error) {
 		planes[2*n+i] = byte(b >> 8)
 		planes[3*n+i] = byte(b)
 	}
-	var out bytes.Buffer
-	fw, err := flate.NewWriter(&out, flate.BestSpeed)
-	if err != nil {
-		return nil, fmt.Errorf("codec: flate init: %w", err)
-	}
+	sw := sliceWriter{b: dst}
+	fw := flateWriterPool.Get().(*flate.Writer)
+	fw.Reset(&sw)
 	if _, err := fw.Write(planes); err != nil {
-		return nil, fmt.Errorf("codec: flate write: %w", err)
+		flateWriterPool.Put(fw)
+		return dst, fmt.Errorf("codec: flate write: %w", err)
 	}
 	if err := fw.Close(); err != nil {
-		return nil, fmt.Errorf("codec: flate close: %w", err)
+		flateWriterPool.Put(fw)
+		return dst, fmt.Errorf("codec: flate close: %w", err)
 	}
-	return out.Bytes(), nil
+	flateWriterPool.Put(fw)
+	return sw.b, nil
 }
 
 // Decode implements FloatCodec.
-func (PlaneFlate32) Decode(buf []byte, count int) ([]float64, error) {
-	fr := flate.NewReader(bytes.NewReader(buf))
-	defer fr.Close()
-	planes := make([]byte, 4*count)
-	if _, err := io.ReadFull(fr, planes); err != nil {
-		return nil, fmt.Errorf("codec: flate read: %w", ErrCorrupt)
-	}
+func (c PlaneFlate32) Decode(buf []byte, count int) ([]float64, error) {
 	out := make([]float64, count)
+	if err := c.DecodeInto(buf, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto implements FloatDecoderInto with a pooled inflater.
+func (PlaneFlate32) DecodeInto(buf []byte, out []float64) error {
+	count := len(out)
+	pp := getByteBuf(4 * count)
+	defer putByteBuf(pp)
+	planes := *pp
+	fr := getFlateReader(buf)
+	_, err := io.ReadFull(fr.fr, planes)
+	putFlateReader(fr)
+	if err != nil {
+		return fmt.Errorf("codec: flate read: %w", ErrCorrupt)
+	}
 	n := count
 	for i := range out {
 		b := uint32(planes[i])<<24 | uint32(planes[n+i])<<16 |
 			uint32(planes[2*n+i])<<8 | uint32(planes[3*n+i])
 		out[i] = float64(math.Float32frombits(b))
 	}
-	return out, nil
+	return nil
 }
 
 // XOR32 is a Gorilla-style XOR compressor over float32 bit patterns: each
@@ -136,8 +170,13 @@ var _ FloatCodec = XOR32{}
 func (XOR32) Name() string { return "xor32" }
 
 // Encode implements FloatCodec.
-func (XOR32) Encode(values []float64) ([]byte, error) {
-	var w BitWriter
+func (c XOR32) Encode(values []float64) ([]byte, error) {
+	return c.AppendEncode(nil, values)
+}
+
+// AppendEncode implements FloatAppender.
+func (XOR32) AppendEncode(dst []byte, values []float64) ([]byte, error) {
+	w := BitWriter{buf: dst}
 	var prev uint32
 	for i, v := range values {
 		cur := math.Float32bits(float32(v))
@@ -165,22 +204,33 @@ func (XOR32) Encode(values []float64) ([]byte, error) {
 }
 
 // Decode implements FloatCodec.
-func (XOR32) Decode(buf []byte, count int) ([]float64, error) {
+func (c XOR32) Decode(buf []byte, count int) ([]float64, error) {
 	if count == 0 {
 		return nil, nil
 	}
-	r := NewBitReader(buf)
 	out := make([]float64, count)
+	if err := c.DecodeInto(buf, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto implements FloatDecoderInto.
+func (XOR32) DecodeInto(buf []byte, out []float64) error {
+	if len(out) == 0 {
+		return nil
+	}
+	r := BitReader{buf: buf}
 	first, err := r.ReadBits(32)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	prev := uint32(first)
 	out[0] = float64(math.Float32frombits(prev))
-	for i := 1; i < count; i++ {
+	for i := 1; i < len(out); i++ {
 		b, err := r.ReadBit()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if b == 0 {
 			out[i] = float64(math.Float32frombits(prev))
@@ -188,15 +238,15 @@ func (XOR32) Decode(buf []byte, count int) ([]float64, error) {
 		}
 		lead, err := r.ReadBits(5)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sig := 32 - uint(lead)
 		x, err := r.ReadBits(sig)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prev ^= uint32(x)
 		out[i] = float64(math.Float32frombits(prev))
 	}
-	return out, nil
+	return nil
 }

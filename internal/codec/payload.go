@@ -92,6 +92,16 @@ func (b *ByteBreakdown) Add(o ByteBreakdown) {
 	b.Meta += o.Meta
 }
 
+// EncodeScratch holds the reusable intermediate buffers of EncodeSparseWith.
+// The zero value is ready; each owner (one per node) amortizes the value and
+// index encoding scratch across every round of a run. The returned payload
+// itself is always freshly allocated — payloads outlive the call (inboxes,
+// rejoin caches, in-flight messages), so only the intermediates are reused.
+type EncodeScratch struct {
+	vals []byte
+	idx  []byte
+}
+
 // EncodeSparse serializes sv using the given index mode and float codec.
 //
 // Wire format (little endian):
@@ -101,6 +111,14 @@ func (b *ByteBreakdown) Add(o ByteBreakdown) {
 //	[u32 indexByteLen | bytes]      (IndexGamma only)
 //	u32 valueByteLen | bytes
 func EncodeSparse(sv SparseVector, mode IndexMode, fc FloatCodec) ([]byte, ByteBreakdown, error) {
+	var s EncodeScratch
+	return EncodeSparseWith(&s, sv, mode, fc)
+}
+
+// EncodeSparseWith is EncodeSparse with caller-owned scratch: the value and
+// index encodings are staged in s and copied once into an exact-size payload,
+// so a warm scratch leaves the payload allocation as the call's only one.
+func EncodeSparseWith(s *EncodeScratch, sv SparseVector, mode IndexMode, fc FloatCodec) ([]byte, ByteBreakdown, error) {
 	var bd ByteBreakdown
 	cid, err := floatCodecID(fc)
 	if err != nil {
@@ -122,21 +140,33 @@ func EncodeSparse(sv SparseVector, mode IndexMode, fc FloatCodec) ([]byte, ByteB
 		return nil, bd, fmt.Errorf("codec: unknown index mode %d", mode)
 	}
 
-	valueBytes, err := fc.Encode(sv.Values)
+	s.vals, err = appendEncode(fc, s.vals[:0], sv.Values)
 	if err != nil {
 		return nil, bd, fmt.Errorf("codec: value encoding: %w", err)
 	}
+	valueBytes := s.vals
+	var idxBytes []byte
+	if mode == IndexGamma {
+		s.idx, err = AppendIndicesGamma(s.idx[:0], sv.Indices)
+		if err != nil {
+			return nil, bd, err
+		}
+		idxBytes = s.idx
+	}
 
-	out := make([]byte, 0, len(valueBytes)+32)
+	size := 10 + 4 + len(valueBytes)
+	switch mode {
+	case IndexGamma:
+		size += 4 + len(idxBytes)
+	case IndexSeed:
+		size += 8
+	}
+	out := make([]byte, 0, size)
 	out = append(out, byte(mode), cid)
 	out = appendU32(out, uint32(sv.Dim))
 	out = appendU32(out, uint32(count))
 	switch mode {
 	case IndexGamma:
-		idxBytes, err := EncodeIndicesGamma(sv.Indices)
-		if err != nil {
-			return nil, bd, err
-		}
 		out = appendU32(out, uint32(len(idxBytes)))
 		out = append(out, idxBytes...)
 	case IndexSeed:
@@ -156,59 +186,108 @@ func EncodeSparse(sv SparseVector, mode IndexMode, fc FloatCodec) ([]byte, ByteB
 // (except for dense payloads, where it stays nil).
 func DecodeSparse(buf []byte) (SparseVector, error) {
 	var sv SparseVector
+	if err := DecodeSparseInto(&sv, buf); err != nil {
+		return SparseVector{}, err
+	}
+	return sv, nil
+}
+
+// DecodeSparseInto is DecodeSparse reusing sv's Indices and Values capacity,
+// so a node can decode every neighbor payload of a round into warm scratch.
+// Dense payloads reset Indices to nil (the same convention as DecodeSparse).
+// On error sv is left in an unspecified state.
+func DecodeSparseInto(sv *SparseVector, buf []byte) error {
 	if len(buf) < 10 {
-		return sv, fmt.Errorf("codec: payload too short: %w", ErrCorrupt)
+		return fmt.Errorf("codec: payload too short: %w", ErrCorrupt)
 	}
 	mode := IndexMode(buf[0])
 	fc, err := floatCodecFromID(buf[1])
 	if err != nil {
-		return sv, err
+		return err
 	}
 	sv.Dim = int(binary.LittleEndian.Uint32(buf[2:]))
 	count := int(binary.LittleEndian.Uint32(buf[6:]))
+	// count can never legitimately exceed the vector dimension; reject here,
+	// before any count-sized work (seeded index regeneration, value buffers),
+	// so a corrupt header yields ErrCorrupt instead of a huge allocation.
+	if count > sv.Dim {
+		return fmt.Errorf("codec: count %d exceeds dim %d: %w", count, sv.Dim, ErrCorrupt)
+	}
+	sv.Seed = 0
+	sv.Indices = sv.Indices[:0]
 	pos := 10
 	switch mode {
 	case IndexDense:
 		if count != sv.Dim {
-			return sv, fmt.Errorf("codec: dense count %d != dim %d: %w", count, sv.Dim, ErrCorrupt)
+			return fmt.Errorf("codec: dense count %d != dim %d: %w", count, sv.Dim, ErrCorrupt)
 		}
+		sv.Indices = nil
 	case IndexGamma:
 		if len(buf) < pos+4 {
-			return sv, fmt.Errorf("codec: truncated index length: %w", ErrCorrupt)
+			return fmt.Errorf("codec: truncated index length: %w", ErrCorrupt)
 		}
 		idxLen := int(binary.LittleEndian.Uint32(buf[pos:]))
 		pos += 4
 		if len(buf) < pos+idxLen {
-			return sv, fmt.Errorf("codec: truncated index bytes: %w", ErrCorrupt)
+			return fmt.Errorf("codec: truncated index bytes: %w", ErrCorrupt)
 		}
-		sv.Indices, err = DecodeIndicesGamma(buf[pos:pos+idxLen], count)
+		sv.Indices, err = AppendDecodeIndicesGamma(sv.Indices, buf[pos:pos+idxLen], count)
 		if err != nil {
-			return sv, err
+			return err
 		}
 		pos += idxLen
 	case IndexSeed:
 		if len(buf) < pos+8 {
-			return sv, fmt.Errorf("codec: truncated seed: %w", ErrCorrupt)
+			return fmt.Errorf("codec: truncated seed: %w", ErrCorrupt)
 		}
 		sv.Seed = binary.LittleEndian.Uint64(buf[pos:])
 		pos += 8
 		sv.Indices = SeededIndices(sv.Seed, sv.Dim, count)
 	default:
-		return sv, fmt.Errorf("codec: unknown index mode %d: %w", mode, ErrCorrupt)
+		return fmt.Errorf("codec: unknown index mode %d: %w", mode, ErrCorrupt)
 	}
 	if len(buf) < pos+4 {
-		return sv, fmt.Errorf("codec: truncated value length: %w", ErrCorrupt)
+		return fmt.Errorf("codec: truncated value length: %w", ErrCorrupt)
 	}
 	valLen := int(binary.LittleEndian.Uint32(buf[pos:]))
 	pos += 4
 	if len(buf) < pos+valLen {
-		return sv, fmt.Errorf("codec: truncated values: %w", ErrCorrupt)
+		return fmt.Errorf("codec: truncated values: %w", ErrCorrupt)
 	}
-	sv.Values, err = fc.Decode(buf[pos:pos+valLen], count)
-	if err != nil {
-		return sv, err
+	// Each codec has a hard lower bound on encoded bytes per value; a value
+	// section too small for the claimed count is corrupt, and rejecting it
+	// here keeps the value-buffer allocation behind real evidence.
+	if need, ok := minValueBytes(fc, count); ok && valLen < need {
+		return fmt.Errorf("codec: %d value bytes cannot hold %d %s values: %w", valLen, count, fc.Name(), ErrCorrupt)
 	}
-	return sv, nil
+	if cap(sv.Values) < count {
+		sv.Values = make([]float64, count)
+	} else {
+		sv.Values = sv.Values[:count]
+	}
+	return decodeInto(fc, buf[pos:pos+valLen], sv.Values)
+}
+
+// minValueBytes returns a codec's hard minimum encoded size for count values
+// (ok=false when no such bound exists — QSGD legitimately encodes any number
+// of zeros as a bare 8-byte header).
+func minValueBytes(fc FloatCodec, count int) (int, bool) {
+	if count == 0 {
+		return 0, true
+	}
+	switch fc.(type) {
+	case Raw32:
+		return 4 * count, true
+	case XOR32:
+		// 32 bits for the first value, then at least one bit per value.
+		return (32 + (count - 1) + 7) / 8, true
+	case PlaneFlate32:
+		// DEFLATE expands 4*count plane bytes by at most ~1032:1 (258-byte
+		// matches, 1-bit minimum codes).
+		return 4 * count / 1032, true
+	default:
+		return 0, false
+	}
 }
 
 func appendU32(b []byte, v uint32) []byte {

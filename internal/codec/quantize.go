@@ -81,27 +81,38 @@ func (q *QSGD) Encode(values []float64) ([]byte, error) {
 
 // Decode implements FloatCodec.
 func (q *QSGD) Decode(buf []byte, count int) ([]float64, error) {
+	out := make([]float64, count)
+	if err := q.DecodeInto(buf, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto implements FloatDecoderInto.
+func (q *QSGD) DecodeInto(buf []byte, out []float64) error {
 	if len(buf) < 8 {
-		return nil, fmt.Errorf("codec: qsgd header truncated: %w", ErrCorrupt)
+		return fmt.Errorf("codec: qsgd header truncated: %w", ErrCorrupt)
 	}
 	maxAbs := float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[0:])))
 	levels := int(binary.LittleEndian.Uint32(buf[4:]))
 	if levels <= 0 {
-		return nil, fmt.Errorf("codec: qsgd invalid levels %d: %w", levels, ErrCorrupt)
+		return fmt.Errorf("codec: qsgd invalid levels %d: %w", levels, ErrCorrupt)
 	}
-	out := make([]float64, count)
-	if maxAbs == 0 || count == 0 {
-		return out, nil
+	if maxAbs == 0 || len(out) == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return nil
 	}
-	r := NewBitReader(buf[8:])
-	for i := 0; i < count; i++ {
+	r := BitReader{buf: buf[8:]}
+	for i := range out {
 		sign, err := r.ReadBit()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		bucketPlus1, err := ReadEliasGamma(r)
+		bucketPlus1, err := ReadEliasGamma(&r)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v := maxAbs * float64(bucketPlus1-1) / float64(levels)
 		if sign == 1 {
@@ -109,5 +120,5 @@ func (q *QSGD) Decode(buf []byte, count int) ([]float64, error) {
 		}
 		out[i] = v
 	}
-	return out, nil
+	return nil
 }

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/datasets"
+	"repro/internal/topology"
+	"repro/internal/vec"
+)
+
+// allocPair builds two connected JWINS nodes over a flat stub model, bypassing
+// SGD so only the share/aggregate pipeline runs.
+func allocPair(t *testing.T, dim int, fc codec.FloatCodec) (*JWINSNode, *JWINSNode) {
+	t.Helper()
+	ds := tinyDataset(t)
+	rng := vec.NewRNG(3)
+	loader := datasets.NewLoader(ds, []int{0, 1, 2, 3}, 2, rng.Split())
+	opts := TrainOpts{LR: 0.1, LocalSteps: 1}
+	cfg := DefaultJWINSConfig()
+	cfg.FloatCodec = fc
+	mk := func(id int, seed uint64) *JWINSNode {
+		params := make([]float64, dim)
+		r := vec.NewRNG(seed)
+		for i := range params {
+			params[i] = r.NormFloat64()
+		}
+		n, err := NewJWINS(id, &stubModel{params: params}, loader, opts, cfg, rng.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	return mk(0, 1), mk(1, 2)
+}
+
+// TestJWINSHotPathAllocationFree is the zero-allocation acceptance guard: with
+// warm per-node scratch and the raw32 codec (no compress/flate internals),
+// Aggregate must not allocate at all, and Share must allocate only the
+// returned payload (payloads outlive the call, so that one allocation is
+// irreducible by design).
+func TestJWINSHotPathAllocationFree(t *testing.T) {
+	const dim = 20_000
+	a, b := allocPair(t, dim, codec.Raw32{})
+	if _, _, err := a.Share(0); err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := b.Share(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := topology.Weights{Self: 0.5, Neighbor: map[int]float64{1: 0.5}}
+	msgs := map[int][]byte{1: payload}
+	if err := a.Aggregate(0, w, msgs); err != nil {
+		t.Fatal(err)
+	}
+
+	round := 1
+	shareAllocs := testing.AllocsPerRun(30, func() {
+		if _, _, err := a.Share(round); err != nil {
+			t.Fatal(err)
+		}
+		round++
+	})
+	// The randomized cut-off resizes the payload every round, so allow the
+	// payload allocation plus an occasional scratch growth.
+	if shareAllocs > 3 {
+		t.Fatalf("Share allocates %v per op with warm scratch, want <= 3 (payload only)", shareAllocs)
+	}
+
+	aggAllocs := testing.AllocsPerRun(30, func() {
+		if err := a.Aggregate(round, w, msgs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if aggAllocs > 0 {
+		t.Fatalf("Aggregate allocates %v per op with warm scratch, want 0", aggAllocs)
+	}
+}

@@ -20,6 +20,8 @@ type FullSharingNode struct {
 	params []float64
 	newPar []float64
 	wsum   []float64
+	dec    decodeScratch
+	enc    codec.EncodeScratch
 }
 
 var _ Node = (*FullSharingNode)(nil)
@@ -47,13 +49,13 @@ func NewFullSharing(id int, model nn.Trainable, loader *datasets.Loader, opts Tr
 func (n *FullSharingNode) Share(round int) ([]byte, codec.ByteBreakdown, error) {
 	n.model.CopyParams(n.params)
 	sv := codec.SparseVector{Dim: n.dim, Values: n.params}
-	return encodeSparsePayload(sv, codec.IndexDense, n.fc)
+	return encodeSparsePayloadWith(&n.enc, sv, codec.IndexDense, n.fc)
 }
 
 // Aggregate implements Node: the classic weighted average
 // x_i <- w_ii x_i + sum_j w_ij x_j.
 func (n *FullSharingNode) Aggregate(round int, w topology.Weights, msgs map[int][]byte) error {
-	decoded, err := decodeAll(n.dim, w, msgs)
+	decoded, err := n.dec.decodeAll(n.dim, w, msgs)
 	if err != nil {
 		return err
 	}
@@ -74,6 +76,9 @@ type RandomSamplingNode struct {
 	params   []float64
 	newPar   []float64
 	wsum     []float64
+	vals     []float64
+	dec      decodeScratch
+	enc      codec.EncodeScratch
 }
 
 var _ Node = (*RandomSamplingNode)(nil)
@@ -112,21 +117,22 @@ func (n *RandomSamplingNode) Share(round int) ([]byte, codec.ByteBreakdown, erro
 	}
 	if k >= n.dim {
 		sv := codec.SparseVector{Dim: n.dim, Values: n.params}
-		return encodeSparsePayload(sv, codec.IndexDense, n.fc)
+		return encodeSparsePayloadWith(&n.enc, sv, codec.IndexDense, n.fc)
 	}
 	seed := n.rng.Uint64()
 	indices := codec.SeededIndices(seed, n.dim, k)
+	n.vals = sparsify.AppendGather(n.vals[:0], n.params, indices)
 	sv := codec.SparseVector{
 		Dim:    n.dim,
 		Seed:   seed,
-		Values: sparsify.Gather(n.params, indices),
+		Values: n.vals,
 	}
-	return encodeSparsePayload(sv, codec.IndexSeed, n.fc)
+	return encodeSparsePayloadWith(&n.enc, sv, codec.IndexSeed, n.fc)
 }
 
 // Aggregate implements Node: per-parameter weighted average over providers.
 func (n *RandomSamplingNode) Aggregate(round int, w topology.Weights, msgs map[int][]byte) error {
-	decoded, err := decodeAll(n.dim, w, msgs)
+	decoded, err := n.dec.decodeAll(n.dim, w, msgs)
 	if err != nil {
 		return err
 	}

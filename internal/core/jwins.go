@@ -83,7 +83,19 @@ type JWINSNode struct {
 	curCoeffs  []float64 // DWT(x^(t,tau)), computed in Share
 	newCoeffs  []float64 // scratch for the averaged coefficients
 	wsum       []float64 // scratch for present-weight sums
-	lastShared []int     // indices shared this round
+	lastShared []int     // indices shared this round (aliases topk scratch)
+
+	// Reusable hot-path scratch: Share and Aggregate run every simulated
+	// round on every node, so they must not allocate in steady state.
+	deltaPar    []float64 // x^(t,tau) - x^(t,0)
+	deltaCoeff  []float64 // DWT of the delta
+	newParams   []float64 // inverse-transformed averaged parameters
+	installed   []float64 // DWT of the installed parameters (eq. 4)
+	startCoeffs []float64 // DWT of x^(t,0) (literal eq. 4 only, lazy)
+	sharedVals  []float64 // gathered coefficient values for the payload
+	topk        sparsify.TopKScratch
+	dec         decodeScratch
+	enc         codec.EncodeScratch
 
 	// LastAlpha records the cut-off sampled in the most recent Share call
 	// (instrumented for the Figure 3 experiment).
@@ -127,18 +139,22 @@ func NewJWINS(id int, model nn.Trainable, loader *datasets.Loader, opts TrainOpt
 	}
 	cd := transform.CoeffLen()
 	n := &JWINSNode{
-		baseNode:  baseNode{id: id, model: model, loader: loader, opts: opts},
-		cfg:       cfg,
-		transform: transform,
-		rng:       rng,
-		dim:       dim,
-		coeffDim:  cd,
-		acc:       make([]float64, cd),
-		params:    make([]float64, dim),
-		startPar:  make([]float64, dim),
-		curCoeffs: make([]float64, cd),
-		newCoeffs: make([]float64, cd),
-		wsum:      make([]float64, cd),
+		baseNode:   baseNode{id: id, model: model, loader: loader, opts: opts},
+		cfg:        cfg,
+		transform:  transform,
+		rng:        rng,
+		dim:        dim,
+		coeffDim:   cd,
+		acc:        make([]float64, cd),
+		params:     make([]float64, dim),
+		startPar:   make([]float64, dim),
+		curCoeffs:  make([]float64, cd),
+		newCoeffs:  make([]float64, cd),
+		wsum:       make([]float64, cd),
+		deltaPar:   make([]float64, dim),
+		deltaCoeff: make([]float64, cd),
+		newParams:  make([]float64, dim),
+		installed:  make([]float64, cd),
 	}
 	model.CopyParams(n.startPar)
 	return n, nil
@@ -158,17 +174,16 @@ func (n *JWINSNode) Share(round int) ([]byte, codec.ByteBreakdown, error) {
 	n.model.CopyParams(n.params)
 
 	// V' = V + DWT(x^(t,tau) - x^(t,0))   (eq. 3)
-	delta := vec.Diff(n.params, n.startPar)
-	deltaCoeff := make([]float64, n.coeffDim)
-	n.transform.Forward(delta, deltaCoeff)
+	vec.DiffInto(n.deltaPar, n.params, n.startPar)
+	n.transform.Forward(n.deltaPar, n.deltaCoeff)
 	switch {
 	case n.cfg.DisableAccumulation:
-		copy(n.acc, deltaCoeff)
+		copy(n.acc, n.deltaCoeff)
 	case n.cfg.AccumulationDecay > 0 && n.cfg.AccumulationDecay < 1:
 		vec.Scale(n.acc, n.cfg.AccumulationDecay)
-		vec.Add(n.acc, deltaCoeff)
+		vec.Add(n.acc, n.deltaCoeff)
 	default:
-		vec.Add(n.acc, deltaCoeff)
+		vec.Add(n.acc, n.deltaCoeff)
 	}
 
 	// Randomized cut-off (line 6).
@@ -189,7 +204,7 @@ func (n *JWINSNode) Share(round int) ([]byte, codec.ByteBreakdown, error) {
 	if n.cfg.BandAdaptive {
 		n.lastShared = n.bandAdaptiveTopK(k)
 	} else {
-		n.lastShared = sparsify.TopKIndices(n.acc, k)
+		n.lastShared = sparsify.TopKIndicesWith(&n.topk, n.acc, k)
 	}
 
 	// Share DWT(x^(t,tau))[I] with compressed indices (line 8).
@@ -201,24 +216,24 @@ func (n *JWINSNode) Share(round int) ([]byte, codec.ByteBreakdown, error) {
 		sv.Values = n.curCoeffs
 	} else {
 		sv.Indices = n.lastShared
-		sv.Values = sparsify.Gather(n.curCoeffs, n.lastShared)
+		n.sharedVals = sparsify.AppendGather(n.sharedVals[:0], n.curCoeffs, n.lastShared)
+		sv.Values = n.sharedVals
 	}
-	return encodeSparsePayload(sv, mode, n.cfg.FloatCodec)
+	return encodeSparsePayloadWith(&n.enc, sv, mode, n.cfg.FloatCodec)
 }
 
 // Aggregate implements lines 9-12 of Algorithm 1: average the received
 // partial wavelet vectors with the node's own coefficients (per-coefficient,
 // weight-normalized), invert the transform, and update the accumulator.
 func (n *JWINSNode) Aggregate(round int, w topology.Weights, msgs map[int][]byte) error {
-	decoded, err := decodeAll(n.coeffDim, w, msgs)
+	decoded, err := n.dec.decodeAll(n.coeffDim, w, msgs)
 	if err != nil {
 		return err
 	}
 	partialAverage(n.curCoeffs, w.Self, decoded, n.newCoeffs, n.wsum)
 
-	newParams := make([]float64, n.dim)
-	n.transform.Inverse(n.newCoeffs, newParams)
-	n.model.SetParams(newParams)
+	n.transform.Inverse(n.newCoeffs, n.newParams)
+	n.model.SetParams(n.newParams)
 
 	if !n.cfg.DisableAccumulation {
 		// Reset V for the coefficients we just shared (line 12)...
@@ -226,21 +241,22 @@ func (n *JWINSNode) Aggregate(round int, w topology.Weights, msgs map[int][]byte
 			n.acc[idx] = 0
 		}
 		// ...then fold in the round's remaining model change (eq. 4).
-		installed := make([]float64, n.coeffDim)
-		n.transform.Forward(newParams, installed)
+		n.transform.Forward(n.newParams, n.installed)
 		if n.cfg.AccumulateLiteralEq4 {
-			startCoeffs := make([]float64, n.coeffDim)
-			n.transform.Forward(n.startPar, startCoeffs)
+			if n.startCoeffs == nil {
+				n.startCoeffs = make([]float64, n.coeffDim)
+			}
+			n.transform.Forward(n.startPar, n.startCoeffs)
 			for k := range n.acc {
-				n.acc[k] += installed[k] - startCoeffs[k]
+				n.acc[k] += n.installed[k] - n.startCoeffs[k]
 			}
 		} else {
 			for k := range n.acc {
-				n.acc[k] += installed[k] - n.curCoeffs[k]
+				n.acc[k] += n.installed[k] - n.curCoeffs[k]
 			}
 		}
 	}
-	copy(n.startPar, newParams)
+	copy(n.startPar, n.newParams)
 	return nil
 }
 
@@ -305,9 +321,11 @@ func (n *JWINSNode) bandAdaptiveTopK(k int) []int {
 	return out
 }
 
-// encodeSparsePayload wraps codec.EncodeSparse with shared error context.
-func encodeSparsePayload(sv codec.SparseVector, mode codec.IndexMode, fc codec.FloatCodec) ([]byte, codec.ByteBreakdown, error) {
-	buf, bd, err := codec.EncodeSparse(sv, mode, fc)
+// encodeSparsePayloadWith wraps codec.EncodeSparseWith — the node's reusable
+// encode scratch stages the intermediates; the returned payload itself is
+// always freshly allocated — with shared error context.
+func encodeSparsePayloadWith(s *codec.EncodeScratch, sv codec.SparseVector, mode codec.IndexMode, fc codec.FloatCodec) ([]byte, codec.ByteBreakdown, error) {
+	buf, bd, err := codec.EncodeSparseWith(s, sv, mode, fc)
 	if err != nil {
 		return nil, bd, fmt.Errorf("core: encoding share payload: %w", err)
 	}

@@ -82,13 +82,22 @@ func (b *baseNode) LocalTrain() float64 {
 // domain): each coefficient is averaged over the nodes that provided it,
 // normalized by the sum of the weights actually present. own is the node's
 // full coefficient vector; out receives the averaged vector (may alias own's
-// backing array only if callers no longer need own).
+// backing array only if callers no longer need own). Dense payloads (nil
+// Indices) take a branch-free full-vector pass instead of materializing an
+// explicit [0, Dim) index set.
 func partialAverage(own []float64, selfWeight float64, msgs []decodedMsg, out, wsum []float64) {
 	for k := range out {
 		out[k] = selfWeight * own[k]
 		wsum[k] = selfWeight
 	}
 	for _, m := range msgs {
+		if m.sv.Indices == nil {
+			for k, v := range m.sv.Values {
+				out[k] += m.weight * v
+				wsum[k] += m.weight
+			}
+			continue
+		}
 		for pos, idx := range m.sv.Indices {
 			out[idx] += m.weight * m.sv.Values[pos]
 			wsum[idx] += m.weight
@@ -105,40 +114,47 @@ type decodedMsg struct {
 	weight float64
 }
 
+// decodeScratch holds one node's reusable payload-decoding state: the sorted
+// sender list and one sparse-vector slot per neighbor, so steady-state
+// aggregation decodes every payload into warm buffers. Each node owns one;
+// it is not safe for concurrent use (nodes are single-threaded by the
+// engines' per-node task chains).
+type decodeScratch struct {
+	senders []int
+	msgs    []decodedMsg
+}
+
 // decodeAll decodes neighbor payloads and attaches mixing weights, erroring
 // on senders missing from the weight row (a topology/delivery bug) and on
-// dimension mismatches. Dense payloads (Indices == nil) get explicit index
-// sets so partialAverage can treat everything uniformly. Senders are
-// processed in increasing id order so floating-point accumulation is
-// bit-for-bit reproducible across runs (map iteration order is not).
-func decodeAll(dim int, w topology.Weights, msgs map[int][]byte) ([]decodedMsg, error) {
-	senders := make([]int, 0, len(msgs))
+// dimension mismatches. Dense payloads keep nil Indices (partialAverage
+// handles them with a full-vector pass). Senders are processed in increasing
+// id order so floating-point accumulation is bit-for-bit reproducible across
+// runs (map iteration order is not). The returned slice and its sparse
+// vectors are owned by the scratch and valid until its next use.
+func (d *decodeScratch) decodeAll(dim int, w topology.Weights, msgs map[int][]byte) ([]decodedMsg, error) {
+	d.senders = d.senders[:0]
 	for from := range msgs {
-		senders = append(senders, from)
+		d.senders = append(d.senders, from)
 	}
-	sort.Ints(senders)
-	out := make([]decodedMsg, 0, len(msgs))
-	for _, from := range senders {
+	sort.Ints(d.senders)
+	for len(d.msgs) < len(d.senders) {
+		d.msgs = append(d.msgs, decodedMsg{})
+	}
+	out := d.msgs[:len(d.senders)]
+	for slot, from := range d.senders {
 		buf := msgs[from]
 		weight, ok := w.Neighbor[from]
 		if !ok {
 			return nil, fmt.Errorf("core: payload from %d but no mixing weight for it", from)
 		}
-		sv, err := codec.DecodeSparse(buf)
-		if err != nil {
+		m := &out[slot]
+		m.weight = weight
+		if err := codec.DecodeSparseInto(&m.sv, buf); err != nil {
 			return nil, fmt.Errorf("core: payload from %d: %w", from, err)
 		}
-		if sv.Dim != dim {
-			return nil, fmt.Errorf("core: payload from %d has dim %d, want %d", from, sv.Dim, dim)
+		if m.sv.Dim != dim {
+			return nil, fmt.Errorf("core: payload from %d has dim %d, want %d", from, m.sv.Dim, dim)
 		}
-		if sv.Indices == nil {
-			idx := make([]int, dim)
-			for i := range idx {
-				idx[i] = i
-			}
-			sv.Indices = idx
-		}
-		out = append(out, decodedMsg{sv: sv, weight: weight})
 	}
 	return out, nil
 }

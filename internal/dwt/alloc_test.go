@@ -1,0 +1,63 @@
+package dwt
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// TestTransformerAllocationFree: Forward and Inverse run once per node per
+// simulated round (twice each for JWINS), so they must not allocate: filters
+// are cached at construction and the level recursion ping-pongs between the
+// transformer's scratch buffers.
+func TestTransformerAllocationFree(t *testing.T) {
+	const n = 10_000
+	tr, err := NewTransformer(n, MustByName("sym2"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := vec.NewRNG(1)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	coeffs := make([]float64, tr.CoeffLen())
+	out := make([]float64, n)
+	tr.Forward(x, coeffs)
+	tr.Inverse(coeffs, out)
+	if allocs := testing.AllocsPerRun(20, func() { tr.Forward(x, coeffs) }); allocs > 0 {
+		t.Fatalf("Forward allocates %v per op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { tr.Inverse(coeffs, out) }); allocs > 0 {
+		t.Fatalf("Inverse allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestFilterVariantsMatch: the cached-filter entry points must agree exactly
+// with the Wavelet-receiving ones.
+func TestFilterVariantsMatch(t *testing.T) {
+	w := MustByName("db4")
+	g := w.G()
+	r := vec.NewRNG(2)
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	a1, d1 := make([]float64, 32), make([]float64, 32)
+	a2, d2 := make([]float64, 32), make([]float64, 32)
+	AnalyzePeriodic(x, w, a1, d1)
+	AnalyzePeriodicFilters(x, w.H, g, a2, d2)
+	for i := range a1 {
+		if a1[i] != a2[i] || d1[i] != d2[i] {
+			t.Fatalf("analysis differs at %d", i)
+		}
+	}
+	x1, x2 := make([]float64, 64), make([]float64, 64)
+	SynthesizePeriodic(a1, d1, w, x1)
+	SynthesizePeriodicFilters(a2, d2, w.H, g, x2)
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("synthesis differs at %d", i)
+		}
+	}
+}

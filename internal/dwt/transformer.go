@@ -31,8 +31,9 @@ type Band struct {
 // safe for concurrent use; each DL node owns its own instance.
 type Transformer struct {
 	wavelet   Wavelet
-	n         int // original input length
-	padded    int // padded length (multiple of 2^levels)
+	g         []float64 // cached high-pass filter (Wavelet.G allocates)
+	n         int       // original input length
+	padded    int       // padded length (multiple of 2^levels)
 	levels    int
 	bands     []Band
 	scratchA  []float64
@@ -64,6 +65,7 @@ func NewTransformer(n int, w Wavelet, levels int) (*Transformer, error) {
 	}
 	t := &Transformer{
 		wavelet:   w,
+		g:         w.G(),
 		n:         n,
 		padded:    padded,
 		levels:    levels,
@@ -118,14 +120,17 @@ func (t *Transformer) Forward(x, out []float64) {
 	for i := t.n; i < t.padded; i++ {
 		cur[i] = 0
 	}
+	next := t.scratchA
 	curLen := t.padded
-	// Details are emitted from finest (cD1, at the tail of out) to coarsest.
+	// Details are emitted from finest (cD1, at the tail of out) to coarsest;
+	// the shrinking approximation ping-pongs between the two scratch buffers
+	// instead of copying back each level.
 	for lvl := 1; lvl <= t.levels; lvl++ {
 		half := curLen / 2
-		approx := t.scratchA[:half]
+		approx := next[:half]
 		detail := t.detailSlot(out, lvl)
-		AnalyzePeriodic(cur[:curLen], t.wavelet, approx, detail)
-		copy(cur[:half], approx)
+		AnalyzePeriodicFilters(cur[:curLen], t.wavelet.H, t.g, approx, detail)
+		cur, next = next, cur
 		curLen = half
 	}
 	copy(out[:curLen], cur[:curLen]) // cA_L
@@ -141,14 +146,14 @@ func (t *Transformer) Inverse(coeffs, out []float64) {
 		panic(fmt.Sprintf("dwt: Inverse output length %d, want %d", len(out), t.n))
 	}
 	coarse := t.padded >> uint(t.levels)
-	cur := t.scratchA[:t.padded]
+	cur := t.scratchA
+	next := t.scratchB
 	copy(cur[:coarse], coeffs[:coarse]) // cA_L
 	curLen := coarse
 	for lvl := t.levels; lvl >= 1; lvl-- {
 		detail := t.detailSlot(coeffs, lvl)
-		x := t.scratchB[:2*curLen]
-		SynthesizePeriodic(cur[:curLen], detail, t.wavelet, x)
-		copy(cur[:2*curLen], x)
+		SynthesizePeriodicFilters(cur[:curLen], detail, t.wavelet.H, t.g, next[:2*curLen])
+		cur, next = next, cur
 		curLen *= 2
 	}
 	copy(out, cur[:t.n])

@@ -109,6 +109,13 @@ func Names() []string {
 // even-length signal x into approx and detail bands of length len(x)/2.
 // approx and detail must each have length len(x)/2.
 func AnalyzePeriodic(x []float64, w Wavelet, approx, detail []float64) {
+	AnalyzePeriodicFilters(x, w.H, w.G(), approx, detail)
+}
+
+// AnalyzePeriodicFilters is AnalyzePeriodic with the high-pass filter g
+// precomputed, so per-round transforms on cached filters stay allocation
+// free (Wavelet.G allocates on every call).
+func AnalyzePeriodicFilters(x, h, g []float64, approx, detail []float64) {
 	n := len(x)
 	if n%2 != 0 {
 		panic("dwt: AnalyzePeriodic requires an even-length signal")
@@ -117,8 +124,6 @@ func AnalyzePeriodic(x []float64, w Wavelet, approx, detail []float64) {
 	if len(approx) != half || len(detail) != half {
 		panic("dwt: output band length must be len(x)/2")
 	}
-	h := w.H
-	g := w.G()
 	l := len(h)
 	for i := 0; i < half; i++ {
 		var a, d float64
@@ -144,6 +149,11 @@ func AnalyzePeriodic(x []float64, w Wavelet, approx, detail []float64) {
 // signal x (length 2*len(approx)) from the approx and detail bands.
 // x must have length 2*len(approx); it is overwritten.
 func SynthesizePeriodic(approx, detail []float64, w Wavelet, x []float64) {
+	SynthesizePeriodicFilters(approx, detail, w.H, w.G(), x)
+}
+
+// SynthesizePeriodicFilters is SynthesizePeriodic with g precomputed.
+func SynthesizePeriodicFilters(approx, detail, h, g []float64, x []float64) {
 	half := len(approx)
 	if len(detail) != half {
 		panic("dwt: approx/detail length mismatch")
@@ -152,8 +162,6 @@ func SynthesizePeriodic(approx, detail []float64, w Wavelet, x []float64) {
 	if len(x) != n {
 		panic("dwt: output length must be 2*len(approx)")
 	}
-	h := w.H
-	g := w.G()
 	l := len(h)
 	for i := range x {
 		x[i] = 0

@@ -1,0 +1,234 @@
+// suite.go assembles the standard benchmark suite, the serial-vs-parallel
+// determinism check, and the BENCH_*.json artifact format.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/simulation"
+)
+
+// Bench is one named benchmark: fn runs a single iteration and returns the
+// number of simulated scheduler events it processed (0 when not applicable).
+type Bench struct {
+	Name string
+	Fn   func() (int64, error)
+}
+
+// Suite returns the standard benchmark list: the three engine benchmarks
+// (async at parallelism 1 and NumCPU, bracketing the worker pool's win) and
+// the JWINS hot-path micros.
+func Suite() ([]Bench, error) {
+	pmax := MaxParallelism()
+	benches := []Bench{
+		{"engine-sync16", func() (int64, error) { return RunSync16(pmax) }},
+		{"engine-async16-p1", func() (int64, error) { return RunAsync16(1) }},
+		{fmt.Sprintf("engine-async16-p%d", pmax), func() (int64, error) { return RunAsync16(pmax) }},
+		{"engine-asyncchurn16-p1", func() (int64, error) { return RunAsyncChurn16(1) }},
+		{fmt.Sprintf("engine-asyncchurn16-p%d", pmax), func() (int64, error) { return RunAsyncChurn16(pmax) }},
+	}
+	micro, err := microBenches()
+	if err != nil {
+		return nil, err
+	}
+	return append(benches, micro...), nil
+}
+
+// microBenches builds the Share/Aggregate micro-benchmarks over persistent
+// 100k-parameter JWINS pairs, excluding local training. Aggregate re-merges
+// a fixed payload pair so its cost is not polluted by Share's. Two codec
+// variants run: flate32 (the paper default; its decode keeps a handful of
+// compress/flate-internal allocations per op) and raw32 (zero-allocation
+// steady state for the repository's own pipeline).
+func microBenches() ([]Bench, error) {
+	flatePair, err := microPair("", nil)
+	if err != nil {
+		return nil, err
+	}
+	rawPair, err := microPair("-raw32", codec.Raw32{})
+	if err != nil {
+		return nil, err
+	}
+	return append(flatePair, rawPair...), nil
+}
+
+func microPair(suffix string, fc codec.FloatCodec) ([]Bench, error) {
+	const dim = 100_000
+	a, b, err := JWINSPairCodec(dim, fc)
+	if err != nil {
+		return nil, err
+	}
+	// One node call per op, matching BenchmarkJWINSShare/BenchmarkJWINSAggregate
+	// exactly so JSON baselines and benchstat output compare one-to-one.
+	wA := PairWeights(1)
+	round := 0
+	share := Bench{"jwins-share-100k" + suffix, func() (int64, error) {
+		round++
+		_, _, err := a.Share(round)
+		return 0, err
+	}}
+	if _, _, err := a.Share(0); err != nil {
+		return nil, err
+	}
+	payloadB, _, err := b.Share(0)
+	if err != nil {
+		return nil, err
+	}
+	msgsA := map[int][]byte{1: payloadB}
+	aggregate := Bench{"jwins-aggregate-100k" + suffix, func() (int64, error) {
+		return 0, a.Aggregate(round, wA, msgsA)
+	}}
+	return []Bench{share, aggregate}, nil
+}
+
+// Report is the schema of a BENCH_*.json artifact.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	NumCPU      int      `json:"num_cpu"`
+	Quick       bool     `json:"quick,omitempty"`
+	Records     []Record `json:"records"`
+}
+
+// Run executes the suite. quick runs each benchmark once (-benchtime=1x
+// semantics, for CI smoke); otherwise iteration counts target ~1s each.
+func Run(quick bool, logf func(format string, args ...any)) (*Report, error) {
+	benches, err := Suite()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Quick:       quick,
+	}
+	for _, b := range benches {
+		iters := 1
+		if !quick {
+			if iters, err = autoIters(time.Second, b.Fn); err != nil {
+				return nil, fmt.Errorf("%s: %w", b.Name, err)
+			}
+		}
+		rec, err := measure(b.Name, iters, b.Fn)
+		if err != nil {
+			return nil, err
+		}
+		rep.Records = append(rep.Records, rec)
+		if logf != nil {
+			logf("%-28s %10d it  %14.0f ns/op  %12.1f allocs/op  %14.0f B/op  %s",
+				rec.Name, rec.Iters, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp, eventsStr(rec.EventsPerSec))
+		}
+	}
+	return rep, nil
+}
+
+func eventsStr(v float64) string {
+	if v == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%12.0f events/s", v)
+}
+
+// WriteJSON writes the report to path.
+func (r *Report) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// CheckDeterminism runs the AsyncChurn16 configuration (stragglers, churn,
+// drops) serially and at every parallelism level up to NumCPU that is worth
+// checking, and errors on any divergence in the event trace, byte ledger, or
+// result rows. CI fails the bench smoke job on a non-nil return.
+func CheckDeterminism() error {
+	type capture struct {
+		trace  []simulation.Event
+		result *simulation.Result
+	}
+	run := func(parallelism int) (capture, error) {
+		nodes, ds, topo, err := EngineFleet()
+		if err != nil {
+			return capture{}, err
+		}
+		var c capture
+		eng := &simulation.AsyncEngine{
+			Nodes: nodes, Topology: topo, TestSet: ds,
+			Config: simulation.AsyncConfig{
+				Config:  simulation.Config{Rounds: 10, EvalEvery: 5, Parallelism: parallelism, DropProb: 0.05, FaultSeed: 3},
+				Het:     EngineHet(),
+				Churn:   EngineChurn(),
+				OnEvent: func(ev simulation.Event) { c.trace = append(c.trace, ev) },
+			},
+		}
+		c.result, err = eng.Run()
+		return c, err
+	}
+	ref, err := run(1)
+	if err != nil {
+		return err
+	}
+	levels := []int{2}
+	if n := runtime.NumCPU(); n > 2 {
+		levels = append(levels, n)
+	}
+	for _, p := range levels {
+		got, err := run(p)
+		if err != nil {
+			return fmt.Errorf("parallelism %d: %w", p, err)
+		}
+		if err := compareCaptures(ref.trace, got.trace, ref.result, got.result); err != nil {
+			return fmt.Errorf("parallelism %d diverged from serial: %w", p, err)
+		}
+	}
+	return nil
+}
+
+func compareCaptures(refTrace, gotTrace []simulation.Event, ref, got *simulation.Result) error {
+	if len(refTrace) != len(gotTrace) {
+		return fmt.Errorf("trace length %d != %d", len(gotTrace), len(refTrace))
+	}
+	for i := range refTrace {
+		a, b := refTrace[i], gotTrace[i]
+		if a.Time != b.Time || a.Seq != b.Seq || a.Kind != b.Kind || a.Node != b.Node ||
+			a.From != b.From || a.Iter != b.Iter || a.Dropped != b.Dropped {
+			return fmt.Errorf("event %d: %+v != %+v", i, b, a)
+		}
+	}
+	if ref.TotalBytes != got.TotalBytes || ref.ModelBytes != got.ModelBytes || ref.MetaBytes != got.MetaBytes {
+		return fmt.Errorf("byte ledger (%d,%d,%d) != (%d,%d,%d)",
+			got.TotalBytes, got.ModelBytes, got.MetaBytes, ref.TotalBytes, ref.ModelBytes, ref.MetaBytes)
+	}
+	if ref.SimTime != got.SimTime || !floatEq(ref.FinalAccuracy, got.FinalAccuracy) || !floatEq(ref.FinalLoss, got.FinalLoss) {
+		return fmt.Errorf("final metrics differ: (%v,%v,%v) != (%v,%v,%v)",
+			got.SimTime, got.FinalAccuracy, got.FinalLoss, ref.SimTime, ref.FinalAccuracy, ref.FinalLoss)
+	}
+	if len(ref.Rounds) != len(got.Rounds) {
+		return fmt.Errorf("row count %d != %d", len(got.Rounds), len(ref.Rounds))
+	}
+	for i := range ref.Rounds {
+		a, b := ref.Rounds[i], got.Rounds[i]
+		if a.CumTotalBytes != b.CumTotalBytes || !floatEq(a.TrainLoss, b.TrainLoss) ||
+			!floatEq(a.TestAcc, b.TestAcc) || !floatEq(a.MeanAlpha, b.MeanAlpha) {
+			return fmt.Errorf("row %d differs: %+v != %+v", i, b, a)
+		}
+	}
+	return nil
+}
+
+// floatEq treats NaN == NaN (rows without evaluation carry NaN).
+func floatEq(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}

@@ -31,6 +31,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -223,6 +224,16 @@ type asyncNode struct {
 	lastBD      codec.ByteBreakdown
 }
 
+// trainTask carries one speculatively dispatched train+share computation.
+// The pool worker fills the result fields before fut completes; the event
+// loop reads them only after waiting on fut at the train-done event.
+type trainTask struct {
+	fut     *future
+	loss    float64
+	payload []byte
+	bd      codec.ByteBreakdown
+}
+
 // asyncRun is the mutable state of one AsyncEngine.Run.
 type asyncRun struct {
 	eng      *AsyncEngine
@@ -235,6 +246,23 @@ type asyncRun struct {
 	now      float64
 	ledger   byteLedger
 	faultRNG *vec.RNG
+
+	// Worker-pool state. tails[i] is node i's most recently submitted task
+	// (its per-node chain: train and aggregate strictly alternate in program
+	// order); pendTrain[i] is the speculatively dispatched train+share whose
+	// train-done event has not been processed yet. alphas[i] is the cut-off
+	// committed at node i's last processed train-done — row emission must not
+	// read JWINSNode.LastAlpha directly, since a speculative Share may already
+	// have overwritten it ahead of the serial schedule.
+	pool      *computePool
+	tails     []*future
+	pendTrain []*trainTask
+	alphas    []float64
+	isJWINS   []bool
+	// churnPending[i] holds the simulated times of node i's not-yet-processed
+	// leave/join events, ascending. Speculation is suppressed while a churn
+	// event could fire before the speculated train-done commits.
+	churnPending [][]float64
 
 	// per-iteration training-loss accumulators for row emission
 	lossSum   []float64
@@ -276,17 +304,33 @@ func (e *AsyncEngine) Run() (*Result, error) {
 	}
 
 	r := &asyncRun{
-		eng:       e,
-		cfg:       cfg,
-		profiles:  profiles,
-		masked:    topology.NewMasked(e.Topology, n),
-		nodes:     make([]asyncNode, n),
-		lossSum:   make([]float64, cfg.Rounds),
-		lossCount: make([]int, cfg.Rounds),
-		res:       &Result{RoundsToTarget: -1},
-		rec:       cfg.Record,
-		replay:    cfg.Replay,
-		stale:     newStaleTracker(cfg.Rounds),
+		eng:          e,
+		cfg:          cfg,
+		profiles:     profiles,
+		masked:       topology.NewMasked(e.Topology, n),
+		nodes:        make([]asyncNode, n),
+		lossSum:      make([]float64, cfg.Rounds),
+		lossCount:    make([]int, cfg.Rounds),
+		res:          &Result{RoundsToTarget: -1},
+		rec:          cfg.Record,
+		replay:       cfg.Replay,
+		stale:        newStaleTracker(cfg.Rounds),
+		pool:         newComputePool(cfg.Parallelism),
+		tails:        make([]*future, n),
+		pendTrain:    make([]*trainTask, n),
+		alphas:       make([]float64, n),
+		isJWINS:      make([]bool, n),
+		churnPending: make([][]float64, n),
+	}
+	// Registered before any validation early-return: the pool's workers must
+	// not outlive a failed Run.
+	defer r.pool.close()
+	for i, nd := range e.Nodes {
+		if _, ok := nd.(*core.JWINSNode); ok {
+			r.isJWINS[i] = true
+		} else {
+			r.alphas[i] = math.NaN()
+		}
 	}
 	if cfg.DropProb > 0 && r.replay == nil {
 		// Under replay, drops come from the recorded arrivals instead.
@@ -316,6 +360,24 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		}
 	}
 	heap.Init(&r.queue)
+	// The per-node churn calendar must exist before the first scheduleTrain:
+	// speculation safety checks it. Event push order stays as before (initial
+	// trains first, then churn) so same-time tie-breaking is unchanged.
+	if r.replay != nil {
+		for _, ev := range r.replay.Churn() {
+			r.churnPending[ev.Node] = append(r.churnPending[ev.Node], ev.Time)
+		}
+	} else {
+		for _, ch := range cfg.Churn {
+			if ch.Node < 0 || ch.Node >= n {
+				return nil, fmt.Errorf("simulation: churn event for node %d, engine has %d nodes", ch.Node, n)
+			}
+			r.churnPending[ch.Node] = append(r.churnPending[ch.Node], ch.Time)
+		}
+	}
+	for i := range r.churnPending {
+		sort.Float64s(r.churnPending[i])
+	}
 	// Seed the schedule: every node starts training at t=0; churn arrives on
 	// its own clock.
 	for i := 0; i < n; i++ {
@@ -332,9 +394,6 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		}
 	} else {
 		for _, ch := range cfg.Churn {
-			if ch.Node < 0 || ch.Node >= n {
-				return nil, fmt.Errorf("simulation: churn event for node %d, engine has %d nodes", ch.Node, n)
-			}
 			kind := EventLeave
 			if ch.Join {
 				kind = EventJoin
@@ -343,34 +402,14 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		}
 	}
 
-	for r.queue.Len() > 0 && !r.stop {
-		ev := heap.Pop(&r.queue).(*Event)
-		r.now = ev.Time
-		if cfg.OnEvent != nil {
-			cfg.OnEvent(*ev)
-		}
-		if r.rec != nil {
-			if tev, ok := schedTraceEvent(ev); ok {
-				r.rec.Record(tev)
-			}
-		}
-		var err error
-		switch ev.Kind {
-		case EventTrainDone:
-			err = r.onTrainDone(ev)
-		case EventArrival:
-			err = r.onArrival(ev)
-		case EventLeave:
-			r.onLeave(ev.Node)
-		case EventJoin:
-			err = r.onJoin(ev.Node)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if r.emitted >= cfg.Rounds {
-			break
-		}
+	// The final drain is mandatory on every path out of the loop: in-flight
+	// workers mutate node state, and the pool must not close under them.
+	if err := r.eventLoop(); err != nil {
+		r.drain() // surface the loop's error, not a downstream chain error
+		return nil, err
+	}
+	if err := r.drain(); err != nil {
+		return nil, err
 	}
 
 	if r.replay != nil && !r.stop && r.emitted < cfg.Rounds {
@@ -393,12 +432,102 @@ func (e *AsyncEngine) Run() (*Result, error) {
 	return r.res, nil
 }
 
+// eventLoop pops and processes events until the queue empties, the run
+// stops, or the iteration budget is met.
+func (r *asyncRun) eventLoop() error {
+	for r.queue.Len() > 0 && !r.stop {
+		ev := heap.Pop(&r.queue).(*Event)
+		r.now = ev.Time
+		if r.cfg.OnEvent != nil {
+			r.cfg.OnEvent(*ev)
+		}
+		if r.rec != nil {
+			if tev, ok := schedTraceEvent(ev); ok {
+				r.rec.Record(tev)
+			}
+		}
+		var err error
+		switch ev.Kind {
+		case EventTrainDone:
+			err = r.onTrainDone(ev)
+		case EventArrival:
+			err = r.onArrival(ev)
+		case EventLeave:
+			r.popChurn(ev.Node)
+			r.onLeave(ev.Node)
+		case EventJoin:
+			r.popChurn(ev.Node)
+			err = r.onJoin(ev.Node)
+		}
+		if err != nil {
+			return err
+		}
+		if r.emitted >= r.cfg.Rounds {
+			break
+		}
+	}
+	return nil
+}
+
+// popChurn retires the front of node i's churn calendar as its leave/join
+// event is processed (liveness no-ops still consume their calendar entry).
+func (r *asyncRun) popChurn(i int) {
+	if len(r.churnPending[i]) > 0 {
+		r.churnPending[i] = r.churnPending[i][1:]
+	}
+}
+
+// drain waits for every node's task chain to finish and returns the
+// lowest-node-index error. It must run before Run returns so no pool worker
+// keeps mutating node state after the caller regains control.
+func (r *asyncRun) drain() error {
+	var first error
+	for i := range r.tails {
+		if err := r.tails[i].wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// specSafe reports whether node i's train+share for the iteration starting
+// now may run ahead of its train-done event (scheduled at time t) without
+// becoming observable before the serial schedule would produce it. Two
+// windows forbid it:
+//
+//   - a pending leave/join for node i at or before t would supersede the
+//     event, and serial execution then never trains (the node's model,
+//     loader, and RNG must stay untouched);
+//   - an evaluation row at index < the train's iteration could be emitted
+//     while the task is in flight, and evaluation reads every node's model.
+//     Rows at or above the iteration cannot fire first: they need the node
+//     itself to advance, which needs this train to commit.
+func (r *asyncRun) specSafe(i int, t float64) bool {
+	if pend := r.churnPending[i]; len(pend) > 0 && pend[0] <= t {
+		return false
+	}
+	return r.nodes[i].iter <= r.nextEvalRow()
+}
+
+// nextEvalRow returns the smallest not-yet-emitted row index that will
+// trigger an evaluation (the EvalEvery cadence or the final row).
+func (r *asyncRun) nextEvalRow() int {
+	e := r.cfg.EvalEvery
+	k := r.emitted
+	next := (k/e+1)*e - 1
+	if last := r.cfg.Rounds - 1; last < next {
+		next = last
+	}
+	return next
+}
+
 // push assigns the next sequence number and enqueues ev.
 func (r *asyncRun) push(ev *Event) {
 	ev.Seq = r.seq
 	r.seq++
 	heap.Push(&r.queue, ev)
 }
+
 
 // scheduleTrain enqueues node i's next train-done event under its profile —
 // or, under replay, at the recorded completion time. A missing recording
@@ -421,6 +550,25 @@ func (r *asyncRun) scheduleTrain(i int) {
 		Time: t, Kind: EventTrainDone,
 		Node: i, Iter: st.iter, gen: st.gen,
 	})
+	// Speculative dispatch: node i's state is final for this training phase
+	// (nothing between here and the train-done event mutates it), so the
+	// compute can start on the pool now and overlap other nodes' work. The
+	// event loop commits the result — ledger, broadcast, trace — only when
+	// the event fires, keeping the schedule bit-identical to serial.
+	if r.specSafe(i, t) {
+		iter := st.iter
+		tt := &trainTask{}
+		tt.fut = r.pool.submit(r.tails[i], func() error {
+			loss, payload, bd, err := trainShare(r.eng.Nodes[i], iter)
+			if err != nil {
+				return fmt.Errorf("node %d share: %w", i, err)
+			}
+			tt.loss, tt.payload, tt.bd = loss, payload, bd
+			return nil
+		})
+		r.pendTrain[i] = tt
+		r.tails[i] = tt.fut
+	}
 }
 
 // onTrainDone runs the node's local steps and broadcast, then either blocks
@@ -429,11 +577,36 @@ func (r *asyncRun) onTrainDone(ev *Event) error {
 	i := ev.Node
 	st := &r.nodes[i]
 	if !st.live || ev.gen != st.gen || ev.Iter != st.iter {
-		return nil // superseded by churn
+		return nil // superseded by churn; speculation is suppressed for these
 	}
-	loss, payload, bd, err := trainShare(r.eng.Nodes[i], st.iter)
-	if err != nil {
-		return fmt.Errorf("node %d share: %w", i, err)
+	var (
+		loss    float64
+		payload []byte
+		bd      codec.ByteBreakdown
+	)
+	if tt := r.pendTrain[i]; tt != nil {
+		// Commit the speculative result at exactly the serial execution point.
+		r.pendTrain[i] = nil
+		if err := tt.fut.wait(); err != nil {
+			return err
+		}
+		loss, payload, bd = tt.loss, tt.payload, tt.bd
+	} else {
+		// Speculation was unsafe (churn or eval window): run inline, after any
+		// still-running aggregate of this node.
+		if err := r.tails[i].wait(); err != nil {
+			return err
+		}
+		var err error
+		loss, payload, bd, err = trainShare(r.eng.Nodes[i], st.iter)
+		if err != nil {
+			return fmt.Errorf("node %d share: %w", i, err)
+		}
+	}
+	if r.isJWINS[i] {
+		// Commit the sampled cut-off for row emission; LastAlpha itself may
+		// run ahead under speculation.
+		r.alphas[i] = r.eng.Nodes[i].(*core.JWINSNode).LastAlpha
 	}
 	if st.iter < len(r.lossSum) && !math.IsNaN(loss) {
 		r.lossSum[st.iter] += loss
@@ -618,8 +791,19 @@ func (r *asyncRun) aggregate(i int) error {
 			lags = append(lags, math.Max(0, float64(st.iter-best)))
 		}
 	}
-	if err := r.eng.Nodes[i].Aggregate(st.iter, w[i], msgs); err != nil {
-		return fmt.Errorf("node %d aggregate: %w", i, err)
+	// Decode+mix runs on the pool: nothing on the event schedule depends on
+	// its result (the payloads in msgs are immutable, the mixing row w[i] is
+	// rebuilt — never mutated — on liveness changes), so the loop moves on
+	// while the model updates. The node's next train chains after it; row
+	// evaluation and Run's exit wait for every chain.
+	{
+		iter, wi := st.iter, w[i]
+		r.tails[i] = r.pool.submit(r.tails[i], func() error {
+			if err := r.eng.Nodes[i].Aggregate(iter, wi, msgs); err != nil {
+				return fmt.Errorf("node %d aggregate: %w", i, err)
+			}
+			return nil
+		})
 	}
 	r.stale.add(st.iter, lags)
 	if r.rec != nil {
@@ -761,14 +945,20 @@ func (r *asyncRun) emitRows() error {
 			CumModelBytes: r.ledger.model,
 			CumMetaBytes:  r.ledger.meta,
 			SimTime:       r.now,
-			MeanAlpha:     meanAlphaOf(r.eng.Nodes),
+			MeanAlpha:     mean(r.alphas),
 		}
 		rm.StaleMean, rm.StaleMax, rm.StaleP95 = r.stale.rowStats(k)
 		if r.lossCount[k] > 0 {
 			rm.TrainLoss = r.lossSum[k] / float64(r.lossCount[k])
 		}
 		if k%r.cfg.EvalEvery == r.cfg.EvalEvery-1 || k == r.cfg.Rounds-1 {
-			loss, acc := evaluateNodes(r.eng.Nodes, r.eng.TestSet, r.cfg.Config)
+			// Synchronization point: evaluation reads every model, so every
+			// chain must land. Speculation safety guarantees no train task
+			// from the serial future is in flight here.
+			if err := r.drain(); err != nil {
+				return err
+			}
+			loss, acc := evaluateNodesOn(r.pool, r.eng.Nodes, r.eng.TestSet, r.cfg.Config)
 			rm.TestLoss, rm.TestAcc = loss, acc
 			r.res.FinalAccuracy, r.res.FinalLoss = acc, loss
 			if r.cfg.TargetAccuracy > 0 && acc >= r.cfg.TargetAccuracy && r.res.RoundsToTarget < 0 {

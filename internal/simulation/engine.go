@@ -165,6 +165,9 @@ func (e *Engine) Run() (*Result, error) {
 	var ledger byteLedger
 	simTime := 0.0
 
+	pool := newComputePool(cfg.Parallelism)
+	defer pool.close()
+
 	payloads := make([][]byte, n)
 	breakdowns := make([]codec.ByteBreakdown, n)
 	losses := make([]float64, n)
@@ -186,7 +189,7 @@ func (e *Engine) Run() (*Result, error) {
 		}
 
 		// Phase 1+2: local training then payload construction, per node.
-		if err := e.parallel(cfg.Parallelism, func(i int) error {
+		if err := pool.forEach(n, func(i int) error {
 			if offline[i] {
 				losses[i] = math.NaN()
 				payloads[i] = nil
@@ -255,7 +258,7 @@ func (e *Engine) Run() (*Result, error) {
 		}
 
 		// Phase 4: aggregation.
-		if err := e.parallel(cfg.Parallelism, func(i int) error {
+		if err := pool.forEach(n, func(i int) error {
 			if offline[i] {
 				return nil
 			}
@@ -285,7 +288,7 @@ func (e *Engine) Run() (*Result, error) {
 		}
 
 		if round%cfg.EvalEvery == cfg.EvalEvery-1 || round == cfg.Rounds-1 {
-			loss, acc := e.Evaluate(cfg)
+			loss, acc := evaluateNodesOn(pool, e.Nodes, e.TestSet, cfg)
 			rm.TestLoss, rm.TestAcc = loss, acc
 			res.FinalAccuracy, res.FinalLoss = acc, loss
 			if cfg.TargetAccuracy > 0 && acc >= cfg.TargetAccuracy && res.RoundsToTarget < 0 {
@@ -315,10 +318,4 @@ func (e *Engine) Run() (*Result, error) {
 func (e *Engine) Evaluate(cfg Config) (loss, acc float64) {
 	cfg.setDefaults()
 	return evaluateNodes(e.Nodes, e.TestSet, cfg)
-}
-
-// parallel runs fn(i) for every node index with bounded concurrency and
-// returns the first error.
-func (e *Engine) parallel(limit int, fn func(i int) error) error {
-	return parallelFor(len(e.Nodes), limit, fn)
 }

@@ -1,0 +1,133 @@
+// pool.go is the bounded deterministic worker pool shared by both engines.
+// Compute-heavy node work (local training + payload construction, payload
+// decoding + mixing) runs on the pool; everything that determines the event
+// schedule, the byte ledger, or the recorded trace stays on the caller's
+// goroutine. Determinism therefore does not depend on worker timing: tasks
+// only read and write state owned by a single node, tasks of the same node
+// are chained in program order, and the engines wait for a task exactly at
+// the point where serial execution would have produced its result.
+//
+// With limit <= 1 the pool degenerates to inline execution at submit time,
+// which is the serial reference the parallelism-invariance tests compare
+// against.
+package simulation
+
+import "sync"
+
+// future is the completion handle of one submitted task. The zero value is
+// not usable; tasks create their futures through computePool.submit.
+type future struct {
+	ch  chan struct{}
+	err error // written before ch is closed
+}
+
+// wait blocks until the task has run and returns its error. A nil future
+// counts as an already-completed task.
+func (f *future) wait() error {
+	if f == nil {
+		return nil
+	}
+	<-f.ch
+	return f.err
+}
+
+// computePool executes tasks on a bounded set of worker goroutines.
+type computePool struct {
+	limit int
+	tasks chan func()
+	wg    sync.WaitGroup
+}
+
+// newComputePool starts a pool with the given concurrency limit. limit <= 1
+// creates a pool that runs every task inline on the submitting goroutine.
+func newComputePool(limit int) *computePool {
+	p := &computePool{limit: limit}
+	if limit > 1 {
+		p.tasks = make(chan func(), 2*limit)
+		for i := 0; i < limit; i++ {
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				for fn := range p.tasks {
+					fn()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// close shuts the workers down. Callers must have waited for every submitted
+// future first (the engines wait on all node tails before closing), so no
+// chained submission can race the close.
+func (p *computePool) close() {
+	if p.tasks != nil {
+		close(p.tasks)
+		p.wg.Wait()
+	}
+}
+
+// submit schedules fn to run after prev completes (prev may be nil) and
+// returns its future. If prev failed, fn is skipped and the error propagates
+// to the new future, so a node's chain stops at its first failure.
+func (p *computePool) submit(prev *future, fn func() error) *future {
+	f := &future{ch: make(chan struct{})}
+	run := func() {
+		if prev != nil {
+			if err := prev.wait(); err != nil {
+				f.err = err
+				close(f.ch)
+				return
+			}
+		}
+		f.err = fn()
+		close(f.ch)
+	}
+	if p.tasks == nil {
+		// Inline mode: prev is always complete here because every earlier
+		// submission ran inline too.
+		run()
+		return f
+	}
+	if prev == nil {
+		p.tasks <- run
+		return f
+	}
+	// Chained task: hand the dependency wait to a shim goroutine so a pool
+	// worker is never parked on a future it cannot help complete.
+	go func() {
+		<-prev.ch
+		p.tasks <- run
+	}()
+	return f
+}
+
+// forEach runs fn(i) for i in [0, n) on the pool and returns the
+// lowest-index error (deterministic, unlike first-error-wins collection).
+func (p *computePool) forEach(n int, fn func(i int) error) error {
+	if p.tasks == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.tasks <- func() {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,13 +1,13 @@
 // roundio.go is the I/O layer shared by the synchronous round engine and the
 // event-driven async scheduler: per-node train+share execution, cumulative
-// byte accounting, fleet evaluation, and bounded-concurrency fan-out. Both
-// engines express their schedules in terms of these primitives so that byte
-// ledgers and metrics stay comparable across execution modes.
+// byte accounting, and fleet evaluation. Both engines express their schedules
+// in terms of these primitives so that byte ledgers and metrics stay
+// comparable across execution modes; both fan compute out on the worker pool
+// in pool.go.
 package simulation
 
 import (
 	"math"
-	"sync"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -40,21 +40,29 @@ func trainShare(nd core.Node, round int) (loss float64, payload []byte, bd codec
 	return loss, payload, bd, err
 }
 
-// evaluateNodes returns mean test loss and accuracy over the first k nodes
-// (k capped by cfg.EvalNodes when set), with bounded parallelism.
-func evaluateNodes(nodes []core.Node, testSet *datasets.Dataset, cfg Config) (loss, acc float64) {
+// evaluateNodesOn returns mean test loss and accuracy over the first k nodes
+// (k capped by cfg.EvalNodes when set), fanned out on the given pool.
+func evaluateNodesOn(p *computePool, nodes []core.Node, testSet *datasets.Dataset, cfg Config) (loss, acc float64) {
 	k := len(nodes)
 	if cfg.EvalNodes > 0 && cfg.EvalNodes < k {
 		k = cfg.EvalNodes
 	}
 	lossSum := make([]float64, k)
 	accSum := make([]float64, k)
-	_ = parallelFor(k, cfg.Parallelism, func(i int) error {
+	_ = p.forEach(k, func(i int) error {
 		l, a := datasets.Evaluate(testSet, nodes[i].Model(), cfg.EvalBatch, cfg.EvalMaxSamples)
 		lossSum[i], accSum[i] = l, a
 		return nil
 	})
 	return mean(lossSum), mean(accSum)
+}
+
+// evaluateNodes is evaluateNodesOn with a transient pool, for callers outside
+// an engine run.
+func evaluateNodes(nodes []core.Node, testSet *datasets.Dataset, cfg Config) (loss, acc float64) {
+	p := newComputePool(cfg.Parallelism)
+	defer p.close()
+	return evaluateNodesOn(p, nodes, testSet, cfg)
 }
 
 // meanAlphaOf averages LastAlpha over JWINS nodes (NaN if none) — the
@@ -72,39 +80,6 @@ func meanAlphaOf(nodes []core.Node) float64 {
 		return math.NaN()
 	}
 	return sum / float64(count)
-}
-
-// parallelFor runs fn(i) for i in [0, n) with bounded concurrency and
-// returns the first error.
-func parallelFor(n, limit int, fn func(i int) error) error {
-	if limit > n {
-		limit = n
-	}
-	if limit <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, limit)
-	errCh := make(chan error, n)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := fn(i); err != nil {
-				errCh <- err
-			}
-		}(i)
-	}
-	wg.Wait()
-	close(errCh)
-	return <-errCh
 }
 
 // mean averages the non-NaN entries (offline nodes report NaN losses).

@@ -15,26 +15,55 @@ import (
 // order, using quickselect (expected O(n)). Ties are broken towards lower
 // indices for determinism. k is clamped to [0, len(v)].
 func TopKIndices(v []float64, k int) []int {
+	var s TopKScratch
+	sel := TopKIndicesWith(&s, v, k)
+	if sel == nil {
+		return nil
+	}
+	out := make([]int, len(sel))
+	copy(out, sel)
+	return out
+}
+
+// TopKScratch holds the reusable selection buffers of TopKIndicesWith. The
+// zero value is ready; a warm scratch makes selection allocation-free.
+type TopKScratch struct {
+	abs []float64
+	idx []int
+	out []int
+}
+
+// TopKIndicesWith is TopKIndices backed by caller-owned scratch. The returned
+// slice is owned by s and valid until its next use; selection semantics
+// (magnitude ranking, low-index tie-breaking, ascending result) are identical
+// to TopKIndices.
+func TopKIndicesWith(s *TopKScratch, v []float64, k int) []int {
 	n := len(v)
 	if k <= 0 {
 		return nil
 	}
+	if cap(s.out) < n {
+		s.out = make([]int, n)
+	}
 	if k >= n {
-		all := make([]int, n)
+		all := s.out[:n]
 		for i := range all {
 			all[i] = i
 		}
 		return all
 	}
 	// Work on (abs value, index) pairs so selection is deterministic.
-	abs := make([]float64, n)
-	idx := make([]int, n)
+	if cap(s.abs) < n {
+		s.abs = make([]float64, n)
+		s.idx = make([]int, n)
+	}
+	abs, idx := s.abs[:n], s.idx[:n]
 	for i, x := range v {
 		abs[i] = math.Abs(x)
 		idx[i] = i
 	}
 	quickselectTopK(abs, idx, k)
-	out := make([]int, k)
+	out := s.out[:k]
 	copy(out, idx[:k])
 	sort.Ints(out)
 	return out
@@ -109,11 +138,16 @@ func ThresholdIndices(v []float64, threshold float64) []int {
 
 // Gather copies v[indices] into a new slice.
 func Gather(v []float64, indices []int) []float64 {
-	out := make([]float64, len(indices))
-	for j, i := range indices {
-		out[j] = v[i]
+	return AppendGather(make([]float64, 0, len(indices)), v, indices)
+}
+
+// AppendGather appends v[indices] to dst (which may be recycled scratch
+// sliced to zero length) and returns the extended slice.
+func AppendGather(dst, v []float64, indices []int) []float64 {
+	for _, i := range indices {
+		dst = append(dst, v[i])
 	}
-	return out
+	return dst
 }
 
 // Scatter writes vals into dst at indices: dst[indices[j]] = vals[j].

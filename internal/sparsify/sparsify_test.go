@@ -126,6 +126,68 @@ func TestQuickTopKSelectsLargest(t *testing.T) {
 	}
 }
 
+// TestTopKIntoMatchesSortedReference: the scratch-backed quickselect must
+// agree index-for-index with the O(n log n) stable-sort reference across
+// random sizes, duplicated magnitudes (tie handling), and scratch reuse —
+// the selection a node makes must not depend on what its scratch held last
+// round.
+func TestTopKIntoMatchesSortedReference(t *testing.T) {
+	var s TopKScratch
+	r := vec.NewRNG(47)
+	for trial := 0; trial < 300; trial++ {
+		n := r.Intn(300) + 1
+		k := r.Intn(n + 2)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(r.Intn(8)) * 0.25 * float64(1-2*(r.Intn(2)))
+		}
+		got := TopKIndicesWith(&s, v, k)
+		want := referenceTopK(v, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (n=%d k=%d): len %d vs %d", trial, n, k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d k=%d): got %v want %v\nv=%v", trial, n, k, got, want, v)
+			}
+		}
+	}
+}
+
+// TestTopKIntoAllocationFree: a warm scratch must make selection free of
+// allocations.
+func TestTopKIntoAllocationFree(t *testing.T) {
+	r := vec.NewRNG(3)
+	v := make([]float64, 4096)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	var s TopKScratch
+	TopKIndicesWith(&s, v, len(v)/10) // warm
+	allocs := testing.AllocsPerRun(50, func() {
+		TopKIndicesWith(&s, v, len(v)/10)
+	})
+	if allocs > 0 {
+		t.Fatalf("TopKIndicesWith allocates %v per op with warm scratch, want 0", allocs)
+	}
+}
+
+// TestAppendGather matches Gather and reuses capacity.
+func TestAppendGather(t *testing.T) {
+	v := []float64{10, 20, 30, 40, 50}
+	scratch := make([]float64, 0, 8)
+	got := AppendGather(scratch, v, []int{4, 0, 2})
+	want := []float64{50, 10, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendGather = %v, want %v", got, want)
+		}
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("AppendGather reallocated despite sufficient capacity")
+	}
+}
+
 func TestRandomIndicesDeterministic(t *testing.T) {
 	a := RandomIndices(42, 1000, 100)
 	b := RandomIndices(42, 1000, 100)

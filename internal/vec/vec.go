@@ -63,12 +63,19 @@ func Scale(x []float64, a float64) {
 
 // Diff returns a new vector a-b. It panics if lengths differ.
 func Diff(a, b []float64) []float64 {
-	mustSameLen(len(a), len(b))
 	out := make([]float64, len(a))
-	for i := range a {
-		out[i] = a[i] - b[i]
-	}
+	DiffInto(out, a, b)
 	return out
+}
+
+// DiffInto computes dst[i] = a[i] - b[i] without allocating. It panics if
+// lengths differ. dst may alias a or b.
+func DiffInto(dst, a, b []float64) {
+	mustSameLen(len(a), len(b))
+	mustSameLen(len(dst), len(a))
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
 }
 
 // Dot returns the inner product of a and b. It panics if lengths differ.

@@ -69,6 +69,26 @@ func TestDiffScaleFillZero(t *testing.T) {
 	}
 }
 
+func TestDiffInto(t *testing.T) {
+	a := []float64{5, 7, 9}
+	b := []float64{1, 2, 3}
+	dst := []float64{-1, -1, -1}
+	DiffInto(dst, a, b)
+	want := Diff(a, b)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("DiffInto = %v, want %v", dst, want)
+		}
+	}
+	// Aliasing: dst may be one of the operands.
+	DiffInto(a, a, b)
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("aliased DiffInto = %v, want %v", a, want)
+		}
+	}
+}
+
 func TestStats(t *testing.T) {
 	x := []float64{-4, 1, 3}
 	if MaxAbs(x) != 4 {
