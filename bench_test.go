@@ -182,6 +182,24 @@ func BenchmarkEngineAsyncChurn16(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineAsyncDynTopo16 rotates the topology every simulated epoch
+// on top of the churned configuration: graph regeneration, spectral-gap
+// estimation, state-sync sends, and buffer re-keying join the measured path.
+func BenchmarkEngineAsyncDynTopo16(b *testing.B) {
+	for _, p := range []int{1, perf.MaxParallelism()} {
+		p := p
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				events, err := perf.RunAsyncDynTopo16(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(events), "events/run")
+			}
+		})
+	}
+}
+
 // --- Primitive micro-benchmarks ---------------------------------------------
 
 func benchParams(n int) []float64 {
@@ -402,4 +420,3 @@ func BenchmarkLocalSGDStep(b *testing.B) {
 		clf.TrainBatch(x, y, 0.05)
 	}
 }
-

@@ -13,6 +13,7 @@
 //	jwins-bench -exp fig10             # scalability sweep
 //	jwins-bench -exp ext-asyncchurn    # event-driven stragglers + churn
 //	jwins-bench -exp ext-replay        # trace record/replay parity + staleness
+//	jwins-bench -exp ext-dyntopo       # epoch-randomized topologies at 96-384 nodes
 //	jwins-bench -exp all               # everything, in paper order
 //
 // Flags: -scale micro|small|paper (default small), -seed N,
@@ -111,7 +112,7 @@ func run() error {
 	names := []string{*expName}
 	if *expName == "all" {
 		names = []string{"fig2", "fig3", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-			"ext-powergossip", "ext-adaptive", "ext-faults", "ext-asyncchurn", "ext-replay"}
+			"ext-powergossip", "ext-adaptive", "ext-faults", "ext-asyncchurn", "ext-replay", "ext-dyntopo"}
 	}
 	for _, name := range names {
 		start := time.Now()
@@ -145,6 +146,8 @@ func run() error {
 			result, err = experiments.ExtAsyncChurn(scale, *seed)
 		case "ext-replay":
 			result, err = experiments.ExtReplay(scale, *seed)
+		case "ext-dyntopo":
+			result, err = experiments.ExtDynTopo(scale, *seed)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

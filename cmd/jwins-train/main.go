@@ -9,6 +9,7 @@
 //	jwins-train -dataset shakespeare -algo full-sharing -dynamic
 //	jwins-train -dataset cifar10 -algo jwins -async -churn 0.2 -compute-spread 0.5
 //	jwins-train -dataset cifar10 -algo jwins -async -trace-out run.jsonl
+//	jwins-train -dataset cifar10 -algo jwins -async -dynamic -epoch-sec 0.5
 package main
 
 import (
@@ -40,7 +41,7 @@ func run() error {
 		nodes      = flag.Int("nodes", 0, "node count (0 = scale default)")
 		rounds     = flag.Int("rounds", 0, "communication rounds (0 = workload default)")
 		seed       = flag.Uint64("seed", 42, "root random seed")
-		dynamic    = flag.Bool("dynamic", false, "re-randomize the topology every round")
+		dynamic    = flag.Bool("dynamic", false, "re-randomize the topology (sync: every round; async: every epoch, see -epoch-sec)")
 		target     = flag.Float64("target", 0, "stop at this test accuracy (0 = disabled)")
 		budget     = flag.Float64("budget", 0, "JWINS low-budget alpha distribution: 0.2 or 0.1 (0 = default alphas)")
 		randFrac   = flag.Float64("rand-frac", 0.37, "random-sampling share fraction")
@@ -57,6 +58,7 @@ func run() error {
 		bwSpread      = flag.Float64("bw-spread", 0, "async: lognormal sigma on per-node uplink bandwidth")
 		latencySpread = flag.Float64("latency-spread", 0, "async: lognormal sigma on per-node latency")
 		traceOut      = flag.String("trace-out", "", "async: record the executed schedule to this trace file (.jtb = binary, else JSONL; replay with jwins-trace)")
+		epochSec      = flag.Float64("epoch-sec", 0, "async: topology epoch length in simulated seconds (0 with -dynamic = one nominal round)")
 	)
 	flag.Parse()
 
@@ -73,7 +75,14 @@ func run() error {
 			return fmt.Errorf("-compute-spread/-bw-spread/-latency-spread require -async (the synchronous time model is per-round, not per-node)")
 		case *traceOut != "":
 			return fmt.Errorf("-trace-out requires -async (only the event-driven scheduler produces an event trace)")
+		case *epochSec != 0:
+			return fmt.Errorf("-epoch-sec requires -async (simulated-time epochs only exist under the event-driven scheduler; sync -dynamic rotates per round)")
 		}
+	}
+	if *epochSec < 0 {
+		// A negative value would silently run static while recording a
+		// bogus epoch length into the trace header, breaking replay.
+		return fmt.Errorf("-epoch-sec must be >= 0, got %g", *epochSec)
 	}
 
 	scale, err := experiments.ParseScale(*scaleName)
@@ -104,10 +113,18 @@ func run() error {
 		spec.Choco = &choco.Config{Fraction: *chocoFrac, Gamma: *chocoGamma}
 	}
 
+	// Resolve the effective epoch length up front: the trace header must
+	// record the value the engine actually rotates with, so replays can
+	// validate their topology against the recording.
+	effEpochSec := *epochSec
+	if *async && *dynamic && effEpochSec <= 0 {
+		effEpochSec = experiments.DefaultEpochSec(w)
+	}
+
 	var recorder *trace.Recorder
 	if *traceOut != "" {
 		recorder = trace.NewRecorder(experiments.TraceHeaderFor(
-			w, experiments.Algo(*algo), *rounds, *seed, *gossip))
+			w, experiments.Algo(*algo), *rounds, *seed, *gossip, *async && *dynamic, effEpochSec))
 	}
 
 	fmt.Printf("dataset=%s algo=%s nodes=%d degree=%d params=%d rounds=%d\n",
@@ -121,6 +138,7 @@ func run() error {
 		Rounds:         *rounds,
 		TargetAccuracy: *target,
 		Dynamic:        *dynamic,
+		EpochSec:       effEpochSec,
 		Seed:           *seed,
 		Async:          *async,
 		Gossip:         *gossip,
@@ -150,6 +168,8 @@ func run() error {
 	if *async {
 		fmt.Printf("staleness: mean %.3f, max %.0f, p95 %.3f iterations\n",
 			res.StaleMean, res.StaleMax, res.StaleP95)
+		fmt.Printf("mixing: %d epochs, spectral gap mean %.4f (min %.4f), neighbor turnover %.4f\n",
+			res.Epochs, res.SpectralGapMean, res.SpectralGapMin, res.TurnoverMean)
 	}
 	if recorder != nil {
 		if err := trace.WriteFile(*traceOut, recorder.Trace()); err != nil {

@@ -1,0 +1,144 @@
+// docs_test.go is the repository's markdown link check: every relative link
+// or image in a committed markdown file must point at a file or directory
+// that exists, and reference-style links must have a matching definition.
+// CI runs it as the docs job; it also rides along in `go test ./...` so a
+// renamed package or example breaks loudly.
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markdownFiles returns the repo's committed .md files, skipping generated
+// or vendored trees (none today, but the filter keeps the test future-proof).
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.Walk(".", func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		name := info.Name()
+		if info.IsDir() {
+			if strings.HasPrefix(name, ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	return files
+}
+
+var (
+	// [text](target) and ![alt](target); target up to the first ')' or space
+	// (titles after a space are allowed by markdown).
+	inlineLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+	// [text][ref] and the shortcut [ref][]; definitions are `[ref]: target`.
+	refLink = regexp.MustCompile(`\[[^\]]+\]\[([^\]]*)\]`)
+	refDef  = regexp.MustCompile(`(?m)^\[([^\]]+)\]:\s+(\S+)`)
+	// fenced code blocks are stripped before link extraction.
+	codeFence = regexp.MustCompile("(?s)```.*?```|`[^`\n]*`")
+)
+
+func isExternal(target string) bool {
+	return strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#")
+}
+
+// TestMarkdownLinks verifies every relative link target resolves to an
+// existing file or directory, and every reference-style link has a
+// definition.
+func TestMarkdownLinks(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		file := file
+		t.Run(file, func(t *testing.T) {
+			raw, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			content := codeFence.ReplaceAllString(string(raw), "")
+			dir := filepath.Dir(file)
+
+			defs := map[string]string{}
+			for _, m := range refDef.FindAllStringSubmatch(content, -1) {
+				defs[strings.ToLower(m[1])] = m[2]
+			}
+			var targets []string
+			for _, m := range inlineLink.FindAllStringSubmatch(content, -1) {
+				targets = append(targets, m[1])
+			}
+			for _, m := range refLink.FindAllStringSubmatch(content, -1) {
+				ref := strings.ToLower(m[1])
+				if ref == "" {
+					continue // shortcut refs reuse the link text; rare, skip
+				}
+				tgt, ok := defs[ref]
+				if !ok {
+					t.Errorf("%s: reference link [%s] has no definition", file, m[1])
+					continue
+				}
+				targets = append(targets, tgt)
+			}
+			for _, tgt := range defs {
+				targets = append(targets, tgt)
+			}
+
+			for _, target := range targets {
+				if isExternal(target) {
+					continue
+				}
+				// Strip anchors; empty path means a same-file anchor.
+				path := target
+				if i := strings.IndexByte(path, '#'); i >= 0 {
+					path = path[:i]
+				}
+				if path == "" {
+					continue
+				}
+				if _, err := os.Stat(filepath.Join(dir, path)); err != nil {
+					t.Errorf("%s: broken link %q (%v)", file, target, err)
+				}
+			}
+		})
+	}
+}
+
+// TestMarkdownLint enforces the repo's two structural conventions: every
+// markdown file opens with a heading, and fenced code blocks are balanced
+// (an odd number of ``` fences swallows the rest of the file when rendered).
+func TestMarkdownLint(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		content := string(raw)
+		// CHANGES.md is an append-only log of one line per PR, not a document.
+		if filepath.Base(file) != "CHANGES.md" {
+			firstLine := content
+			if i := strings.IndexByte(content, '\n'); i >= 0 {
+				firstLine = content[:i]
+			}
+			if !strings.HasPrefix(strings.TrimSpace(firstLine), "#") {
+				t.Errorf("%s: first line is not a heading: %q", file, firstLine)
+			}
+		}
+		if n := strings.Count(content, "```"); n%2 != 0 {
+			t.Errorf("%s: unbalanced code fences (%d ``` markers)", file, n)
+		}
+	}
+}

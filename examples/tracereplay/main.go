@@ -34,7 +34,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	rec := trace.NewRecorder(experiments.TraceHeaderFor(w, experiments.AlgoJWINS, 0, seed, false))
+	rec := trace.NewRecorder(experiments.TraceHeaderFor(w, experiments.AlgoJWINS, 0, seed, false, false, 0))
 	recorded, err := experiments.Run(experiments.RunSpec{
 		Workload: w, Algo: experiments.AlgoSpec{Kind: experiments.AlgoJWINS},
 		Seed: seed, Async: true,

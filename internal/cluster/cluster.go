@@ -67,6 +67,11 @@ func (c RunConfig) Header() trace.Header {
 			"scale":   c.Scale,
 			"algo":    c.Algo,
 			"seed":    strconv.FormatUint(c.Seed, 10),
+			// The cluster runner executes a static local-barrier schedule;
+			// recording that explicitly lets replays validate their topology
+			// instead of guessing from the absence of epoch events.
+			"topology":  "static",
+			"epoch_sec": "0",
 		},
 	}
 }

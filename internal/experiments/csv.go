@@ -17,12 +17,15 @@ type CSVer interface {
 
 // CurvesCSV renders per-algorithm learning curves as long-format CSV:
 // algo,round,train_loss,test_loss,test_acc,cum_bytes,cum_meta_bytes,
-// sim_time,stale_mean,stale_max,stale_p95. The staleness columns carry the
-// per-iteration payload lag distribution (0 for synchronous runs and the
-// async barrier in the clean limit).
+// sim_time,stale_mean,stale_max,stale_p95,epoch,spectral_gap,turnover. The
+// staleness columns carry the per-iteration payload lag distribution (0 for
+// synchronous runs and the async barrier in the clean limit); the last three
+// carry the topology epoch active at row emission and its mixing quality
+// (spectral gap of the live mixing matrix, neighbor turnover vs the previous
+// epoch — both 0 for synchronous runs).
 func CurvesCSV(curves map[string][]simulation.RoundMetrics) string {
 	var b strings.Builder
-	b.WriteString("algo,round,train_loss,test_loss,test_acc,cum_bytes,cum_meta_bytes,sim_time,stale_mean,stale_max,stale_p95\n")
+	b.WriteString("algo,round,train_loss,test_loss,test_acc,cum_bytes,cum_meta_bytes,sim_time,stale_mean,stale_max,stale_p95,epoch,spectral_gap,turnover\n")
 	algos := make([]string, 0, len(curves))
 	for a := range curves {
 		algos = append(algos, a)
@@ -30,10 +33,11 @@ func CurvesCSV(curves map[string][]simulation.RoundMetrics) string {
 	sort.Strings(algos)
 	for _, a := range algos {
 		for _, rm := range curves[a] {
-			fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%d,%d,%.4f,%.4f,%.0f,%.4f\n",
+			fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%d,%d,%.4f,%.4f,%.0f,%.4f,%d,%.4f,%.4f\n",
 				a, rm.Round, csvFloat(rm.TrainLoss), csvFloat(rm.TestLoss), csvFloat(rm.TestAcc),
 				rm.CumTotalBytes, rm.CumMetaBytes, rm.SimTime,
-				rm.StaleMean, rm.StaleMax, rm.StaleP95)
+				rm.StaleMean, rm.StaleMax, rm.StaleP95,
+				rm.Epoch, rm.SpectralGap, rm.NeighborTurnover)
 		}
 	}
 	return b.String()

@@ -193,7 +193,7 @@ func TestRecorderRequiresAsync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec := trace.NewRecorder(TraceHeaderFor(w, AlgoJWINS, 0, 1, false))
+	rec := trace.NewRecorder(TraceHeaderFor(w, AlgoJWINS, 0, 1, false, false, 0))
 	_, err = Run(RunSpec{Workload: w, Algo: AlgoSpec{Kind: AlgoJWINS}, Seed: 1, Recorder: rec})
 	if err == nil || !strings.Contains(err.Error(), "Async") {
 		t.Fatalf("sync run with recorder: got %v", err)

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestRunSpecDynamicAsync: the previously rejected Dynamic+Async combination
+// now runs through the epoch-rotated provider, completes its budget, and
+// reports mixing instrumentation.
+func TestRunSpecDynamicAsync(t *testing.T) {
+	w, err := NewWorkload("cifar10", Micro, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunSpec{
+		Workload: w, Algo: AlgoSpec{Kind: AlgoJWINS}, Rounds: 5, Seed: 11,
+		Async: true, Dynamic: true, EpochSec: DefaultEpochSec(w),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 5 || res.TotalBytes <= 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if res.Epochs < 2 {
+		t.Fatalf("topology never rotated: %d epochs", res.Epochs)
+	}
+	if res.TurnoverMean <= 0 || res.SpectralGapMean <= 0 {
+		t.Fatalf("mixing instrumentation missing: turnover %v, gap %v", res.TurnoverMean, res.SpectralGapMean)
+	}
+}
+
+// TestRunSpecEpochSecRequiresAsync: simulated-time epochs have no meaning
+// under the synchronous engine; the combination is a typed rejection.
+func TestRunSpecEpochSecRequiresAsync(t *testing.T) {
+	w, err := NewWorkload("cifar10", Micro, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(RunSpec{Workload: w, Algo: AlgoSpec{Kind: AlgoJWINS}, Rounds: 2, Seed: 3, EpochSec: 0.5})
+	if !errors.Is(err, ErrUnsupportedSpec) {
+		t.Fatalf("sync EpochSec: got %v, want ErrUnsupportedSpec", err)
+	}
+}
+
+// TestDynTopoRecordReplayRoundTrip: a recorded dynamic-topology run replays
+// through the full experiments pipeline (header metadata → fleet + topology
+// reconstruction) with exact event parity.
+func TestDynTopoRecordReplayRoundTrip(t *testing.T) {
+	w, err := NewWorkload("cifar10", Micro, 0, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochSec := DefaultEpochSec(w)
+	rec := trace.NewRecorder(TraceHeaderFor(w, AlgoJWINS, 5, 19, false, true, epochSec))
+	recorded, err := Run(RunSpec{
+		Workload: w, Algo: AlgoSpec{Kind: AlgoJWINS}, Rounds: 5, Seed: 19,
+		Async: true, Dynamic: true, EpochSec: epochSec,
+		ChurnFraction: 0.25, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := trace.WriteBinary(&wire, rec.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.Read(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayRes, replayed, err := ReplayTrace(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := trace.Compare(replayed, rec.Trace())
+	if !diff.InSync() || diff.TimeErrMax != 0 {
+		t.Fatalf("replay out of sync: %+v", diff)
+	}
+	if replayRes.TotalBytes != recorded.TotalBytes || replayRes.SimTime != recorded.SimTime {
+		t.Fatalf("replay ledger/time differ: (%d, %v) vs (%d, %v)",
+			replayRes.TotalBytes, replayRes.SimTime, recorded.TotalBytes, recorded.SimTime)
+	}
+}
+
+// TestExtDynTopoMicro: the sweep smoke test — every (size, arm) row present,
+// rotated arms rotate and report mixing, the static baseline does not, and
+// the CSV carries the new columns.
+func TestExtDynTopoMicro(t *testing.T) {
+	r, err := ExtDynTopo(Micro, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := extDynTopoSizes(Micro)
+	if len(r.Rows) != 4*len(sizes) {
+		t.Fatalf("expected %d rows, got %d", 4*len(sizes), len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Rounds != extDynTopoRounds(Micro) {
+			t.Fatalf("arm %s n=%d completed %d rows", row.Arm, row.Nodes, row.Rounds)
+		}
+		if row.GapMean <= 0 || row.GapMean > 1 {
+			t.Fatalf("arm %s n=%d gap %v outside (0,1]", row.Arm, row.Nodes, row.GapMean)
+		}
+		if row.EpochMult == 0 {
+			if row.TurnoverMean != 0 || row.Epochs != 1 {
+				t.Fatalf("static arm rotated: %+v", row)
+			}
+		} else {
+			if row.Epochs < 2 || row.TurnoverMean <= 0 {
+				t.Fatalf("rotated arm %s n=%d did not rotate: %+v", row.Arm, row.Nodes, row)
+			}
+		}
+	}
+	csv := r.CSV()
+	for _, col := range []string{"spectral_gap_mean", "turnover_mean", "epoch,spectral_gap,turnover"} {
+		if !strings.Contains(csv, col) {
+			t.Fatalf("CSV lacks %q:\n%s", col, csv[:200])
+		}
+	}
+	if r.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

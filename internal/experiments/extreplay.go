@@ -11,9 +11,11 @@ import (
 )
 
 // TraceHeaderFor builds the trace header for a recorded run, carrying enough
-// metadata (dataset, scale, algo, seed) for ReplayTrace to rebuild the fleet
-// without any flags.
-func TraceHeaderFor(w *Workload, algo Algo, rounds int, seed uint64, gossip bool) trace.Header {
+// metadata (dataset, scale, algo, seed, topology) for ReplayTrace to rebuild
+// the fleet and topology without any flags. For a dynamic async run, pass
+// the effective epoch length (DefaultEpochSec when RunSpec.EpochSec is
+// unset) — replay validates its engine topology against it.
+func TraceHeaderFor(w *Workload, algo Algo, rounds int, seed uint64, gossip, dynamic bool, epochSec float64) trace.Header {
 	policy := trace.PolicyBarrier
 	if gossip {
 		policy = trace.PolicyGossip
@@ -21,13 +23,19 @@ func TraceHeaderFor(w *Workload, algo Algo, rounds int, seed uint64, gossip bool
 	if rounds <= 0 {
 		rounds = w.Rounds
 	}
+	topo := "static"
+	if dynamic {
+		topo = "dynamic"
+	}
 	return trace.Header{
 		Nodes: w.Nodes, Rounds: rounds, Source: trace.SourceSim, Policy: policy,
 		Meta: map[string]string{
-			"dataset": w.Name,
-			"scale":   w.Scale.String(),
-			"algo":    string(algo),
-			"seed":    strconv.FormatUint(seed, 10),
+			"dataset":   w.Name,
+			"scale":     w.Scale.String(),
+			"algo":      string(algo),
+			"seed":      strconv.FormatUint(seed, 10),
+			"topology":  topo,
+			"epoch_sec": strconv.FormatFloat(epochSec, 'g', -1, 64),
 		},
 	}
 }
@@ -78,14 +86,29 @@ func SpecFromTraceHeader(h trace.Header) (RunSpec, error) {
 	if err != nil {
 		return RunSpec{}, err
 	}
-	return RunSpec{
+	spec := RunSpec{
 		Workload: w,
 		Algo:     AlgoSpec{Kind: Algo(h.Meta["algo"])},
 		Rounds:   h.Rounds,
 		Seed:     seed,
 		Async:    true,
 		Gossip:   h.Policy == trace.PolicyGossip,
-	}, nil
+	}
+	// Topology metadata is optional (older and cluster traces are static).
+	switch h.Meta["topology"] {
+	case "", "static":
+	case "dynamic":
+		spec.Dynamic = true
+	default:
+		return RunSpec{}, fmt.Errorf("experiments: trace header topology %q unknown (want static or dynamic)", h.Meta["topology"])
+	}
+	if s := h.Meta["epoch_sec"]; s != "" {
+		spec.EpochSec, err = strconv.ParseFloat(s, 64)
+		if err != nil {
+			return RunSpec{}, fmt.Errorf("experiments: trace header epoch_sec %q: %w", s, err)
+		}
+	}
+	return spec, nil
 }
 
 // ExtReplayResult is the record/replay extension experiment: one async run
@@ -122,7 +145,7 @@ func ExtReplay(scale Scale, seed uint64) (*ExtReplayResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rec := trace.NewRecorder(TraceHeaderFor(w, AlgoJWINS, 0, seed, false))
+	rec := trace.NewRecorder(TraceHeaderFor(w, AlgoJWINS, 0, seed, false, false, 0))
 	spec := RunSpec{
 		Workload: w, Algo: AlgoSpec{Kind: AlgoJWINS}, Seed: seed, Async: true,
 		Het:           simulation.Heterogeneity{ComputeSpread: 0.5, BandwidthSpread: 0.3, LatencySpread: 0.2},

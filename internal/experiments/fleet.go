@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/choco"
@@ -12,6 +13,10 @@ import (
 	"repro/internal/trace"
 	"repro/internal/vec"
 )
+
+// ErrUnsupportedSpec rejects RunSpec combinations that no engine implements
+// (as opposed to malformed inputs); match with errors.Is.
+var ErrUnsupportedSpec = errors.New("experiments: unsupported run specification")
 
 // Algo names a decentralized learning algorithm variant.
 type Algo string
@@ -122,8 +127,15 @@ type RunSpec struct {
 	Rounds int
 	// TargetAccuracy stops early when reached (Figure 5/6 protocol).
 	TargetAccuracy float64
-	// Dynamic re-randomizes the topology every round (Figure 7).
+	// Dynamic re-randomizes the topology: every round under the synchronous
+	// engine (Figure 7), every simulated-time epoch (see EpochSec) under the
+	// async engine.
 	Dynamic bool
+	// EpochSec is the topology epoch length in simulated seconds (async
+	// only). With Dynamic it sets the rotation cadence (0 = one nominal
+	// round, see DefaultEpochSec); without Dynamic a positive value rotates
+	// epochs over the static graph (bookkeeping only — no edges change).
+	EpochSec float64
 	// EvalNodes caps evaluated nodes (0 = all).
 	EvalNodes int
 	// Seed controls every random choice in the run.
@@ -162,6 +174,17 @@ func Run(spec RunSpec) (*simulation.Result, error) {
 	return runWithNodes(spec, nodes)
 }
 
+// DefaultEpochSec is the topology epoch length used when RunSpec.EpochSec is
+// unset for an async dynamic run: one nominal synchronous round under the
+// default time model, estimated from an uncompressed payload. The graph then
+// rotates at roughly the per-round cadence of the paper's Figure 7, and the
+// value is reproducible from the workload alone — trace headers record it so
+// replays can validate their topology against the recording.
+func DefaultEpochSec(w *Workload) float64 {
+	payload := 4 * w.NewModel(vec.NewRNG(0)).ParamCount()
+	return simulation.Config{}.NominalRoundSec(w.Opts.LocalSteps, payload, w.Degree)
+}
+
 // runFleetWithFaults executes a run with failure injection and returns the
 // final accuracy (fraction).
 func runFleetWithFaults(spec RunSpec, nodes []core.Node, dropProb, offlineProb float64) (float64, error) {
@@ -179,14 +202,29 @@ func runWithNodes(spec RunSpec, nodes []core.Node) (*simulation.Result, error) {
 	w := spec.Workload
 	topoRNG := vec.NewRNG(spec.Seed ^ 0x746f706f) // "topo"
 	var provider topology.Provider
-	if spec.Dynamic {
+	switch {
+	case spec.Dynamic && spec.Async:
+		// Async dynamic topologies rotate on simulated-time epochs; the base
+		// graphs must be random-access deterministic so trace replay can
+		// regenerate the recorded sequence.
+		epochSec := spec.EpochSec
+		if epochSec <= 0 {
+			epochSec = DefaultEpochSec(w)
+		}
+		provider = topology.NewEpochProvider(
+			topology.NewSeededDynamic(w.Nodes, w.Degree, spec.Seed^0x746f706f), w.Nodes, epochSec)
+	case spec.Dynamic:
 		provider = topology.NewDynamic(w.Nodes, w.Degree, topoRNG)
-	} else {
+	default:
 		g, err := topology.Regular(w.Nodes, w.Degree, topoRNG)
 		if err != nil {
 			return nil, err
 		}
-		provider = topology.NewStatic(g)
+		p := topology.Provider(topology.NewStatic(g))
+		if spec.Async && spec.EpochSec > 0 {
+			p = topology.NewEpochProvider(p, w.Nodes, spec.EpochSec)
+		}
+		provider = p
 	}
 	rounds := spec.Rounds
 	if rounds == 0 {
@@ -203,7 +241,10 @@ func runWithNodes(spec RunSpec, nodes []core.Node) (*simulation.Result, error) {
 	}
 	if !spec.Async {
 		if spec.Recorder != nil || spec.Replay != nil {
-			return nil, fmt.Errorf("experiments: trace recording and replay require Async runs (the synchronous engine has no event schedule)")
+			return nil, fmt.Errorf("%w: trace recording and replay require Async runs (the synchronous engine has no event schedule)", ErrUnsupportedSpec)
+		}
+		if spec.EpochSec > 0 {
+			return nil, fmt.Errorf("%w: EpochSec rotates on simulated-time epochs, which only the Async engine has (synchronous runs use Dynamic's per-round rotation)", ErrUnsupportedSpec)
 		}
 		eng := &simulation.Engine{
 			Nodes:    nodes,
@@ -215,12 +256,6 @@ func runWithNodes(spec RunSpec, nodes []core.Node) (*simulation.Result, error) {
 		return eng.Run()
 	}
 
-	if spec.Dynamic {
-		// AsyncEngine pins the base topology at round 0 (see ROADMAP: dynamic
-		// topologies under the async engine are an open item), so accepting
-		// the combination would silently run a static-graph experiment.
-		return nil, fmt.Errorf("experiments: Dynamic topologies are not supported with Async runs yet")
-	}
 	acfg := simulation.AsyncConfig{
 		Config: cfg, Het: spec.Het, Gossip: spec.Gossip,
 		Record: spec.Recorder, Replay: spec.Replay,

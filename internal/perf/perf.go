@@ -108,10 +108,36 @@ func RunAsyncChurn16(parallelism int) (int64, error) {
 	return runAsync(parallelism, &het, EngineChurn())
 }
 
+// DynTopoEpochSec is the rotation cadence of the dynamic-topology benchmark
+// arm: roughly two benchmark iterations per epoch under the default time
+// model, so a 10-iteration run crosses several boundaries.
+const DynTopoEpochSec = 0.05
+
+// DynTopoProvider builds the epoch-rotated topology of the AsyncDynTopo16
+// benchmark: deterministic random 4-regular graphs per epoch.
+func DynTopoProvider() topology.Provider {
+	return topology.NewEpochProvider(topology.NewSeededDynamic(16, 4, Seed^1), 16, DynTopoEpochSec)
+}
+
+// RunAsyncDynTopo16 is RunAsyncChurn16 over the epoch-rotated topology: the
+// boundary work (graph regeneration, spectral gap, state-sync sends, buffer
+// re-keying) joins the measured path.
+func RunAsyncDynTopo16(parallelism int) (int64, error) {
+	het := EngineHet()
+	return runAsyncOn(parallelism, &het, EngineChurn(), DynTopoProvider())
+}
+
 func runAsync(parallelism int, het *simulation.Heterogeneity, churn []simulation.ChurnEvent) (int64, error) {
-	nodes, ds, topo, err := EngineFleet()
+	return runAsyncOn(parallelism, het, churn, nil)
+}
+
+func runAsyncOn(parallelism int, het *simulation.Heterogeneity, churn []simulation.ChurnEvent, topo topology.Provider) (int64, error) {
+	nodes, ds, defaultTopo, err := EngineFleet()
 	if err != nil {
 		return 0, err
+	}
+	if topo == nil {
+		topo = defaultTopo
 	}
 	var events int64
 	cfg := simulation.AsyncConfig{

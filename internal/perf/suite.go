@@ -21,9 +21,10 @@ type Bench struct {
 	Fn   func() (int64, error)
 }
 
-// Suite returns the standard benchmark list: the three engine benchmarks
-// (async at parallelism 1 and NumCPU, bracketing the worker pool's win) and
-// the JWINS hot-path micros.
+// Suite returns the standard benchmark list: the engine benchmarks (async at
+// parallelism 1 and NumCPU, bracketing the worker pool's win; the dyntopo
+// arm adds epoch rotation to the churned configuration) and the JWINS
+// hot-path micros.
 func Suite() ([]Bench, error) {
 	pmax := MaxParallelism()
 	benches := []Bench{
@@ -32,6 +33,8 @@ func Suite() ([]Bench, error) {
 		{fmt.Sprintf("engine-async16-p%d", pmax), func() (int64, error) { return RunAsync16(pmax) }},
 		{"engine-asyncchurn16-p1", func() (int64, error) { return RunAsyncChurn16(1) }},
 		{fmt.Sprintf("engine-asyncchurn16-p%d", pmax), func() (int64, error) { return RunAsyncChurn16(pmax) }},
+		{"engine-asyncdyntopo16-p1", func() (int64, error) { return RunAsyncDynTopo16(1) }},
+		{fmt.Sprintf("engine-asyncdyntopo16-p%d", pmax), func() (int64, error) { return RunAsyncDynTopo16(pmax) }},
 	}
 	micro, err := microBenches()
 	if err != nil {
@@ -150,18 +153,22 @@ func (r *Report) WriteJSON(path string) error {
 }
 
 // CheckDeterminism runs the AsyncChurn16 configuration (stragglers, churn,
-// drops) serially and at every parallelism level up to NumCPU that is worth
-// checking, and errors on any divergence in the event trace, byte ledger, or
-// result rows. CI fails the bench smoke job on a non-nil return.
+// drops) and its epoch-rotated dyntopo variant serially and at every
+// parallelism level up to NumCPU that is worth checking, and errors on any
+// divergence in the event trace, byte ledger, or result rows. CI fails the
+// bench smoke job on a non-nil return.
 func CheckDeterminism() error {
 	type capture struct {
 		trace  []simulation.Event
 		result *simulation.Result
 	}
-	run := func(parallelism int) (capture, error) {
+	run := func(parallelism int, dyntopo bool) (capture, error) {
 		nodes, ds, topo, err := EngineFleet()
 		if err != nil {
 			return capture{}, err
+		}
+		if dyntopo {
+			topo = DynTopoProvider()
 		}
 		var c capture
 		eng := &simulation.AsyncEngine{
@@ -176,21 +183,27 @@ func CheckDeterminism() error {
 		c.result, err = eng.Run()
 		return c, err
 	}
-	ref, err := run(1)
-	if err != nil {
-		return err
-	}
 	levels := []int{2}
 	if n := runtime.NumCPU(); n > 2 {
 		levels = append(levels, n)
 	}
-	for _, p := range levels {
-		got, err := run(p)
-		if err != nil {
-			return fmt.Errorf("parallelism %d: %w", p, err)
+	for _, dyntopo := range []bool{false, true} {
+		name := "static"
+		if dyntopo {
+			name = "dyntopo"
 		}
-		if err := compareCaptures(ref.trace, got.trace, ref.result, got.result); err != nil {
-			return fmt.Errorf("parallelism %d diverged from serial: %w", p, err)
+		ref, err := run(1, dyntopo)
+		if err != nil {
+			return fmt.Errorf("%s serial: %w", name, err)
+		}
+		for _, p := range levels {
+			got, err := run(p, dyntopo)
+			if err != nil {
+				return fmt.Errorf("%s parallelism %d: %w", name, p, err)
+			}
+			if err := compareCaptures(ref.trace, got.trace, ref.result, got.result); err != nil {
+				return fmt.Errorf("%s parallelism %d diverged from serial: %w", name, p, err)
+			}
 		}
 	}
 	return nil

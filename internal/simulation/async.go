@@ -25,13 +25,26 @@
 // scenario behind the paper's claim that partial-sharing averaging is
 // "flexible to nodes leaving and joining" while CHOCO's error-feedback
 // replicas desynchronize.
+//
+// The communication graph is driven through topology.LiveProvider. A plain
+// Provider is pinned to its round-0 graph and only filtered for liveness
+// (the static setting); a topology.EpochProvider additionally rotates the
+// graph on simulated-time epochs: the scheduler processes an EventEpoch at
+// each boundary, live nodes push their cached broadcast over every fresh
+// edge (the state sync that keeps barriers deadlock-free across rotations),
+// stale per-edge payload buffers are pruned and pooled, and the new epoch's
+// mixing quality (spectral gap, neighbor turnover) lands in the emitted
+// rows. Epoch boundaries are recorded in traces and replayed from them, so
+// rotated runs keep the record→replay byte-parity guarantee.
 package simulation
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -40,6 +53,16 @@ import (
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/vec"
+)
+
+// Typed configuration errors; match with errors.Is.
+var (
+	// ErrUnsupportedTopology rejects provider/engine combinations that would
+	// silently run a different experiment than requested.
+	ErrUnsupportedTopology = errors.New("simulation: unsupported topology for the async engine")
+	// ErrReplayConfig rejects a replay whose engine configuration cannot
+	// reproduce the recorded schedule (e.g. a mismatched epoch length).
+	ErrReplayConfig = errors.New("simulation: replay configuration mismatch")
 )
 
 // NodeProfile is one node's hardware profile in the simulated-time model.
@@ -239,13 +262,37 @@ type asyncRun struct {
 	eng      *AsyncEngine
 	cfg      AsyncConfig
 	profiles []NodeProfile
-	masked   *topology.Masked
 	nodes    []asyncNode
 	queue    eventQueue
 	seq      int64
 	now      float64
 	ledger   byteLedger
 	faultRNG *vec.RNG
+
+	// Topology state. topo serves the live-filtered graph of the current
+	// epoch; epochSec > 0 (an EpochProvider) enables rotation, and epoch is
+	// the index the last processed EventEpoch advanced to. replayEpochs
+	// holds the recorded rotations not yet scheduled (replay runs schedule
+	// them verbatim instead of deriving boundaries from epochSec).
+	topo         topology.LiveProvider
+	epoch        int
+	epochSec     float64
+	replayEpochs []trace.Event
+
+	// Mixing instrumentation: the current epoch's spectral gap and neighbor
+	// turnover (reported in every emitted row) plus run-level accumulators.
+	curGap      float64
+	curTurnover float64
+	gapSum      float64
+	gapMin      float64
+	turnSum     float64
+	turnCount   int
+	epochCount  int
+	liveBuf     []bool // scratch live mask for the spectral-gap restriction
+
+	// boxPool recycles per-sender inbox maps freed when an epoch rotation
+	// severs an edge, bounding steady-state allocation at 384-node scale.
+	boxPool []map[int][]byte
 
 	// Worker-pool state. tails[i] is node i's most recently submitted task
 	// (its per-node chain: train and aggregate strictly alternate in program
@@ -307,7 +354,6 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		eng:          e,
 		cfg:          cfg,
 		profiles:     profiles,
-		masked:       topology.NewMasked(e.Topology, n),
 		nodes:        make([]asyncNode, n),
 		lossSum:      make([]float64, cfg.Rounds),
 		lossCount:    make([]int, cfg.Rounds),
@@ -325,6 +371,21 @@ func (e *AsyncEngine) Run() (*Result, error) {
 	// Registered before any validation early-return: the pool's workers must
 	// not outlive a failed Run.
 	defer r.pool.close()
+	switch tp := e.Topology.(type) {
+	case *topology.EpochProvider:
+		// The engine owns liveness for the duration of the run; a provider
+		// reused across runs must start from the all-live state.
+		tp.ResetLive()
+		r.topo = tp
+		r.epochSec = tp.EpochSec
+	case *topology.Dynamic:
+		// Dynamic is the synchronous engine's per-round re-randomizer; the
+		// event-driven scheduler has no round clock, so pinning it at round 0
+		// would silently run a static-graph experiment.
+		return nil, fmt.Errorf("%w: per-round Dynamic has no round clock under the event-driven scheduler; wrap topology.NewSeededDynamic in a topology.EpochProvider", ErrUnsupportedTopology)
+	default:
+		r.topo = topology.NewMasked(e.Topology, n)
+	}
 	for i, nd := range e.Nodes {
 		if _, ok := nd.(*core.JWINSNode); ok {
 			r.isJWINS[i] = true
@@ -340,6 +401,9 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		if rn := r.replay.Header().Nodes; rn != n {
 			return nil, fmt.Errorf("simulation: replay trace has %d nodes, engine has %d", rn, n)
 		}
+		if err := r.validateReplayEpochs(); err != nil {
+			return nil, err
+		}
 	}
 	if e.Mesh != nil {
 		r.meshPending = make([]map[int][]transport.Message, n)
@@ -347,10 +411,14 @@ func (e *AsyncEngine) Run() (*Result, error) {
 			r.meshPending[i] = map[int][]transport.Message{}
 		}
 	}
-	g, _ := r.masked.Round(0)
+	g, w0 := r.graph()
 	if g.N != n {
 		return nil, fmt.Errorf("simulation: topology has %d nodes, engine has %d", g.N, n)
 	}
+	// Epoch 0's mixing quality (static runs report it too; their gap is then
+	// constant and their turnover identically zero).
+	r.curGap = topology.SpectralGap(g, w0, nil)
+	r.gapSum, r.gapMin, r.epochCount = r.curGap, r.curGap, 1
 	for i := range r.nodes {
 		r.nodes[i] = asyncNode{
 			live:     true,
@@ -401,6 +469,16 @@ func (e *AsyncEngine) Run() (*Result, error) {
 			r.push(&Event{Time: ch.Time, Kind: kind, Node: ch.Node})
 		}
 	}
+	// Topology rotation: one boundary event outstanding at a time. Under
+	// replay the recorded rotations are the schedule; otherwise the first
+	// boundary lands one epoch length in, and each processed boundary pushes
+	// the next.
+	if r.replay != nil {
+		r.replayEpochs = r.replay.Epochs()
+		r.pushNextReplayEpoch()
+	} else if r.epochSec > 0 {
+		r.push(&Event{Time: r.epochSec, Kind: EventEpoch, Iter: 1})
+	}
 
 	// The final drain is mandatory on every path out of the loop: in-flight
 	// workers mutate node state, and the pool must not close under them.
@@ -425,6 +503,12 @@ func (e *AsyncEngine) Run() (*Result, error) {
 	r.res.TotalBytes, r.res.ModelBytes, r.res.MetaBytes = r.ledger.total, r.ledger.model, r.ledger.meta
 	r.res.SimTime = r.now
 	r.res.StaleMean, r.res.StaleMax, r.res.StaleP95 = r.stale.runStats()
+	r.res.Epochs = r.epochCount
+	r.res.SpectralGapMean = r.gapSum / float64(r.epochCount)
+	r.res.SpectralGapMin = r.gapMin
+	if r.turnCount > 0 {
+		r.res.TurnoverMean = r.turnSum / float64(r.turnCount)
+	}
 	if r.res.RoundsToTarget < 0 {
 		r.res.BytesToTarget = r.ledger.total
 		r.res.TimeToTarget = r.now
@@ -454,10 +538,12 @@ func (r *asyncRun) eventLoop() error {
 			err = r.onArrival(ev)
 		case EventLeave:
 			r.popChurn(ev.Node)
-			r.onLeave(ev.Node)
+			err = r.onLeave(ev.Node)
 		case EventJoin:
 			r.popChurn(ev.Node)
 			err = r.onJoin(ev.Node)
+		case EventEpoch:
+			err = r.onEpoch(ev)
 		}
 		if err != nil {
 			return err
@@ -465,6 +551,142 @@ func (r *asyncRun) eventLoop() error {
 		if r.emitted >= r.cfg.Rounds {
 			break
 		}
+	}
+	return nil
+}
+
+// graph returns the current epoch's live-filtered graph and mixing weights.
+func (r *asyncRun) graph() (*topology.Graph, []topology.Weights) {
+	return r.topo.Round(r.epoch)
+}
+
+// validateReplayEpochs rejects replay configurations that cannot reproduce
+// the recorded rotation schedule, before any event is processed.
+func (r *asyncRun) validateReplayEpochs() error {
+	if s := r.replay.Header().Meta["epoch_sec"]; s != "" {
+		rec, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("%w: trace epoch_sec %q: %v", ErrReplayConfig, s, err)
+		}
+		if rec != r.epochSec {
+			return fmt.Errorf("%w: trace was recorded with epoch length %gs, engine topology uses %gs", ErrReplayConfig, rec, r.epochSec)
+		}
+	}
+	if len(r.replay.Epochs()) > 0 && r.epochSec <= 0 {
+		return fmt.Errorf("%w: trace carries topology-rotation events but the engine topology never rotates; wrap it in a topology.EpochProvider with the recorded epoch length", ErrReplayConfig)
+	}
+	return nil
+}
+
+// pushNextReplayEpoch schedules the next recorded rotation. It is called at
+// the same program points where a live run would push its own boundary (run
+// start, then at each processed boundary), so tie-break sequence numbers
+// line up with the recording.
+func (r *asyncRun) pushNextReplayEpoch() {
+	if len(r.replayEpochs) == 0 {
+		return
+	}
+	ev := r.replayEpochs[0]
+	r.replayEpochs = r.replayEpochs[1:]
+	r.push(&Event{Time: ev.Time, Kind: EventEpoch, Iter: ev.Iter})
+}
+
+// onEpoch rotates the topology: the provider serves epoch ev.Iter from here
+// on, payload buffers of severed edges are pruned (maps recycled), and every
+// live node pushes its cached broadcast over each fresh edge. That state
+// sync keeps the local barrier deadlock-free: a node waiting on a brand-new
+// neighbor would otherwise block on an iteration payload that was broadcast
+// before the edge existed. The re-sent payload carries the sender's last
+// iteration, which is at least any iteration a waiting neighbor can be
+// blocked on, so `got` bookkeeping advances and barriers re-fire.
+func (r *asyncRun) onEpoch(ev *Event) error {
+	if ev.Iter <= r.epoch {
+		// Defensive: a stale or duplicate boundary (possible only in a
+		// hand-edited replay trace) is a no-op — but it must still consume
+		// its slot in the recorded rotation schedule, or every later
+		// rotation would be silently dropped.
+		if r.replay != nil {
+			r.pushNextReplayEpoch()
+		}
+		return nil
+	}
+	gOld, _ := r.graph()
+	r.epoch = ev.Iter
+	gNew, wNew := r.graph()
+
+	// Mixing instrumentation for the epoch just entered, restricted to live
+	// nodes (a dead node's isolated row would pin the SLEM at 1).
+	if r.liveBuf == nil {
+		r.liveBuf = make([]bool, len(r.nodes))
+	}
+	for i := range r.nodes {
+		r.liveBuf[i] = r.nodes[i].live
+	}
+	r.curGap = topology.SpectralGap(gNew, wNew, r.liveBuf)
+	r.curTurnover = topology.EdgeTurnover(gOld, gNew)
+	r.epochCount++
+	r.gapSum += r.curGap
+	if r.curGap < r.gapMin {
+		r.gapMin = r.curGap
+	}
+	r.turnSum += r.curTurnover
+	r.turnCount++
+
+	// Re-key the per-edge buffers: payloads from senders that are no longer
+	// neighbors can never satisfy a barrier and would otherwise accumulate
+	// across rotations (the 384-node memory concern). Inner maps go back to
+	// the pool for reuse by future arrivals. The `got` bookkeeping of a
+	// severed edge is dropped too: if the edge reappears in a later epoch,
+	// the barrier must wait for that boundary's state-sync arrival instead
+	// of firing on stale evidence from a past epoch and aggregating without
+	// the re-appeared neighbor's payload.
+	for i := range r.nodes {
+		st := &r.nodes[i]
+		for j, box := range st.inbox {
+			if !gNew.HasEdge(i, j) {
+				delete(st.inbox, j)
+				for k := range box {
+					delete(box, k)
+				}
+				r.boxPool = append(r.boxPool, box)
+			}
+		}
+		for j := range st.got {
+			if !gNew.HasEdge(i, j) {
+				delete(st.got, j)
+			}
+		}
+	}
+
+	// State sync over fresh edges, serialized through each sender's uplink
+	// like a broadcast. Both endpoints push, so a lagging node also receives
+	// its new neighbor's latest state.
+	for i := range r.nodes {
+		st := &r.nodes[i]
+		if !st.live || st.lastIter < 0 {
+			continue
+		}
+		txEnd := 0.0
+		for _, j := range gNew.Neighbors(i) {
+			if gOld.HasEdge(i, j) {
+				continue
+			}
+			txEnd += float64(len(st.lastPayload)+transport.FrameOverhead) / r.profiles[i].BandwidthBytesPerSec
+			if err := r.sendOne(i, j, st.lastIter, st.lastPayload, st.lastBD, txEnd, false); err != nil {
+				return err
+			}
+		}
+	}
+	if err := r.recheckAll(); err != nil {
+		return err
+	}
+	// Schedule the next boundary only while other events remain: an
+	// otherwise-dead run (everyone left for good) must drain, not rotate an
+	// empty graph forever. Replay consumes the recorded schedule instead.
+	if r.replay != nil {
+		r.pushNextReplayEpoch()
+	} else if r.epochSec > 0 && !r.stop && r.queue.Len() > 0 {
+		r.push(&Event{Time: float64(r.epoch+1) * r.epochSec, Kind: EventEpoch, Iter: r.epoch + 1})
 	}
 	return nil
 }
@@ -527,7 +749,6 @@ func (r *asyncRun) push(ev *Event) {
 	r.seq++
 	heap.Push(&r.queue, ev)
 }
-
 
 // scheduleTrain enqueues node i's next train-done event under its profile —
 // or, under replay, at the recorded completion time. A missing recording
@@ -629,7 +850,7 @@ func (r *asyncRun) onTrainDone(ev *Event) error {
 func (r *asyncRun) broadcast(i, iter int, payload []byte, bd codec.ByteBreakdown) error {
 	st := &r.nodes[i]
 	st.lastPayload, st.lastIter, st.lastBD = payload, iter, bd
-	g, _ := r.masked.Round(0)
+	g, _ := r.graph()
 	txEnd := 0.0
 	for _, j := range g.Neighbors(i) {
 		txEnd += float64(len(payload)+transport.FrameOverhead) / r.profiles[i].BandwidthBytesPerSec
@@ -716,7 +937,12 @@ func (r *asyncRun) onArrival(ev *Event) error {
 	if !ev.Dropped {
 		box := st.inbox[ev.From]
 		if box == nil {
-			box = make(map[int][]byte, 2)
+			if n := len(r.boxPool); n > 0 {
+				box = r.boxPool[n-1]
+				r.boxPool = r.boxPool[:n-1]
+			} else {
+				box = make(map[int][]byte, 2)
+			}
 			st.inbox[ev.From] = box
 		}
 		if r.cfg.Gossip {
@@ -748,7 +974,7 @@ func (r *asyncRun) checkBarrier(i int) error {
 	if !st.waiting {
 		return nil
 	}
-	g, _ := r.masked.Round(0)
+	g, _ := r.graph()
 	for _, j := range g.Neighbors(i) {
 		if got, ok := st.got[j]; !ok || got < st.iter {
 			return nil
@@ -762,7 +988,7 @@ func (r *asyncRun) checkBarrier(i int) error {
 // weights, advances its iteration, and reschedules training.
 func (r *asyncRun) aggregate(i int) error {
 	st := &r.nodes[i]
-	g, w := r.masked.Round(0)
+	g, w := r.graph()
 	msgs := make(map[int][]byte, g.Degree(i))
 	// lags holds one staleness sample per merged payload: the aggregator's
 	// iteration minus the payload's, clamped at zero (neighbors running
@@ -838,17 +1064,17 @@ func (r *asyncRun) aggregate(i int) error {
 
 // onLeave takes a node offline: its pending work is invalidated, the live
 // subgraph shrinks, and neighbors blocked on it are re-checked.
-func (r *asyncRun) onLeave(i int) {
+func (r *asyncRun) onLeave(i int) error {
 	st := &r.nodes[i]
 	if !st.live {
-		return
+		return nil
 	}
 	st.live = false
 	st.gen++
 	st.waiting = false
-	r.masked.SetLive(i, false)
+	r.topo.SetLive(i, false)
 	// Departure can unblock waiting neighbors and lower the row floor.
-	r.recheckAll()
+	return r.recheckAll()
 }
 
 // onJoin brings a node back: it keeps its (stale) model, fast-forwards to
@@ -870,8 +1096,8 @@ func (r *asyncRun) onJoin(i int) error {
 	// Anything buffered before the departure is stale connectivity.
 	st.got = make(map[int]int)
 	st.inbox = make(map[int]map[int][]byte)
-	r.masked.SetLive(i, true)
-	g, _ := r.masked.Round(0)
+	r.topo.SetLive(i, true)
+	g, _ := r.graph()
 	for _, m := range g.Neighbors(i) {
 		ms := &r.nodes[m]
 		if ms.lastIter < 0 {
@@ -937,15 +1163,18 @@ func (r *asyncRun) emitRows() error {
 	for r.emitted < floor && r.emitted < r.cfg.Rounds && !r.stop {
 		k := r.emitted
 		rm := RoundMetrics{
-			Round:         k,
-			TrainLoss:     math.NaN(),
-			TestLoss:      math.NaN(),
-			TestAcc:       math.NaN(),
-			CumTotalBytes: r.ledger.total,
-			CumModelBytes: r.ledger.model,
-			CumMetaBytes:  r.ledger.meta,
-			SimTime:       r.now,
-			MeanAlpha:     mean(r.alphas),
+			Round:            k,
+			TrainLoss:        math.NaN(),
+			TestLoss:         math.NaN(),
+			TestAcc:          math.NaN(),
+			CumTotalBytes:    r.ledger.total,
+			CumModelBytes:    r.ledger.model,
+			CumMetaBytes:     r.ledger.meta,
+			SimTime:          r.now,
+			MeanAlpha:        mean(r.alphas),
+			Epoch:            r.epoch,
+			SpectralGap:      r.curGap,
+			NeighborTurnover: r.curTurnover,
 		}
 		rm.StaleMean, rm.StaleMax, rm.StaleP95 = r.stale.rowStats(k)
 		if r.lossCount[k] > 0 {

@@ -106,6 +106,14 @@ type RoundMetrics struct {
 	StaleMean float64
 	StaleMax  float64
 	StaleP95  float64
+	// Epoch is the topology epoch active when this row was emitted;
+	// SpectralGap (1 - SLEM of the live mixing matrix) and NeighborTurnover
+	// (fraction of that epoch's live edges absent from the previous epoch)
+	// describe that epoch's mixing. Filled by the async engine; the
+	// synchronous engine leaves them zero.
+	Epoch            int
+	SpectralGap      float64
+	NeighborTurnover float64
 }
 
 // Result aggregates a full run.
@@ -131,6 +139,15 @@ type Result struct {
 	StaleMean float64
 	StaleMax  float64
 	StaleP95  float64
+	// Epochs counts the topology epochs entered (>= 1 for async runs: the
+	// initial graph is epoch 0). SpectralGapMean/Min average and bound the
+	// per-epoch spectral gap of the live mixing matrix; TurnoverMean is the
+	// mean per-rotation neighbor turnover (0 when the topology never
+	// rotates). Async engine only.
+	Epochs          int
+	SpectralGapMean float64
+	SpectralGapMin  float64
+	TurnoverMean    float64
 }
 
 // Engine runs one experiment.

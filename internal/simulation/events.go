@@ -21,6 +21,10 @@ const (
 	EventLeave
 	// EventJoin returns a node to the live set (churn).
 	EventJoin
+	// EventEpoch rotates the communication topology into epoch Iter
+	// (EpochProvider runs only). Node is 0 by convention: the change is
+	// global, not per-node.
+	EventEpoch
 )
 
 // String implements fmt.Stringer for trace output.
@@ -34,6 +38,8 @@ func (k EventKind) String() string {
 		return "leave"
 	case EventJoin:
 		return "join"
+	case EventEpoch:
+		return "epoch"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

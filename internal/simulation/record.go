@@ -28,6 +28,9 @@ func schedTraceEvent(ev *Event) (trace.Event, bool) {
 	case EventJoin:
 		out.Kind = trace.KindJoin
 		out.Iter = 0
+	case EventEpoch:
+		out.Kind = trace.KindEpoch
+		out.Node = 0 // global event; trace validation needs an in-range node
 	default:
 		return trace.Event{}, false
 	}

@@ -303,6 +303,57 @@ func Induced(g *Graph, live []bool) *Graph {
 	return out
 }
 
+// liveSet is the liveness bitmap shared by the live-filtering providers
+// (Masked, EpochProvider): per-node flags plus a version counter bumped on
+// every effective change, which the providers key their subgraph caches on.
+// A SetLive racing a round/epoch query in either order therefore always
+// invalidates correctly.
+type liveSet struct {
+	live        []bool
+	liveVersion int
+}
+
+func newLiveSet(n int) liveSet {
+	live := make([]bool, n)
+	for i := range live {
+		live[i] = true
+	}
+	return liveSet{live: live}
+}
+
+// SetLive flips one node's liveness, invalidating cached subgraphs.
+func (s *liveSet) SetLive(node int, alive bool) {
+	if s.live[node] == alive {
+		return
+	}
+	s.live[node] = alive
+	s.liveVersion++
+}
+
+// Live reports whether node is currently live.
+func (s *liveSet) Live(node int) bool { return s.live[node] }
+
+// NumLive counts the live nodes.
+func (s *liveSet) NumLive() int {
+	n := 0
+	for _, a := range s.live {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetLive marks every node live again (the start-of-run state).
+func (s *liveSet) ResetLive() {
+	for i := range s.live {
+		if !s.live[i] {
+			s.live[i] = true
+			s.liveVersion++
+		}
+	}
+}
+
 // Masked wraps a Provider and restricts every round's graph to the currently
 // live nodes, recomputing Metropolis-Hastings weights on the induced
 // subgraph. Rows of dead nodes are empty with Self == 1, so a rejoining node
@@ -310,10 +361,9 @@ func Induced(g *Graph, live []bool) *Graph {
 type Masked struct {
 	Base Provider
 
-	live []bool
+	liveSet
 	// cache keyed by (round, liveVersion) so repeated queries within an epoch
 	// don't rebuild the induced graph.
-	liveVersion int
 	cachedRound int
 	cachedVer   int
 	cachedG     *Graph
@@ -322,34 +372,7 @@ type Masked struct {
 
 // NewMasked builds a masked provider with all n nodes initially live.
 func NewMasked(base Provider, n int) *Masked {
-	live := make([]bool, n)
-	for i := range live {
-		live[i] = true
-	}
-	return &Masked{Base: base, live: live, cachedRound: -1, cachedVer: -1}
-}
-
-// SetLive flips one node's liveness, invalidating the cached subgraph.
-func (m *Masked) SetLive(node int, alive bool) {
-	if m.live[node] == alive {
-		return
-	}
-	m.live[node] = alive
-	m.liveVersion++
-}
-
-// Live reports whether node is currently live.
-func (m *Masked) Live(node int) bool { return m.live[node] }
-
-// NumLive counts the live nodes.
-func (m *Masked) NumLive() int {
-	n := 0
-	for _, a := range m.live {
-		if a {
-			n++
-		}
-	}
-	return n
+	return &Masked{Base: base, liveSet: newLiveSet(n), cachedRound: -1, cachedVer: -1}
 }
 
 // Round implements Provider over the live-induced subgraph.

@@ -32,6 +32,7 @@ type Replayer struct {
 	arr    map[sendKey][]arrivalRec
 	sends  map[sendKey][]bool // recorded per-send dropped flags
 	churn  []Event
+	epochs []Event
 }
 
 // NewReplayer validates t and builds the schedule index.
@@ -59,6 +60,8 @@ func NewReplayer(t *Trace) (*Replayer, error) {
 			r.arr[k] = append(r.arr[k], arrivalRec{time: ev.Time, dropped: ev.Dropped})
 		case KindLeave, KindJoin:
 			r.churn = append(r.churn, ev)
+		case KindEpoch:
+			r.epochs = append(r.epochs, ev)
 		}
 	}
 	if len(r.train) == 0 {
@@ -116,3 +119,9 @@ func (r *Replayer) NextSend(from, to, iter int) (dropped, ok bool) {
 
 // Churn returns the recorded leave/join events in trace order.
 func (r *Replayer) Churn() []Event { return r.churn }
+
+// Epochs returns the recorded topology-rotation events in trace order. The
+// replaying engine schedules them verbatim instead of deriving boundaries
+// from its own epoch length, so a wall-clock cluster trace re-executes its
+// observed rotation times.
+func (r *Replayer) Epochs() []Event { return r.epochs }

@@ -2,8 +2,8 @@
 // simulated async scheduler and the real multi-process cluster runner: a
 // header describing the run, followed by the executed schedule as a
 // time-ordered event sequence (train-done, send, arrival, aggregate, leave,
-// join) with iteration numbers, per-send byte breakdowns, and per-aggregation
-// staleness lags.
+// join, epoch) with iteration numbers, per-send byte breakdowns,
+// per-aggregation staleness lags, and topology-rotation marks.
 //
 // Two encodings carry the same data: JSONL (one JSON object per line,
 // greppable, diff-friendly) and a compact binary variant (varint-packed,
@@ -48,10 +48,10 @@ var (
 // Kind enumerates trace event types.
 type Kind uint8
 
-// Event kinds. KindTrainDone, KindArrival, KindLeave, and KindJoin are the
-// scheduler's authoritative events (a Replayer feeds them back as the
-// schedule); KindSend and KindAggregate are derived observations used for
-// byte accounting and staleness analysis.
+// Event kinds. KindTrainDone, KindArrival, KindLeave, KindJoin, and
+// KindEpoch are the scheduler's authoritative events (a Replayer feeds them
+// back as the schedule); KindSend and KindAggregate are derived observations
+// used for byte accounting and staleness analysis.
 const (
 	KindTrainDone Kind = iota + 1
 	KindSend
@@ -59,6 +59,9 @@ const (
 	KindAggregate
 	KindLeave
 	KindJoin
+	// KindEpoch marks a topology rotation: the run entered epoch Iter at
+	// Time. Node is 0 by convention (the event is global), Peer -1.
+	KindEpoch
 	kindEnd // exclusive upper bound for validation
 )
 
@@ -69,6 +72,7 @@ var kindNames = map[Kind]string{
 	KindAggregate: "aggregate",
 	KindLeave:     "leave",
 	KindJoin:      "join",
+	KindEpoch:     "epoch",
 }
 
 var kindByName = func() map[string]Kind {
@@ -155,6 +159,8 @@ const (
 //	aggregate   Node merged its Iter neighborhood; LagMax/LagMean/LagN
 //	            summarize the iteration lag (staleness) of merged payloads
 //	leave/join  Node left or rejoined the run (churn)
+//	epoch       the communication topology rotated into epoch Iter
+//	            (Node is 0 by convention: the change is global)
 type Event struct {
 	// Time is seconds since run start (simulated or wall-clock per
 	// Header.Source). Within a trace, times are non-decreasing.

@@ -28,6 +28,7 @@ func sampleTrace() *Trace {
 		{Time: 0.022, Kind: KindArrival, Node: 0, Peer: 1, Iter: 0},
 		{Time: 0.022, Kind: KindAggregate, Node: 0, Peer: -1, Iter: 0, LagMax: 2, LagMean: 1.5, LagN: 2},
 		{Time: 0.030, Kind: KindLeave, Node: 3, Peer: -1},
+		{Time: 0.040, Kind: KindEpoch, Node: 0, Peer: -1, Iter: 1},
 		{Time: 0.050, Kind: KindJoin, Node: 3, Peer: -1},
 		{Time: 0.060, Kind: KindTrainDone, Node: 0, Peer: -1, Iter: 1},
 		{Time: 0.061, Kind: KindAggregate, Node: 1, Peer: -1, Iter: 0, LagN: 1, LagMean: 0},
@@ -230,6 +231,10 @@ func TestReplayerIndex(t *testing.T) {
 	churn := rp.Churn()
 	if len(churn) != 2 || churn[0].Kind != KindLeave || churn[1].Kind != KindJoin || churn[0].Node != 3 {
 		t.Fatalf("churn: %+v", churn)
+	}
+	epochs := rp.Epochs()
+	if len(epochs) != 1 || epochs[0].Kind != KindEpoch || epochs[0].Iter != 1 || epochs[0].Time != 0.040 {
+		t.Fatalf("epochs: %+v", epochs)
 	}
 	empty := &Trace{Header: tr.Header, Events: []Event{{Time: 0, Kind: KindLeave, Node: 0, Peer: -1}}}
 	if _, err := NewReplayer(empty); !errors.Is(err, ErrCorrupt) {
