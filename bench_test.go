@@ -200,6 +200,24 @@ func BenchmarkEngineAsyncDynTopo16(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineAsync256 is the scale tier: 256 heterogeneous nodes on the
+// lean MLP task, so scheduler cost (heap, pooled buffers, payload fan-out)
+// dominates the measurement rather than SGD.
+func BenchmarkEngineAsync256(b *testing.B) {
+	for _, p := range []int{1, perf.MaxParallelism()} {
+		p := p
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				events, err := perf.RunAsync256(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(events), "events/run")
+			}
+		})
+	}
+}
+
 // --- Primitive micro-benchmarks ---------------------------------------------
 
 func benchParams(n int) []float64 {

@@ -14,6 +14,7 @@
 //	jwins-bench -exp ext-asyncchurn    # event-driven stragglers + churn
 //	jwins-bench -exp ext-replay        # trace record/replay parity + staleness
 //	jwins-bench -exp ext-dyntopo       # epoch-randomized topologies at 96-384 nodes
+//	jwins-bench -exp ext-scale         # async engine at 256/512/1024 nodes
 //	jwins-bench -exp all               # everything, in paper order
 //
 // Flags: -scale micro|small|paper (default small), -seed N,
@@ -112,7 +113,7 @@ func run() error {
 	names := []string{*expName}
 	if *expName == "all" {
 		names = []string{"fig2", "fig3", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-			"ext-powergossip", "ext-adaptive", "ext-faults", "ext-asyncchurn", "ext-replay", "ext-dyntopo"}
+			"ext-powergossip", "ext-adaptive", "ext-faults", "ext-asyncchurn", "ext-replay", "ext-dyntopo", "ext-scale"}
 	}
 	for _, name := range names {
 		start := time.Now()
@@ -148,6 +149,8 @@ func run() error {
 			result, err = experiments.ExtReplay(scale, *seed)
 		case "ext-dyntopo":
 			result, err = experiments.ExtDynTopo(scale, *seed)
+		case "ext-scale":
+			result, err = experiments.ExtScale(scale, *seed)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,21 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/trace"
 )
+
+// openStream opens path for event-by-event reading. The caller closes the
+// returned file once the stream is drained.
+func openStream(path string) (*trace.StreamReader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sr, err := trace.NewStreamReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sr, f, nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -45,29 +61,45 @@ func run() error {
 		if len(os.Args) != 3 {
 			return usage()
 		}
-		tr, err := trace.ReadFile(os.Args[2])
-		if err != nil {
+		// Stats stream: the file is folded event by event, never held as a
+		// slice (what remains is O(nodes) plus one float per aggregation for
+		// the exact staleness P95) — and a recording cut off mid-write (a
+		// killed run) still yields the stats of its readable prefix, with a
+		// warning.
+		h, stats, err := trace.ReadStatsFile(os.Args[2])
+		if err != nil && !errors.Is(err, trace.ErrTruncated) {
 			return err
 		}
 		fmt.Printf("%s: %s trace, %d nodes, %d rounds, %s policy\n",
-			os.Args[2], tr.Header.Source, tr.Header.Nodes, tr.Header.Rounds, tr.Header.Policy)
-		fmt.Print(trace.ComputeStats(tr))
+			os.Args[2], h.Source, h.Nodes, h.Rounds, h.Policy)
+		if err != nil {
+			fmt.Printf("WARNING: trace is truncated (%v); stats cover the %d readable events\n", err, stats.Events)
+		}
+		fmt.Print(stats)
 		return nil
 
 	case "diff":
 		if len(os.Args) != 4 {
 			return usage()
 		}
-		a, err := trace.ReadFile(os.Args[2])
+		ra, fa, err := openStream(os.Args[2])
 		if err != nil {
 			return err
 		}
-		b, err := trace.ReadFile(os.Args[3])
+		defer fa.Close()
+		rb, fb, err := openStream(os.Args[3])
 		if err != nil {
 			return err
 		}
-		fmt.Printf("A = %s (%s), B = %s (%s)\n", os.Args[2], a.Header.Source, os.Args[3], b.Header.Source)
-		fmt.Print(trace.Compare(a, b))
+		defer fb.Close()
+		fmt.Printf("A = %s (%s), B = %s (%s)\n", os.Args[2], ra.Header().Source, os.Args[3], rb.Header().Source)
+		// Both inputs stream through the matcher; the per-key match index is
+		// held (one timestamp per B event), not either trace's event slice.
+		d, err := trace.CompareReaders(ra, rb)
+		if err != nil {
+			return err
+		}
+		fmt.Print(d)
 		return nil
 
 	case "convert":

@@ -57,8 +57,9 @@ func run() error {
 		computeSpread = flag.Float64("compute-spread", 0, "async: lognormal sigma on per-node compute time")
 		bwSpread      = flag.Float64("bw-spread", 0, "async: lognormal sigma on per-node uplink bandwidth")
 		latencySpread = flag.Float64("latency-spread", 0, "async: lognormal sigma on per-node latency")
-		traceOut      = flag.String("trace-out", "", "async: record the executed schedule to this trace file (.jtb = binary, else JSONL; replay with jwins-trace)")
+		traceOut      = flag.String("trace-out", "", "async: stream the executed schedule to this trace file as it runs (.jtb = binary, else JSONL; replay with jwins-trace)")
 		epochSec      = flag.Float64("epoch-sec", 0, "async: topology epoch length in simulated seconds (0 with -dynamic = one nominal round)")
+		mixingEvery   = flag.Int("mixing-every", 0, "async: compute the spectral gap only every k-th epoch (0/1 = every epoch, negative = never; sampled-off epochs report NaN)")
 	)
 	flag.Parse()
 
@@ -77,6 +78,8 @@ func run() error {
 			return fmt.Errorf("-trace-out requires -async (only the event-driven scheduler produces an event trace)")
 		case *epochSec != 0:
 			return fmt.Errorf("-epoch-sec requires -async (simulated-time epochs only exist under the event-driven scheduler; sync -dynamic rotates per round)")
+		case *mixingEvery != 0:
+			return fmt.Errorf("-mixing-every requires -async (spectral-gap sampling is per simulated-time epoch)")
 		}
 	}
 	if *epochSec < 0 {
@@ -121,10 +124,17 @@ func run() error {
 		effEpochSec = experiments.DefaultEpochSec(w)
 	}
 
-	var recorder *trace.Recorder
+	// The schedule streams to disk as it executes (bounded buffers), so
+	// recording 1024-node runs does not hold O(events) in memory. Closing
+	// writes the footer that makes the file a complete trace; a run killed
+	// mid-way leaves a file that readers report as truncated.
+	var recorder *trace.StreamRecorder
 	if *traceOut != "" {
-		recorder = trace.NewRecorder(experiments.TraceHeaderFor(
+		recorder, err = trace.NewStreamRecorderFile(*traceOut, experiments.TraceHeaderFor(
 			w, experiments.Algo(*algo), *rounds, *seed, *gossip, *async && *dynamic, effEpochSec))
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Printf("dataset=%s algo=%s nodes=%d degree=%d params=%d rounds=%d\n",
@@ -132,7 +142,7 @@ func run() error {
 	fmt.Printf("%-7s %-11s %-10s %-9s %-13s %-10s\n",
 		"round", "train-loss", "test-loss", "test-acc", "sent-total", "sim-time")
 
-	res, err := experiments.Run(experiments.RunSpec{
+	runSpec := experiments.RunSpec{
 		Workload:       w,
 		Algo:           spec,
 		Rounds:         *rounds,
@@ -143,7 +153,7 @@ func run() error {
 		Async:          *async,
 		Gossip:         *gossip,
 		ChurnFraction:  *churnFrac,
-		Recorder:       recorder,
+		MixingEvery:    *mixingEvery,
 		Het: simulation.Heterogeneity{
 			ComputeSpread:   *computeSpread,
 			BandwidthSpread: *bwSpread,
@@ -157,8 +167,17 @@ func run() error {
 				rm.Round+1, rm.TrainLoss, rm.TestLoss, rm.TestAcc*100,
 				experiments.FormatBytes(rm.CumTotalBytes), rm.SimTime)
 		},
-	})
+	}
+	if recorder != nil {
+		runSpec.Recorder = recorder
+	}
+	res, err := experiments.Run(runSpec)
 	if err != nil {
+		if recorder != nil {
+			// Abort, don't Close: a failed run must leave a file that reads
+			// as truncated, not a finalized trace of rounds never executed.
+			recorder.Abort()
+		}
 		return err
 	}
 
@@ -172,10 +191,10 @@ func run() error {
 			res.Epochs, res.SpectralGapMean, res.SpectralGapMin, res.TurnoverMean)
 	}
 	if recorder != nil {
-		if err := trace.WriteFile(*traceOut, recorder.Trace()); err != nil {
-			return err
+		if err := recorder.Close(); err != nil {
+			return fmt.Errorf("finalizing %s: %w", *traceOut, err)
 		}
-		fmt.Printf("trace: wrote %s (%d events; replay with: jwins-trace replay %s)\n",
+		fmt.Printf("trace: streamed %s (%d events; replay with: jwins-trace replay %s)\n",
 			*traceOut, recorder.Len(), *traceOut)
 	}
 	if *target > 0 {

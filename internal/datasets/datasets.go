@@ -56,20 +56,33 @@ func (d *Dataset) Label(i int) int { return int(d.Train[i].Y[0]) }
 // BatchTensors assembles the samples at indices into an input tensor and a
 // flat target slice ready for nn.Trainable.TrainBatch / EvalBatch.
 func (d *Dataset) BatchTensors(samples []Sample, indices []int) (*nn.Tensor, []float64) {
+	return d.BatchTensorsInto(samples, indices, &nn.Tensor{}, nil)
+}
+
+// BatchTensorsInto is BatchTensors over caller-owned buffers: x's data and
+// shape and the target slice are resized in place, so a loop that feeds
+// batches straight into TrainBatch/EvalBatch allocates nothing in steady
+// state. The returned tensor is x; the returned targets reuse ys's backing
+// array when it is large enough.
+func (d *Dataset) BatchTensorsInto(samples []Sample, indices []int, x *nn.Tensor, ys []float64) (*nn.Tensor, []float64) {
 	if len(indices) == 0 {
 		panic("datasets: empty batch")
 	}
 	perX := len(samples[indices[0]].X)
-	perY := len(samples[indices[0]].Y)
-	xs := make([]float64, len(indices)*perX)
-	ys := make([]float64, 0, len(indices)*perY)
+	n := len(indices) * perX
+	if cap(x.Data) < n {
+		x.Data = make([]float64, n)
+	}
+	x.Data = x.Data[:n]
+	x.Shape = append(x.Shape[:0], len(indices))
+	x.Shape = append(x.Shape, d.InputShape...)
+	ys = ys[:0]
 	for bi, si := range indices {
 		s := samples[si]
-		copy(xs[bi*perX:(bi+1)*perX], s.X)
+		copy(x.Data[bi*perX:(bi+1)*perX], s.X)
 		ys = append(ys, s.Y...)
 	}
-	shape := append([]int{len(indices)}, d.InputShape...)
-	return nn.FromData(xs, shape...), ys
+	return x, ys
 }
 
 // Loader yields shuffled minibatches over a node's local training indices,
@@ -80,6 +93,11 @@ type Loader struct {
 	batch   int
 	rng     *vec.RNG
 	pos     int
+
+	// Reused batch buffers: Next's results are valid until the next call,
+	// which is how TrainBatch consumes them.
+	x  nn.Tensor
+	ys []float64
 }
 
 // NewLoader builds a loader over the given train indices.
@@ -108,7 +126,9 @@ func (l *Loader) BatchesPerEpoch() int {
 	return n
 }
 
-// Next returns the next minibatch, reshuffling when an epoch completes.
+// Next returns the next minibatch, reshuffling when an epoch completes. The
+// returned tensor and targets are owned by the loader and valid until the
+// next call.
 func (l *Loader) Next() (*nn.Tensor, []float64) {
 	if l.pos >= len(l.indices) {
 		l.rng.ShuffleInts(l.indices)
@@ -120,7 +140,9 @@ func (l *Loader) Next() (*nn.Tensor, []float64) {
 	}
 	idx := l.indices[l.pos:end]
 	l.pos = end
-	return l.ds.BatchTensors(l.ds.Train, idx)
+	x, ys := l.ds.BatchTensorsInto(l.ds.Train, idx, &l.x, l.ys)
+	l.ys = ys
+	return x, ys
 }
 
 // Evaluate scores model on up to maxSamples test samples (0 = all) in batches
@@ -139,6 +161,8 @@ func Evaluate(ds *Dataset, model nn.Trainable, batch, maxSamples int) (loss, acc
 	var sumLoss float64
 	var correct, count int
 	idx := make([]int, 0, batch)
+	var xt nn.Tensor
+	var ys []float64
 	for start := 0; start < n; start += batch {
 		end := start + batch
 		if end > n {
@@ -148,7 +172,8 @@ func Evaluate(ds *Dataset, model nn.Trainable, batch, maxSamples int) (loss, acc
 		for i := start; i < end; i++ {
 			idx = append(idx, i)
 		}
-		x, y := ds.BatchTensors(ds.Test, idx)
+		x, y := ds.BatchTensorsInto(ds.Test, idx, &xt, ys)
+		ys = y
 		l, c, m := model.EvalBatch(x, y)
 		sumLoss += l
 		correct += c

@@ -154,9 +154,16 @@ type RunSpec struct {
 	// (async only); the trace is seeded from Seed and placed over the
 	// nominal run horizon.
 	ChurnFraction float64
+	// MixingEvery samples the spectral-gap computation (async only): 0/1 =
+	// every epoch, k > 1 = epochs whose index is a multiple of k (skipped
+	// epochs report NaN), negative = never. Keeps gap estimation off the
+	// critical path of 1024-node sweeps.
+	MixingEvery int
 	// Recorder, if set, captures the executed async schedule as a trace
 	// (async only — the synchronous engine has no event schedule to record).
-	Recorder *trace.Recorder
+	// Pass a trace.Recorder to keep it in memory or a trace.StreamRecorder
+	// to write it out incrementally with bounded buffers.
+	Recorder trace.Sink
 	// Replay, if set, makes a recorded trace the authoritative async
 	// schedule; Het/ChurnFraction stop influencing event times (async only).
 	Replay *trace.Replayer
@@ -259,6 +266,7 @@ func runWithNodes(spec RunSpec, nodes []core.Node) (*simulation.Result, error) {
 	acfg := simulation.AsyncConfig{
 		Config: cfg, Het: spec.Het, Gossip: spec.Gossip,
 		Record: spec.Recorder, Replay: spec.Replay,
+		MixingEvery: spec.MixingEvery,
 	}
 	if acfg.Het.Seed == 0 {
 		acfg.Het.Seed = spec.Seed ^ 0x686574 // "het"

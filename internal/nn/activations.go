@@ -8,21 +8,23 @@ import (
 
 // ReLU is the rectified linear activation.
 type ReLU struct {
-	mask []bool
+	mask    []bool
+	out, dx tscratch
 }
 
 var _ Layer = (*ReLU)(nil)
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *Tensor, _ bool) *Tensor {
-	y := x.Clone()
+	y := r.out.ensure(x.Shape...)
 	if cap(r.mask) < len(y.Data) {
 		r.mask = make([]bool, len(y.Data))
 	}
 	r.mask = r.mask[:len(y.Data)]
-	for i, v := range y.Data {
+	for i, v := range x.Data {
 		if v > 0 {
 			r.mask[i] = true
+			y.Data[i] = v
 		} else {
 			r.mask[i] = false
 			y.Data[i] = 0
@@ -33,9 +35,11 @@ func (r *ReLU) Forward(x *Tensor, _ bool) *Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *Tensor) *Tensor {
-	dx := grad.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
+	dx := r.dx.ensure(grad.Shape...)
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			dx.Data[i] = g
+		} else {
 			dx.Data[i] = 0
 		}
 	}
@@ -47,15 +51,16 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Tanh is the hyperbolic tangent activation.
 type Tanh struct {
-	y []float64
+	y       []float64
+	out, dx tscratch
 }
 
 var _ Layer = (*Tanh)(nil)
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *Tensor, _ bool) *Tensor {
-	y := x.Clone()
-	for i, v := range y.Data {
+	y := t.out.ensure(x.Shape...)
+	for i, v := range x.Data {
 		y.Data[i] = math.Tanh(v)
 	}
 	t.y = y.Data
@@ -64,9 +69,9 @@ func (t *Tanh) Forward(x *Tensor, _ bool) *Tensor {
 
 // Backward implements Layer.
 func (t *Tanh) Backward(grad *Tensor) *Tensor {
-	dx := grad.Clone()
-	for i := range dx.Data {
-		dx.Data[i] *= 1 - t.y[i]*t.y[i]
+	dx := t.dx.ensure(grad.Shape...)
+	for i, g := range grad.Data {
+		dx.Data[i] = g * (1 - t.y[i]*t.y[i])
 	}
 	return dx
 }
@@ -76,15 +81,16 @@ func (t *Tanh) Params() []*Param { return nil }
 
 // Sigmoid is the logistic activation.
 type Sigmoid struct {
-	y []float64
+	y       []float64
+	out, dx tscratch
 }
 
 var _ Layer = (*Sigmoid)(nil)
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *Tensor, _ bool) *Tensor {
-	y := x.Clone()
-	for i, v := range y.Data {
+	y := s.out.ensure(x.Shape...)
+	for i, v := range x.Data {
 		y.Data[i] = 1 / (1 + math.Exp(-v))
 	}
 	s.y = y.Data
@@ -93,9 +99,9 @@ func (s *Sigmoid) Forward(x *Tensor, _ bool) *Tensor {
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(grad *Tensor) *Tensor {
-	dx := grad.Clone()
-	for i := range dx.Data {
-		dx.Data[i] *= s.y[i] * (1 - s.y[i])
+	dx := s.dx.ensure(grad.Shape...)
+	for i, g := range grad.Data {
+		dx.Data[i] = g * s.y[i] * (1 - s.y[i])
 	}
 	return dx
 }
@@ -109,7 +115,8 @@ type Dropout struct {
 	P   float64
 	rng *vec.RNG
 
-	mask []bool
+	mask    []bool
+	out, dx tscratch
 }
 
 var _ Layer = (*Dropout)(nil)
@@ -128,19 +135,19 @@ func (d *Dropout) Forward(x *Tensor, train bool) *Tensor {
 		d.mask = nil
 		return x
 	}
-	y := x.Clone()
+	y := d.out.ensure(x.Shape...)
 	if cap(d.mask) < len(y.Data) {
 		d.mask = make([]bool, len(y.Data))
 	}
 	d.mask = d.mask[:len(y.Data)]
 	scale := 1 / (1 - d.P)
-	for i := range y.Data {
+	for i, v := range x.Data {
 		if d.rng.Float64() < d.P {
 			d.mask[i] = false
 			y.Data[i] = 0
 		} else {
 			d.mask[i] = true
-			y.Data[i] *= scale
+			y.Data[i] = v * scale
 		}
 	}
 	return y
@@ -151,11 +158,11 @@ func (d *Dropout) Backward(grad *Tensor) *Tensor {
 	if d.mask == nil {
 		return grad
 	}
-	dx := grad.Clone()
+	dx := d.dx.ensure(grad.Shape...)
 	scale := 1 / (1 - d.P)
-	for i := range dx.Data {
+	for i, g := range grad.Data {
 		if d.mask[i] {
-			dx.Data[i] *= scale
+			dx.Data[i] = g * scale
 		} else {
 			dx.Data[i] = 0
 		}

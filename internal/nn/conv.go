@@ -16,7 +16,8 @@ type Conv2D struct {
 	W         *Param
 	B         *Param
 
-	x *Tensor
+	x       *Tensor
+	out, dx tscratch
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -53,7 +54,7 @@ func (c *Conv2D) Forward(x *Tensor, _ bool) *Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn: Conv2D output size %dx%d not positive", oh, ow))
 	}
-	y := NewTensor(n, c.OutC, oh, ow)
+	y := c.out.ensureZero(n, c.OutC, oh, ow)
 	k := c.K
 	for ni := 0; ni < n; ni++ {
 		for oc := 0; oc < c.OutC; oc++ {
@@ -102,7 +103,7 @@ func (c *Conv2D) Backward(grad *Tensor) *Tensor {
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := grad.Shape[2], grad.Shape[3]
 	k := c.K
-	dx := NewTensor(n, c.InC, h, w)
+	dx := c.dx.ensureZero(n, c.InC, h, w)
 	for ni := 0; ni < n; ni++ {
 		for oc := 0; oc < c.OutC; oc++ {
 			g := grad.Data[((ni*c.OutC)+oc)*oh*ow:][: oh*ow : oh*ow]
@@ -153,6 +154,7 @@ type MaxPool2D struct {
 
 	argmax  []int
 	inShape []int
+	out, dx tscratch
 }
 
 var _ Layer = (*MaxPool2D)(nil)
@@ -176,7 +178,7 @@ func (m *MaxPool2D) Forward(x *Tensor, _ bool) *Tensor {
 	}
 	oh, ow := h/m.K, w/m.K
 	m.inShape = append(m.inShape[:0], x.Shape...)
-	y := NewTensor(n, cdim, oh, ow)
+	y := m.out.ensure(n, cdim, oh, ow)
 	if cap(m.argmax) < y.Len() {
 		m.argmax = make([]int, y.Len())
 	}
@@ -212,7 +214,7 @@ func (m *MaxPool2D) Forward(x *Tensor, _ bool) *Tensor {
 
 // Backward implements Layer.
 func (m *MaxPool2D) Backward(grad *Tensor) *Tensor {
-	dx := NewTensor(m.inShape...)
+	dx := m.dx.ensureZero(m.inShape...)
 	for i, g := range grad.Data {
 		dx.Data[m.argmax[i]] += g
 	}

@@ -13,7 +13,8 @@ type Dense struct {
 	W       *Param
 	B       *Param
 
-	x *Tensor // cached input
+	x       *Tensor // cached input
+	out, dx tscratch
 }
 
 var _ Layer = (*Dense)(nil)
@@ -40,7 +41,7 @@ func (d *Dense) Forward(x *Tensor, _ bool) *Tensor {
 	}
 	d.x = x
 	n := x.Shape[0]
-	y := NewTensor(n, d.Out)
+	y := d.out.ensure(n, d.Out)
 	w := d.W.Data
 	b := d.B.Data
 	for i := 0; i < n; i++ {
@@ -62,7 +63,7 @@ func (d *Dense) Forward(x *Tensor, _ bool) *Tensor {
 func (d *Dense) Backward(grad *Tensor) *Tensor {
 	x := d.x
 	n := x.Shape[0]
-	dx := NewTensor(n, d.In)
+	dx := d.dx.ensureZero(n, d.In)
 	w := d.W.Data
 	gw := d.W.Grad
 	gb := d.B.Grad
@@ -90,9 +91,12 @@ func (d *Dense) Backward(grad *Tensor) *Tensor {
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
-// Flatten reshapes [N, ...] to [N, prod(...)]. It has no parameters.
+// Flatten reshapes [N, ...] to [N, prod(...)]. It has no parameters. The
+// returned tensors are reused header views over the input's data.
 type Flatten struct {
 	inShape []int
+	view    Tensor // reused flattened view (aliases the input's data)
+	back    Tensor // reused gradient view
 }
 
 var _ Layer = (*Flatten)(nil)
@@ -101,12 +105,16 @@ var _ Layer = (*Flatten)(nil)
 func (f *Flatten) Forward(x *Tensor, _ bool) *Tensor {
 	f.inShape = append(f.inShape[:0], x.Shape...)
 	n := x.Shape[0]
-	return x.Reshape(n, x.Len()/n)
+	f.view.Data = x.Data
+	f.view.Shape = append(f.view.Shape[:0], n, x.Len()/n)
+	return &f.view
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(grad *Tensor) *Tensor {
-	return grad.Reshape(f.inShape...)
+	f.back.Data = grad.Data
+	f.back.Shape = append(f.back.Shape[:0], f.inShape...)
+	return &f.back
 }
 
 // Params implements Layer.

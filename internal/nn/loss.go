@@ -18,8 +18,23 @@ type SoftmaxCrossEntropy struct{}
 
 var _ Loss = SoftmaxCrossEntropy{}
 
+// lossInto is implemented by losses that can write the gradient into a
+// caller-owned tensor, letting Classifier reuse one grad buffer across
+// batches instead of allocating per step.
+type lossInto interface {
+	// ComputeInto returns the mean loss and fills grad (pre-shaped to pred's
+	// shape) with dLoss/dPred.
+	ComputeInto(pred *Tensor, targets []float64, grad *Tensor) float64
+}
+
 // Compute implements Loss. pred is [M, K] logits; targets are class ids.
-func (SoftmaxCrossEntropy) Compute(pred *Tensor, targets []float64) (float64, *Tensor) {
+func (s SoftmaxCrossEntropy) Compute(pred *Tensor, targets []float64) (float64, *Tensor) {
+	grad := NewTensor(pred.Shape...)
+	return s.ComputeInto(pred, targets, grad), grad
+}
+
+// ComputeInto implements lossInto.
+func (SoftmaxCrossEntropy) ComputeInto(pred *Tensor, targets []float64, grad *Tensor) float64 {
 	if len(pred.Shape) != 2 {
 		panic(fmt.Sprintf("nn: cross-entropy expects [M, K] logits, got %v", pred.Shape))
 	}
@@ -27,7 +42,6 @@ func (SoftmaxCrossEntropy) Compute(pred *Tensor, targets []float64) (float64, *T
 	if len(targets) != m {
 		panic(fmt.Sprintf("nn: %d targets for %d predictions", len(targets), m))
 	}
-	grad := NewTensor(m, k)
 	var total float64
 	for i := 0; i < m; i++ {
 		row := pred.Data[i*k : (i+1)*k]
@@ -56,7 +70,7 @@ func (SoftmaxCrossEntropy) Compute(pred *Tensor, targets []float64) (float64, *T
 		}
 		gRow[target] -= 1 / float64(m)
 	}
-	return total / float64(m), grad
+	return total / float64(m)
 }
 
 // MSE is the mean squared error loss for regression heads.
@@ -65,19 +79,24 @@ type MSE struct{}
 var _ Loss = MSE{}
 
 // Compute implements Loss. pred is [M, 1] (or [M, K] with targets length M*K).
-func (MSE) Compute(pred *Tensor, targets []float64) (float64, *Tensor) {
+func (l MSE) Compute(pred *Tensor, targets []float64) (float64, *Tensor) {
+	grad := NewTensor(pred.Shape...)
+	return l.ComputeInto(pred, targets, grad), grad
+}
+
+// ComputeInto implements lossInto.
+func (MSE) ComputeInto(pred *Tensor, targets []float64, grad *Tensor) float64 {
 	if pred.Len() != len(targets) {
 		panic(fmt.Sprintf("nn: MSE got %d predictions for %d targets", pred.Len(), len(targets)))
 	}
 	m := pred.Len()
-	grad := NewTensor(pred.Shape...)
 	var total float64
 	for i, p := range pred.Data {
 		d := p - targets[i]
 		total += d * d
 		grad.Data[i] = 2 * d / float64(m)
 	}
-	return total / float64(m), grad
+	return total / float64(m)
 }
 
 // Argmax returns the index of the largest value in row i of a [M, K] tensor.

@@ -16,9 +16,10 @@ type GroupNorm struct {
 	Gamma  *Param
 	Beta   *Param
 
-	x     *Tensor
-	xhat  []float64
-	invSD []float64 // per (sample, group)
+	x       *Tensor
+	xhat    []float64
+	invSD   []float64 // per (sample, group)
+	out, dx tscratch
 }
 
 var _ Layer = (*GroupNorm)(nil)
@@ -52,7 +53,7 @@ func (g *GroupNorm) Forward(x *Tensor, _ bool) *Tensor {
 	spatial := h * w
 	chPerGroup := g.C / g.Groups
 	groupLen := chPerGroup * spatial
-	y := NewTensor(x.Shape...)
+	y := g.out.ensure(x.Shape...)
 	if cap(g.xhat) < x.Len() {
 		g.xhat = make([]float64, x.Len())
 	}
@@ -102,7 +103,7 @@ func (g *GroupNorm) Backward(grad *Tensor) *Tensor {
 	chPerGroup := g.C / g.Groups
 	groupLen := chPerGroup * spatial
 	m := float64(groupLen)
-	dx := NewTensor(x.Shape...)
+	dx := g.dx.ensure(x.Shape...)
 
 	for ni := 0; ni < n; ni++ {
 		for gi := 0; gi < g.Groups; gi++ {

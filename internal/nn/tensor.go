@@ -77,6 +77,40 @@ func (t *Tensor) SameShape(o *Tensor) bool {
 	return true
 }
 
+// tscratch is a reusable tensor backed by a buffer grown on demand. Layers
+// keep one per direction (forward output, backward gradient) so steady-state
+// training allocates nothing: ensure reshapes in place and only allocates
+// when the required element count outgrows the buffer.
+type tscratch struct{ t Tensor }
+
+// ensure shapes the scratch tensor without clearing it. Callers must
+// overwrite every element.
+func (s *tscratch) ensure(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("nn: non-positive tensor dimension in %v", shape))
+		}
+		n *= d
+	}
+	if cap(s.t.Data) < n {
+		s.t.Data = make([]float64, n)
+	}
+	s.t.Data = s.t.Data[:n]
+	s.t.Shape = append(s.t.Shape[:0], shape...)
+	return &s.t
+}
+
+// ensureZero shapes the scratch tensor and clears it, for layers that
+// accumulate into their output.
+func (s *tscratch) ensureZero(shape ...int) *Tensor {
+	t := s.ensure(shape...)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
 // Param is one learnable parameter block with its gradient accumulator.
 type Param struct {
 	Name string
@@ -98,7 +132,10 @@ func (p *Param) ZeroGrad() {
 
 // Layer is a differentiable module. Forward caches whatever Backward needs;
 // a Layer instance is therefore stateful and must not be shared across
-// concurrent nodes (each DL node builds its own model).
+// concurrent nodes (each DL node builds its own model). Returned tensors are
+// owned by the layer and valid only until its next Forward/Backward call —
+// the training loop consumes them within one TrainBatch (forward chain, loss,
+// backward chain), which is what lets layers reuse their output buffers.
 type Layer interface {
 	// Forward computes the layer output. train toggles train-time behaviour
 	// (e.g. dropout).

@@ -31,6 +31,11 @@ type Classifier struct {
 	Net    *Sequential
 	LossFn Loss
 	opt    SGD
+
+	// lossGrad is the reusable gradient buffer for losses implementing
+	// lossInto; gradView is the reused reshape header for sequence outputs.
+	lossGrad tscratch
+	gradView Tensor
 }
 
 var _ Trainable = (*Classifier)(nil)
@@ -61,13 +66,29 @@ func logits2D(out *Tensor) *Tensor {
 	}
 }
 
+// lossAndGrad computes the loss and its gradient, reusing the classifier's
+// grad buffer when the loss supports in-place computation.
+func (c *Classifier) lossAndGrad(flat *Tensor, y []float64) (float64, *Tensor) {
+	if li, ok := c.LossFn.(lossInto); ok {
+		grad := c.lossGrad.ensure(flat.Shape...)
+		return li.ComputeInto(flat, y, grad), grad
+	}
+	return c.LossFn.Compute(flat, y)
+}
+
 // TrainBatch implements Trainable.
 func (c *Classifier) TrainBatch(x *Tensor, y []float64, lr float64) float64 {
 	c.Net.ZeroGrad()
 	out := c.Net.Forward(x, true)
 	flat := logits2D(out)
-	loss, grad := c.LossFn.Compute(flat, y)
-	c.Net.Backward(grad.Reshape(out.Shape...))
+	loss, grad := c.lossAndGrad(flat, y)
+	if len(out.Shape) != 2 {
+		// Sequence outputs: restore [N, T, K] through a reused view header.
+		c.gradView.Data = grad.Data
+		c.gradView.Shape = append(c.gradView.Shape[:0], out.Shape...)
+		grad = &c.gradView
+	}
+	c.Net.Backward(grad)
 	c.opt.Step(lr, c.Net.Params())
 	return loss
 }
@@ -76,7 +97,7 @@ func (c *Classifier) TrainBatch(x *Tensor, y []float64, lr float64) float64 {
 func (c *Classifier) EvalBatch(x *Tensor, y []float64) (float64, int, int) {
 	out := c.Net.Forward(x, false)
 	flat := logits2D(out)
-	loss, _ := c.LossFn.Compute(flat, y)
+	loss, _ := c.lossAndGrad(flat, y)
 	m := flat.Shape[0]
 	correct := 0
 	for i := 0; i < m; i++ {

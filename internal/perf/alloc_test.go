@@ -1,0 +1,80 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/simulation"
+)
+
+// schedulerAllocCeiling is the committed per-event allocation budget of the
+// steady-state event loop (raw32 codec, serial pool). The loop itself is
+// allocation-free after the PR that pooled the event heap, payload maps, and
+// nn scratch; what remains per train-done event is the freshly encoded
+// broadcast payload (which must be a new allocation — it is retained by
+// neighbors) plus map-bucket growth amortized across the run. Measured ~2.3
+// allocs/event on go1.24; the ceiling leaves headroom for toolchain noise
+// while still failing on any O(1)-per-event regression (the pre-PR engine
+// sat at ~12).
+const schedulerAllocCeiling = 4.0
+
+// allocRun executes one serial raw32 engine run and returns its event count.
+func allocRun(rounds int) (int64, error) {
+	nodes, ds, topo, err := EngineFleet()
+	if err != nil {
+		return 0, err
+	}
+	var events int64
+	eng := &simulation.AsyncEngine{
+		Nodes: nodes, Topology: topo, TestSet: ds,
+		Config: simulation.AsyncConfig{
+			Config:  simulation.Config{Rounds: rounds, EvalEvery: rounds, Parallelism: 1},
+			OnEvent: func(simulation.Event) { events++ },
+		},
+	}
+	if _, err := eng.Run(); err != nil {
+		return 0, err
+	}
+	return events, nil
+}
+
+// TestSchedulerAllocationCeiling guards the event loop's steady-state
+// allocation rate the way the JWINS hot-path AllocsPerRun tests guard the
+// share/aggregate kernels. Whole runs at two round budgets are measured and
+// differenced, so fleet construction, warm-up growth of the pooled buffers,
+// and the final evaluation — identical in both — cancel, leaving the
+// marginal cost per scheduler event.
+func TestSchedulerAllocationCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is timing-insensitive but not free")
+	}
+	const (
+		loRounds, hiRounds = 4, 12
+		samples            = 3
+	)
+	measure := func(rounds int) float64 {
+		return testing.AllocsPerRun(samples, func() {
+			if _, err := allocRun(rounds); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	loEvents, err := allocRun(loRounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiEvents, err := allocRun(hiRounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hiEvents <= loEvents {
+		t.Fatalf("event counts did not grow with rounds: %d vs %d", loEvents, hiEvents)
+	}
+	loAllocs := measure(loRounds)
+	hiAllocs := measure(hiRounds)
+	perEvent := (hiAllocs - loAllocs) / float64(hiEvents-loEvents)
+	t.Logf("steady state: %.2f allocs/event over %d marginal events (lo %d/%.0f, hi %d/%.0f)",
+		perEvent, hiEvents-loEvents, loEvents, loAllocs, hiEvents, hiAllocs)
+	if perEvent > schedulerAllocCeiling {
+		t.Fatalf("steady-state event loop allocates %.2f/event, ceiling is %.1f", perEvent, schedulerAllocCeiling)
+	}
+}

@@ -66,6 +66,65 @@ func EngineFleet() ([]core.Node, *datasets.Dataset, topology.Provider, error) {
 	return nodes, ds, topology.NewStatic(g), nil
 }
 
+// ScaleFleet builds an n-node full-sharing raw32 fleet over a 4-regular
+// graph on a deliberately lean task (8×8 single-channel 4-class images, one
+// sample per class per node, a 64→16→4 MLP), so scheduler cost — not SGD —
+// dominates. The fixture of the engine-async256 rows; mirrors
+// experiments.ScaleWorkload.
+func ScaleFleet(n int) ([]core.Node, *datasets.Dataset, topology.Provider, error) {
+	rng := vec.NewRNG(Seed)
+	ds, err := datasets.SyntheticImages(datasets.ImageConfig{
+		Classes: 4, Channels: 1, Height: 8, Width: 8,
+		TrainPerClass: n, TestPerClass: 8,
+	}, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	parts, err := datasets.PartitionShards(ds, n, 2, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	opts := core.TrainOpts{LR: 0.05, LocalSteps: 2}
+	nodes := make([]core.Node, n)
+	for i := range nodes {
+		nodeRNG := rng.Split()
+		model := nn.NewMLP(64, 16, 4, nodeRNG)
+		loader := datasets.NewLoader(ds, parts[i], 4, nodeRNG.Split())
+		nodes[i], err = core.NewFullSharing(i, model, loader, opts, codec.Raw32{})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	g, err := topology.Regular(n, 4, vec.NewRNG(Seed^1))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return nodes, ds, topology.NewStatic(g), nil
+}
+
+// RunAsync256 executes one iteration of the 256-node event-driven benchmark
+// (heterogeneous profiles, 4 iterations per node, one final eval over 8
+// nodes) and returns the number of scheduler events processed.
+func RunAsync256(parallelism int) (int64, error) {
+	nodes, ds, topo, err := ScaleFleet(256)
+	if err != nil {
+		return 0, err
+	}
+	var events int64
+	eng := &simulation.AsyncEngine{
+		Nodes: nodes, Topology: topo, TestSet: ds,
+		Config: simulation.AsyncConfig{
+			Config:  simulation.Config{Rounds: 4, EvalEvery: 4, EvalNodes: 8, Parallelism: parallelism},
+			Het:     simulation.Heterogeneity{ComputeSpread: 0.3, Seed: Seed},
+			OnEvent: func(simulation.Event) { events++ },
+		},
+	}
+	if _, err := eng.Run(); err != nil {
+		return 0, err
+	}
+	return events, nil
+}
+
 // EngineChurn is the churn trace used by the AsyncChurn16 benchmark.
 func EngineChurn() []simulation.ChurnEvent {
 	return simulation.GenerateChurn(16, 0.25, 0.02, 0.15, 0.05, Seed)

@@ -3,6 +3,7 @@
 package perf
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/simulation"
+	"repro/internal/trace"
 )
 
 // Bench is one named benchmark: fn runs a single iteration and returns the
@@ -35,6 +37,8 @@ func Suite() ([]Bench, error) {
 		{fmt.Sprintf("engine-asyncchurn16-p%d", pmax), func() (int64, error) { return RunAsyncChurn16(pmax) }},
 		{"engine-asyncdyntopo16-p1", func() (int64, error) { return RunAsyncDynTopo16(1) }},
 		{fmt.Sprintf("engine-asyncdyntopo16-p%d", pmax), func() (int64, error) { return RunAsyncDynTopo16(pmax) }},
+		{"engine-async256-p1", func() (int64, error) { return RunAsync256(1) }},
+		{fmt.Sprintf("engine-async256-p%d", pmax), func() (int64, error) { return RunAsync256(pmax) }},
 	}
 	micro, err := microBenches()
 	if err != nil {
@@ -155,12 +159,15 @@ func (r *Report) WriteJSON(path string) error {
 // CheckDeterminism runs the AsyncChurn16 configuration (stragglers, churn,
 // drops) and its epoch-rotated dyntopo variant serially and at every
 // parallelism level up to NumCPU that is worth checking, and errors on any
-// divergence in the event trace, byte ledger, or result rows. CI fails the
-// bench smoke job on a non-nil return.
+// divergence in the event trace, byte ledger, result rows, or the bytes a
+// streaming recorder emits (each run records its schedule through a
+// trace.StreamRecorder, so the streamed .jtb must be bit-identical across
+// parallelism levels too). CI fails the bench smoke job on a non-nil return.
 func CheckDeterminism() error {
 	type capture struct {
-		trace  []simulation.Event
-		result *simulation.Result
+		trace    []simulation.Event
+		result   *simulation.Result
+		streamed []byte
 	}
 	run := func(parallelism int, dyntopo bool) (capture, error) {
 		nodes, ds, topo, err := EngineFleet()
@@ -171,6 +178,13 @@ func CheckDeterminism() error {
 			topo = DynTopoProvider()
 		}
 		var c capture
+		var buf bytes.Buffer
+		sr, err := trace.NewStreamRecorder(&buf, trace.Header{
+			Nodes: len(nodes), Rounds: 10, Source: trace.SourceSim, Policy: trace.PolicyBarrier,
+		}, true)
+		if err != nil {
+			return capture{}, err
+		}
 		eng := &simulation.AsyncEngine{
 			Nodes: nodes, Topology: topo, TestSet: ds,
 			Config: simulation.AsyncConfig{
@@ -178,10 +192,18 @@ func CheckDeterminism() error {
 				Het:     EngineHet(),
 				Churn:   EngineChurn(),
 				OnEvent: func(ev simulation.Event) { c.trace = append(c.trace, ev) },
+				Record:  sr,
 			},
 		}
 		c.result, err = eng.Run()
-		return c, err
+		if err != nil {
+			return c, err
+		}
+		if err := sr.Close(); err != nil {
+			return c, fmt.Errorf("stream recorder: %w", err)
+		}
+		c.streamed = buf.Bytes()
+		return c, nil
 	}
 	levels := []int{2}
 	if n := runtime.NumCPU(); n > 2 {
@@ -203,6 +225,10 @@ func CheckDeterminism() error {
 			}
 			if err := compareCaptures(ref.trace, got.trace, ref.result, got.result); err != nil {
 				return fmt.Errorf("%s parallelism %d diverged from serial: %w", name, p, err)
+			}
+			if !bytes.Equal(ref.streamed, got.streamed) {
+				return fmt.Errorf("%s parallelism %d: streamed trace bytes diverge from serial (%d vs %d bytes)",
+					name, p, len(got.streamed), len(ref.streamed))
 			}
 		}
 	}

@@ -39,7 +39,6 @@
 package simulation
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -188,6 +187,14 @@ type AsyncConfig struct {
 	// Gossip switches from the local-barrier policy to immediate freshest-
 	// payload aggregation.
 	Gossip bool
+	// MixingEvery samples the spectral-gap computation, which is O(n·d) per
+	// power iteration and would otherwise sit on the 1024-node critical path
+	// at every rotation: 0 or 1 computes the gap at every epoch boundary,
+	// k > 1 only at epochs whose index is a multiple of k, negative never.
+	// Skipped epochs report NaN in the rows' SpectralGap column; the Result
+	// aggregates cover sampled epochs only. Neighbor turnover (O(edges)) is
+	// always reported.
+	MixingEvery int
 	// OnEvent, if set, observes every processed event in order — the
 	// deterministic event trace.
 	OnEvent func(Event)
@@ -195,8 +202,10 @@ type AsyncConfig struct {
 	// Record, if set, captures the full executed schedule as trace events:
 	// the authoritative train-done/arrival/leave/join sequence plus derived
 	// send records (byte breakdowns) and aggregate records (staleness lags).
-	// Write the result with the trace package; feed it back through Replay.
-	Record *trace.Recorder
+	// An in-memory trace.Recorder keeps the schedule for immediate replay; a
+	// trace.StreamRecorder writes it to disk incrementally, the only option
+	// whose memory stays bounded on 1024-node schedules.
+	Record trace.Sink
 
 	// Replay, if set, makes a recorded trace the authoritative schedule:
 	// train-done times, arrival times, message drops, and leave/join churn
@@ -281,31 +290,48 @@ type asyncRun struct {
 
 	// Mixing instrumentation: the current epoch's spectral gap and neighbor
 	// turnover (reported in every emitted row) plus run-level accumulators.
+	// gapCount counts the epochs whose gap was actually computed (the
+	// MixingEvery sample); curGap is NaN on skipped epochs.
 	curGap      float64
 	curTurnover float64
 	gapSum      float64
 	gapMin      float64
+	gapCount    int
 	turnSum     float64
 	turnCount   int
 	epochCount  int
-	liveBuf     []bool // scratch live mask for the spectral-gap restriction
+	liveBuf     []bool               // scratch live mask for the spectral-gap restriction
+	slem        topology.SLEMScratch // reused power-iteration buffers
 
 	// boxPool recycles per-sender inbox maps freed when an epoch rotation
-	// severs an edge, bounding steady-state allocation at 384-node scale.
+	// severs an edge (or a rejoin resets a node), bounding steady-state
+	// allocation at 1024-node scale.
 	boxPool []map[int][]byte
+	// msgsPool recycles the per-aggregation payload maps. Maps are acquired
+	// on the event loop and released by the pool worker once Aggregate has
+	// consumed them, so the pool is mutex-guarded; map identity never affects
+	// results (nodes sort senders before merging).
+	msgsPool msgsPool
+	// lagScratch is the reusable staleness-sample buffer of aggregate(); its
+	// contents are copied out synchronously before the next aggregation.
+	lagScratch []float64
 
 	// Worker-pool state. tails[i] is node i's most recently submitted task
 	// (its per-node chain: train and aggregate strictly alternate in program
 	// order); pendTrain[i] is the speculatively dispatched train+share whose
-	// train-done event has not been processed yet. alphas[i] is the cut-off
+	// train-done event has not been processed yet, pointing into the
+	// trainTasks slab (one reusable slot per node: a slot is rewritten only
+	// after its previous result was committed at the train-done event, or
+	// after the final drain). alphas[i] is the cut-off
 	// committed at node i's last processed train-done — row emission must not
 	// read JWINSNode.LastAlpha directly, since a speculative Share may already
 	// have overwritten it ahead of the serial schedule.
-	pool      *computePool
-	tails     []*future
-	pendTrain []*trainTask
-	alphas    []float64
-	isJWINS   []bool
+	pool       *computePool
+	tails      []*future
+	pendTrain  []*trainTask
+	trainTasks []trainTask
+	alphas     []float64
+	isJWINS    []bool
 	// churnPending[i] holds the simulated times of node i's not-yet-processed
 	// leave/join events, ascending. Speculation is suppressed while a churn
 	// event could fire before the speculated train-done commits.
@@ -325,7 +351,7 @@ type asyncRun struct {
 	// trace subsystem state: recorder hook, replay oracle, staleness
 	// accumulator, and the count of replay lookups that found no recorded
 	// event (a nonzero count on a stalled replay means config mismatch).
-	rec          *trace.Recorder
+	rec          trace.Sink
 	replay       *trace.Replayer
 	stale        *staleTracker
 	replayMisses int
@@ -364,6 +390,7 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		pool:         newComputePool(cfg.Parallelism),
 		tails:        make([]*future, n),
 		pendTrain:    make([]*trainTask, n),
+		trainTasks:   make([]trainTask, n),
 		alphas:       make([]float64, n),
 		isJWINS:      make([]bool, n),
 		churnPending: make([][]float64, n),
@@ -416,9 +443,14 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		return nil, fmt.Errorf("simulation: topology has %d nodes, engine has %d", g.N, n)
 	}
 	// Epoch 0's mixing quality (static runs report it too; their gap is then
-	// constant and their turnover identically zero).
-	r.curGap = topology.SpectralGap(g, w0, nil)
-	r.gapSum, r.gapMin, r.epochCount = r.curGap, r.curGap, 1
+	// constant and their turnover identically zero). Sampling off leaves NaN.
+	r.epochCount = 1
+	if r.mixingSampled(0) {
+		r.curGap = r.slem.SpectralGap(g, w0, nil)
+		r.gapSum, r.gapMin, r.gapCount = r.curGap, r.curGap, 1
+	} else {
+		r.curGap, r.gapMin = math.NaN(), math.NaN()
+	}
 	for i := range r.nodes {
 		r.nodes[i] = asyncNode{
 			live:     true,
@@ -427,7 +459,6 @@ func (e *AsyncEngine) Run() (*Result, error) {
 			lastIter: -1,
 		}
 	}
-	heap.Init(&r.queue)
 	// The per-node churn calendar must exist before the first scheduleTrain:
 	// speculation safety checks it. Event push order stays as before (initial
 	// trains first, then churn) so same-time tie-breaking is unchanged.
@@ -458,7 +489,7 @@ func (e *AsyncEngine) Run() (*Result, error) {
 			if ev.Kind == trace.KindJoin {
 				kind = EventJoin
 			}
-			r.push(&Event{Time: ev.Time, Kind: kind, Node: ev.Node})
+			r.push(Event{Time: ev.Time, Kind: kind, Node: ev.Node})
 		}
 	} else {
 		for _, ch := range cfg.Churn {
@@ -466,7 +497,7 @@ func (e *AsyncEngine) Run() (*Result, error) {
 			if ch.Join {
 				kind = EventJoin
 			}
-			r.push(&Event{Time: ch.Time, Kind: kind, Node: ch.Node})
+			r.push(Event{Time: ch.Time, Kind: kind, Node: ch.Node})
 		}
 	}
 	// Topology rotation: one boundary event outstanding at a time. Under
@@ -477,7 +508,7 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		r.replayEpochs = r.replay.Epochs()
 		r.pushNextReplayEpoch()
 	} else if r.epochSec > 0 {
-		r.push(&Event{Time: r.epochSec, Kind: EventEpoch, Iter: 1})
+		r.push(Event{Time: r.epochSec, Kind: EventEpoch, Iter: 1})
 	}
 
 	// The final drain is mandatory on every path out of the loop: in-flight
@@ -498,14 +529,22 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		// The run stopped early (target accuracy): the trace holds only the
 		// executed prefix, so the header must advertise the executed budget —
 		// otherwise a replay would chase rounds that were never scheduled.
-		r.rec.Trace().Header.Rounds = r.emitted
+		// Sinks that cannot adjust their header (a StreamRecorder on a
+		// non-seekable destination) surface the problem at their Close.
+		if rs, ok := r.rec.(trace.RoundsSetter); ok {
+			rs.SetRounds(r.emitted)
+		}
 	}
 	r.res.TotalBytes, r.res.ModelBytes, r.res.MetaBytes = r.ledger.total, r.ledger.model, r.ledger.meta
 	r.res.SimTime = r.now
 	r.res.StaleMean, r.res.StaleMax, r.res.StaleP95 = r.stale.runStats()
 	r.res.Epochs = r.epochCount
-	r.res.SpectralGapMean = r.gapSum / float64(r.epochCount)
-	r.res.SpectralGapMin = r.gapMin
+	if r.gapCount > 0 {
+		r.res.SpectralGapMean = r.gapSum / float64(r.gapCount)
+		r.res.SpectralGapMin = r.gapMin
+	} else {
+		r.res.SpectralGapMean, r.res.SpectralGapMin = math.NaN(), math.NaN()
+	}
 	if r.turnCount > 0 {
 		r.res.TurnoverMean = r.turnSum / float64(r.turnCount)
 	}
@@ -520,22 +559,22 @@ func (e *AsyncEngine) Run() (*Result, error) {
 // stops, or the iteration budget is met.
 func (r *asyncRun) eventLoop() error {
 	for r.queue.Len() > 0 && !r.stop {
-		ev := heap.Pop(&r.queue).(*Event)
+		ev := r.queue.pop()
 		r.now = ev.Time
 		if r.cfg.OnEvent != nil {
-			r.cfg.OnEvent(*ev)
+			r.cfg.OnEvent(ev)
 		}
 		if r.rec != nil {
-			if tev, ok := schedTraceEvent(ev); ok {
+			if tev, ok := schedTraceEvent(&ev); ok {
 				r.rec.Record(tev)
 			}
 		}
 		var err error
 		switch ev.Kind {
 		case EventTrainDone:
-			err = r.onTrainDone(ev)
+			err = r.onTrainDone(&ev)
 		case EventArrival:
-			err = r.onArrival(ev)
+			err = r.onArrival(&ev)
 		case EventLeave:
 			r.popChurn(ev.Node)
 			err = r.onLeave(ev.Node)
@@ -543,7 +582,7 @@ func (r *asyncRun) eventLoop() error {
 			r.popChurn(ev.Node)
 			err = r.onJoin(ev.Node)
 		case EventEpoch:
-			err = r.onEpoch(ev)
+			err = r.onEpoch(&ev)
 		}
 		if err != nil {
 			return err
@@ -558,6 +597,19 @@ func (r *asyncRun) eventLoop() error {
 // graph returns the current epoch's live-filtered graph and mixing weights.
 func (r *asyncRun) graph() (*topology.Graph, []topology.Weights) {
 	return r.topo.Round(r.epoch)
+}
+
+// mixingSampled reports whether the spectral gap is computed for the given
+// epoch under the MixingEvery cadence.
+func (r *asyncRun) mixingSampled(epoch int) bool {
+	k := r.cfg.MixingEvery
+	if k < 0 {
+		return false
+	}
+	if k <= 1 {
+		return true
+	}
+	return epoch%k == 0
 }
 
 // validateReplayEpochs rejects replay configurations that cannot reproduce
@@ -588,7 +640,7 @@ func (r *asyncRun) pushNextReplayEpoch() {
 	}
 	ev := r.replayEpochs[0]
 	r.replayEpochs = r.replayEpochs[1:]
-	r.push(&Event{Time: ev.Time, Kind: EventEpoch, Iter: ev.Iter})
+	r.push(Event{Time: ev.Time, Kind: EventEpoch, Iter: ev.Iter})
 }
 
 // onEpoch rotates the topology: the provider serves epoch ev.Iter from here
@@ -615,20 +667,27 @@ func (r *asyncRun) onEpoch(ev *Event) error {
 	gNew, wNew := r.graph()
 
 	// Mixing instrumentation for the epoch just entered, restricted to live
-	// nodes (a dead node's isolated row would pin the SLEM at 1).
-	if r.liveBuf == nil {
-		r.liveBuf = make([]bool, len(r.nodes))
-	}
-	for i := range r.nodes {
-		r.liveBuf[i] = r.nodes[i].live
-	}
-	r.curGap = topology.SpectralGap(gNew, wNew, r.liveBuf)
-	r.curTurnover = topology.EdgeTurnover(gOld, gNew)
+	// nodes (a dead node's isolated row would pin the SLEM at 1). The gap is
+	// only computed on MixingEvery-sampled epochs (NaN otherwise); turnover
+	// is O(edges) and always reported.
 	r.epochCount++
-	r.gapSum += r.curGap
-	if r.curGap < r.gapMin {
-		r.gapMin = r.curGap
+	if r.mixingSampled(r.epoch) {
+		if r.liveBuf == nil {
+			r.liveBuf = make([]bool, len(r.nodes))
+		}
+		for i := range r.nodes {
+			r.liveBuf[i] = r.nodes[i].live
+		}
+		r.curGap = r.slem.SpectralGap(gNew, wNew, r.liveBuf)
+		r.gapSum += r.curGap
+		r.gapCount++
+		if math.IsNaN(r.gapMin) || r.curGap < r.gapMin {
+			r.gapMin = r.curGap
+		}
+	} else {
+		r.curGap = math.NaN()
 	}
+	r.curTurnover = topology.EdgeTurnover(gOld, gNew)
 	r.turnSum += r.curTurnover
 	r.turnCount++
 
@@ -686,7 +745,7 @@ func (r *asyncRun) onEpoch(ev *Event) error {
 	if r.replay != nil {
 		r.pushNextReplayEpoch()
 	} else if r.epochSec > 0 && !r.stop && r.queue.Len() > 0 {
-		r.push(&Event{Time: float64(r.epoch+1) * r.epochSec, Kind: EventEpoch, Iter: r.epoch + 1})
+		r.push(Event{Time: float64(r.epoch+1) * r.epochSec, Kind: EventEpoch, Iter: r.epoch + 1})
 	}
 	return nil
 }
@@ -744,10 +803,10 @@ func (r *asyncRun) nextEvalRow() int {
 }
 
 // push assigns the next sequence number and enqueues ev.
-func (r *asyncRun) push(ev *Event) {
+func (r *asyncRun) push(ev Event) {
 	ev.Seq = r.seq
 	r.seq++
-	heap.Push(&r.queue, ev)
+	r.queue.push(ev)
 }
 
 // scheduleTrain enqueues node i's next train-done event under its profile —
@@ -767,7 +826,7 @@ func (r *asyncRun) scheduleTrain(i int) {
 		// Clamp: a skewed cluster clock must not move simulated time backward.
 		t = math.Max(rt, r.now)
 	}
-	r.push(&Event{
+	r.push(Event{
 		Time: t, Kind: EventTrainDone,
 		Node: i, Iter: st.iter, gen: st.gen,
 	})
@@ -775,10 +834,14 @@ func (r *asyncRun) scheduleTrain(i int) {
 	// (nothing between here and the train-done event mutates it), so the
 	// compute can start on the pool now and overlap other nodes' work. The
 	// event loop commits the result — ledger, broadcast, trace — only when
-	// the event fires, keeping the schedule bit-identical to serial.
+	// the event fires, keeping the schedule bit-identical to serial. The
+	// node's trainTask slot is reusable here: its previous result was
+	// committed at the preceding train-done event (commit precedes the
+	// aggregate that led to this scheduleTrain).
 	if r.specSafe(i, t) {
 		iter := st.iter
-		tt := &trainTask{}
+		tt := &r.trainTasks[i]
+		tt.loss, tt.payload, tt.bd = 0, nil, codec.ByteBreakdown{}
 		tt.fut = r.pool.submit(r.tails[i], func() error {
 			loss, payload, bd, err := trainShare(r.eng.Nodes[i], iter)
 			if err != nil {
@@ -908,7 +971,7 @@ func (r *asyncRun) sendOne(i, j, iter int, payload []byte, bd codec.ByteBreakdow
 	if !dropped && r.eng.Mesh == nil {
 		cp = payload
 	}
-	r.push(&Event{
+	r.push(Event{
 		Time: arriveAt, Kind: EventArrival,
 		Node: j, From: i, Iter: iter, Dropped: dropped, payload: cp,
 	})
@@ -989,11 +1052,11 @@ func (r *asyncRun) checkBarrier(i int) error {
 func (r *asyncRun) aggregate(i int) error {
 	st := &r.nodes[i]
 	g, w := r.graph()
-	msgs := make(map[int][]byte, g.Degree(i))
+	msgs := r.msgsPool.get(g.Degree(i))
 	// lags holds one staleness sample per merged payload: the aggregator's
 	// iteration minus the payload's, clamped at zero (neighbors running
-	// ahead are not stale).
-	lags := make([]float64, 0, g.Degree(i))
+	// ahead are not stale). The scratch is consumed synchronously below.
+	lags := r.lagScratch[:0]
 	for _, j := range g.Neighbors(i) {
 		box := st.inbox[j]
 		if len(box) == 0 {
@@ -1021,17 +1084,22 @@ func (r *asyncRun) aggregate(i int) error {
 	// its result (the payloads in msgs are immutable, the mixing row w[i] is
 	// rebuilt — never mutated — on liveness changes), so the loop moves on
 	// while the model updates. The node's next train chains after it; row
-	// evaluation and Run's exit wait for every chain.
+	// evaluation and Run's exit wait for every chain. The worker returns the
+	// msgs map to the pool once Aggregate has consumed it — map identity
+	// cannot affect results because nodes sort senders before merging.
 	{
 		iter, wi := st.iter, w[i]
 		r.tails[i] = r.pool.submit(r.tails[i], func() error {
-			if err := r.eng.Nodes[i].Aggregate(iter, wi, msgs); err != nil {
+			err := r.eng.Nodes[i].Aggregate(iter, wi, msgs)
+			r.msgsPool.put(msgs)
+			if err != nil {
 				return fmt.Errorf("node %d aggregate: %w", i, err)
 			}
 			return nil
 		})
 	}
 	r.stale.add(st.iter, lags)
+	r.lagScratch = lags[:0]
 	if r.rec != nil {
 		mean, max, _ := summarizeLags(lags)
 		r.rec.Record(trace.Event{
@@ -1040,15 +1108,15 @@ func (r *asyncRun) aggregate(i int) error {
 		})
 	}
 	if !r.cfg.Gossip {
-		// Consume everything at or below the aggregated iteration.
-		for j, box := range st.inbox {
+		// Consume everything at or below the aggregated iteration. Emptied
+		// boxes stay keyed in the inbox: the same neighbor refills them next
+		// iteration, so dropping them would just re-allocate one box per edge
+		// per round (epoch rotation prunes boxes of severed edges instead).
+		for _, box := range st.inbox {
 			for k := range box {
 				if k <= st.iter {
 					delete(box, k)
 				}
-			}
-			if len(box) == 0 {
-				delete(st.inbox, j)
 			}
 		}
 	}
@@ -1093,9 +1161,19 @@ func (r *asyncRun) onJoin(i int) error {
 	if st.iter < r.emitted {
 		st.iter = r.emitted
 	}
-	// Anything buffered before the departure is stale connectivity.
-	st.got = make(map[int]int)
-	st.inbox = make(map[int]map[int][]byte)
+	// Anything buffered before the departure is stale connectivity. The
+	// bookkeeping maps are cleared in place and inner boxes recycled, not
+	// re-allocated: churn at 1024-node scale must not grow the heap.
+	for k := range st.got {
+		delete(st.got, k)
+	}
+	for j, box := range st.inbox {
+		delete(st.inbox, j)
+		for k := range box {
+			delete(box, k)
+		}
+		r.boxPool = append(r.boxPool, box)
+	}
 	r.topo.SetLive(i, true)
 	g, _ := r.graph()
 	for _, m := range g.Neighbors(i) {

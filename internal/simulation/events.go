@@ -72,30 +72,106 @@ type Event struct {
 	gen     int // node generation; events from before a leave/join are stale
 }
 
-// eventQueue is a binary min-heap over (Time, Seq). It implements
-// container/heap.Interface.
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].Time != q[j].Time {
-		return q[i].Time < q[j].Time
-	}
-	return q[i].Seq < q[j].Seq
+// eventQueue is an unboxed indexed 4-ary min-heap over (Time, Seq). Events
+// live in a slot-addressed slab recycled through a free list, and the heap
+// orders 4-byte slot indices instead of whole structs — so pushes never box
+// through an interface, never allocate in steady state (the slab and index
+// arrays grow once to the high-water mark), and sift operations move int32s
+// rather than ~90-byte Event values. A 4-ary layout halves the tree depth of
+// a binary heap, trading slightly more comparisons per level for far fewer
+// cache-missing levels on the deep queues of 1024-node runs.
+//
+// (Time, Seq) is a total order (Seq is unique), so pop order is identical to
+// the previous container/heap implementation — the bit-for-bit trace parity
+// the determinism suite asserts.
+type eventQueue struct {
+	slab []Event // slot-addressed storage
+	free []int32 // recycled slots
+	heap []int32 // slot indices ordered by (Time, Seq)
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// Len returns the number of queued events.
+func (q *eventQueue) Len() int { return len(q.heap) }
 
-// Push implements heap.Interface.
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*Event)) }
+// push enqueues ev, recycling a slab slot when one is free.
+func (q *eventQueue) push(ev Event) {
+	var slot int32
+	if n := len(q.free); n > 0 {
+		slot = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		slot = int32(len(q.slab))
+		q.slab = append(q.slab, Event{})
+	}
+	q.slab[slot] = ev
+	q.heap = append(q.heap, slot)
+	q.siftUp(len(q.heap) - 1)
+}
 
-// Pop implements heap.Interface.
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+// pop removes and returns the minimum event. The event's slab slot is
+// cleared (so recycled slots never pin payload buffers) and returned to the
+// free list before the copy is handed back.
+func (q *eventQueue) pop() Event {
+	top := q.heap[0]
+	ev := q.slab[top]
+	q.slab[top] = Event{} // drop the payload reference held by the pooled slot
+	q.free = append(q.free, top)
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 1 {
+		q.siftDown(0)
+	}
 	return ev
+}
+
+// less orders slab slots by (Time, Seq).
+func (q *eventQueue) less(a, b int32) bool {
+	ea, eb := &q.slab[a], &q.slab[b]
+	if ea.Time != eb.Time {
+		return ea.Time < eb.Time
+	}
+	return ea.Seq < eb.Seq
+}
+
+func (q *eventQueue) siftUp(i int) {
+	h := q.heap
+	slot := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !q.less(slot, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = slot
+}
+
+func (q *eventQueue) siftDown(i int) {
+	h := q.heap
+	n := len(h)
+	slot := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !q.less(h[best], slot) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = slot
 }

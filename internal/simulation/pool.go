@@ -21,6 +21,19 @@ type future struct {
 	err error // written before ch is closed
 }
 
+// closedFutureCh backs the already-completed futures of the inline (serial)
+// pool mode, where submit runs the task before returning.
+var closedFutureCh = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// doneFuture is the shared completed-successfully future: inline submissions
+// return it instead of allocating a future (and a channel) per task, which
+// keeps the serial scheduler's steady state allocation-free.
+var doneFuture = &future{ch: closedFutureCh}
+
 // wait blocks until the task has run and returns its error. A nil future
 // counts as an already-completed task.
 func (f *future) wait() error {
@@ -71,6 +84,18 @@ func (p *computePool) close() {
 // returns its future. If prev failed, fn is skipped and the error propagates
 // to the new future, so a node's chain stops at its first failure.
 func (p *computePool) submit(prev *future, fn func() error) *future {
+	if p.tasks == nil {
+		// Inline mode: prev is always complete here because every earlier
+		// submission ran inline too, so its error (if any) can propagate by
+		// returning prev itself, and a successful run needs no fresh future.
+		if prev != nil && prev.err != nil {
+			return prev
+		}
+		if err := fn(); err != nil {
+			return &future{ch: closedFutureCh, err: err}
+		}
+		return doneFuture
+	}
 	f := &future{ch: make(chan struct{})}
 	run := func() {
 		if prev != nil {
@@ -83,12 +108,6 @@ func (p *computePool) submit(prev *future, fn func() error) *future {
 		f.err = fn()
 		close(f.ch)
 	}
-	if p.tasks == nil {
-		// Inline mode: prev is always complete here because every earlier
-		// submission ran inline too.
-		run()
-		return f
-	}
 	if prev == nil {
 		p.tasks <- run
 		return f
@@ -100,6 +119,38 @@ func (p *computePool) submit(prev *future, fn func() error) *future {
 		p.tasks <- run
 	}()
 	return f
+}
+
+// msgsPool recycles the per-aggregation payload maps of the async scheduler.
+// Maps are acquired on the event-loop goroutine and released by pool workers
+// after Aggregate consumes them, so access is mutex-guarded. put clears the
+// map so recycled maps never pin payload buffers.
+type msgsPool struct {
+	mu   sync.Mutex
+	free []map[int][]byte
+}
+
+// get returns an empty map, reusing a recycled one when available.
+func (p *msgsPool) get(capHint int) map[int][]byte {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return m
+	}
+	p.mu.Unlock()
+	return make(map[int][]byte, capHint)
+}
+
+// put clears m and returns it to the pool.
+func (p *msgsPool) put(m map[int][]byte) {
+	for k := range m {
+		delete(m, k)
+	}
+	p.mu.Lock()
+	p.free = append(p.free, m)
+	p.mu.Unlock()
 }
 
 // forEach runs fn(i) for i in [0, n) on the pool and returns the

@@ -143,6 +143,16 @@ func (p *EpochProvider) Round(e int) (*Graph, []Weights) {
 	return p.cachedG, p.cachedW
 }
 
+// SLEMScratch holds the power-iteration work buffers of MixingSLEM so
+// repeated gap computations (one per epoch on a 1024-node run) reuse them
+// instead of allocating four O(n) arrays each time. The zero value is ready;
+// a scratch is not safe for concurrent use.
+type SLEMScratch struct {
+	idx  []int
+	pos  []int
+	x, y []float64
+}
+
 // MixingSLEM returns the second-largest eigenvalue modulus of the mixing
 // matrix W restricted to the live nodes (nil live = all live), estimated by
 // deterministic power iteration with deflation of the top eigenvector.
@@ -160,27 +170,40 @@ func (p *EpochProvider) Round(e int) (*Graph, []Weights) {
 // fixed iteration/tolerance schedule — so replays and parallel runs
 // reproduce it bit for bit.
 func MixingSLEM(g *Graph, w []Weights, live []bool) float64 {
-	idx := make([]int, 0, g.N)
+	return new(SLEMScratch).MixingSLEM(g, w, live)
+}
+
+// MixingSLEM is the scratch-reusing form of the package-level MixingSLEM:
+// same estimate, bit for bit, with the work buffers kept across calls.
+func (s *SLEMScratch) MixingSLEM(g *Graph, w []Weights, live []bool) float64 {
+	idx := s.idx[:0]
 	for i := 0; i < g.N; i++ {
 		if live == nil || (i < len(live) && live[i]) {
 			idx = append(idx, i)
 		}
 	}
+	s.idx = idx
 	m := len(idx)
 	if m <= 1 {
 		return 0
 	}
-	pos := make([]int, g.N)
+	if cap(s.pos) < g.N {
+		s.pos = make([]int, g.N)
+	}
+	pos := s.pos[:g.N]
 	for k, i := range idx {
 		pos[i] = k
 	}
+	if cap(s.x) < m {
+		s.x = make([]float64, m)
+		s.y = make([]float64, m)
+	}
+	x, y := s.x[:m], s.y[:m]
 	// Deterministic non-uniform start vector, already roughly mean-free.
-	x := make([]float64, m)
 	rng := vec.NewRNG(0x6d6978) // "mix"
 	for k := range x {
 		x[k] = rng.Float64() - 0.5
 	}
-	y := make([]float64, m)
 	deflate := func(v []float64) {
 		var sum float64
 		for _, e := range v {
@@ -247,6 +270,11 @@ func clampSLEM(v float64) float64 {
 // 1 for expander-like graphs.
 func SpectralGap(g *Graph, w []Weights, live []bool) float64 {
 	return 1 - MixingSLEM(g, w, live)
+}
+
+// SpectralGap is the scratch-reusing form of the package-level SpectralGap.
+func (s *SLEMScratch) SpectralGap(g *Graph, w []Weights, live []bool) float64 {
+	return 1 - s.MixingSLEM(g, w, live)
 }
 
 // EdgeTurnover reports which fraction of cur's edges are new relative to

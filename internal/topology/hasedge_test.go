@@ -1,0 +1,99 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// hasEdgeScan is the reference O(degree) linear scan HasEdge replaced.
+func hasEdgeScan(g *Graph, i, j int) bool {
+	for _, v := range g.Adj[i] {
+		if v == j {
+			return true
+		}
+	}
+	return false
+}
+
+// TestHasEdgeBitmapMatchesScan: the lazily-built adjacency bitmap must agree
+// with the linear scan on every pair, including graphs with isolated nodes
+// (the live-induced subgraphs the async engine queries).
+func TestHasEdgeBitmapMatchesScan(t *testing.T) {
+	graphs := map[string]*Graph{
+		"ring":  Ring(9),
+		"full":  Full(6),
+		"pair":  Ring(2),
+		"lone":  Ring(1),
+		"empty": {N: 3, Adj: make([][]int, 3)},
+	}
+	if g, err := Regular(24, 5, vec.NewRNG(3)); err != nil {
+		t.Fatal(err)
+	} else {
+		graphs["regular"] = g
+		live := make([]bool, 24)
+		for i := range live {
+			live[i] = i%3 != 0
+		}
+		graphs["induced"] = Induced(g, live)
+	}
+	for name, g := range graphs {
+		for i := 0; i < g.N; i++ {
+			for j := 0; j < g.N; j++ {
+				if got, want := g.HasEdge(i, j), hasEdgeScan(g, i, j); got != want {
+					t.Fatalf("%s: HasEdge(%d,%d) = %v, scan says %v", name, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestHasEdgeSearchFallback: graphs past the bitmap cap answer via binary
+// search over the sorted adjacency lists; exercise the search directly so a
+// future cap change cannot silently break it.
+func TestHasEdgeSearchFallback(t *testing.T) {
+	g, err := Regular(64, 6, vec.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.N; i++ {
+		for j := 0; j < g.N; j++ {
+			if got, want := g.hasEdgeSearch(i, j), hasEdgeScan(g, i, j); got != want {
+				t.Fatalf("hasEdgeSearch(%d,%d) = %v, scan says %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestSLEMScratchReuse: the scratch-reusing SLEM must reproduce the
+// allocation-per-call estimate bit for bit across differently sized and
+// live-restricted queries, in any order.
+func TestSLEMScratchReuse(t *testing.T) {
+	var s SLEMScratch
+	g1, err := Regular(16, 4, vec.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Regular(40, 4, vec.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make([]bool, 40)
+	for i := range live {
+		live[i] = i%4 != 1
+	}
+	cases := []struct {
+		g    *Graph
+		live []bool
+	}{
+		{g2, nil}, {g1, nil}, {g2, live}, {g1, nil}, {g2, nil},
+	}
+	for i, tc := range cases {
+		w := MetropolisHastings(tc.g)
+		want := MixingSLEM(tc.g, w, tc.live)
+		got := s.MixingSLEM(tc.g, w, tc.live)
+		if got != want {
+			t.Fatalf("case %d: scratch SLEM %v != fresh %v", i, got, want)
+		}
+	}
+}

@@ -11,11 +11,24 @@ import (
 )
 
 // Graph is an undirected simple graph over nodes 0..N-1 stored as sorted
-// adjacency lists.
+// adjacency lists. A Graph is immutable once built: the constructors and
+// providers in this package never modify Adj after returning one, which is
+// what lets HasEdge build its adjacency bitmap lazily.
 type Graph struct {
 	N   int
 	Adj [][]int
+
+	// bitmap is the N×N adjacency matrix, built lazily on the first HasEdge
+	// query (it sits on the async engine's arrival/epoch path, where the old
+	// O(degree) scan was measurable at 1024 nodes). nil until then; graphs
+	// past maxBitmapNodes answer from a binary search instead.
+	bitmap []uint64
 }
+
+// maxBitmapNodes caps the lazily-built adjacency bitmap at 4096 nodes
+// (4096² bits = 2 MiB); larger graphs fall back to binary search over the
+// sorted adjacency lists.
+const maxBitmapNodes = 4096
 
 // Neighbors returns the adjacency list of node i. Callers must not modify it.
 func (g *Graph) Neighbors(i int) []int { return g.Adj[i] }
@@ -23,14 +36,46 @@ func (g *Graph) Neighbors(i int) []int { return g.Adj[i] }
 // Degree returns the degree of node i.
 func (g *Graph) Degree(i int) int { return len(g.Adj[i]) }
 
-// HasEdge reports whether the undirected edge {i, j} exists.
+// HasEdge reports whether the undirected edge {i, j} exists. The first query
+// on a bitmap-sized graph materializes the adjacency bitmap; later queries
+// are one mask test. Lazy construction is safe because graphs are only
+// queried from the single-threaded scheduler loop (Graph is not safe for
+// concurrent first use, like the rest of the provider caching).
 func (g *Graph) HasEdge(i, j int) bool {
-	for _, v := range g.Adj[i] {
-		if v == j {
-			return true
+	if g.bitmap == nil {
+		if g.N > maxBitmapNodes {
+			return g.hasEdgeSearch(i, j)
+		}
+		g.buildBitmap()
+	}
+	bit := uint(i*g.N + j)
+	return g.bitmap[bit>>6]&(1<<(bit&63)) != 0
+}
+
+// hasEdgeSearch answers by binary search over the sorted adjacency list.
+func (g *Graph) hasEdgeSearch(i, j int) bool {
+	adj := g.Adj[i]
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return false
+	return lo < len(adj) && adj[lo] == j
+}
+
+func (g *Graph) buildBitmap() {
+	g.bitmap = make([]uint64, (g.N*g.N+63)/64)
+	for i, adj := range g.Adj {
+		row := i * g.N
+		for _, j := range adj {
+			bit := uint(row + j)
+			g.bitmap[bit>>6] |= 1 << (bit & 63)
+		}
+	}
 }
 
 // NumEdges returns the number of undirected edges.

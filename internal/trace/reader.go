@@ -2,14 +2,13 @@
 // and validating strictly: a wrong magic/format is ErrNotTrace, a wrong
 // version ErrVersion, a missing or short footer ErrTruncated, and anything
 // structurally invalid (unknown kinds, range violations, time regressions,
-// footer count mismatches) ErrCorrupt.
+// footer count mismatches) ErrCorrupt. The whole-trace readers here are thin
+// loops over StreamReader (stream.go), which tools can use directly to
+// inspect cluster-scale traces without materializing the event slice.
 package trace
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -23,27 +22,21 @@ const maxHeaderLen = 1 << 20
 
 // Read parses a trace in either encoding and validates it fully.
 func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	first, err := br.Peek(1)
-	if err != nil {
-		return nil, fmt.Errorf("%w: empty input", ErrNotTrace)
-	}
-	var t *Trace
-	switch first[0] {
-	case binaryMagic[0]:
-		t, err = readBinary(br)
-	case '{':
-		t, err = readJSONL(br)
-	default:
-		return nil, fmt.Errorf("%w: unrecognized leading byte %q", ErrNotTrace, first[0])
-	}
+	sr, err := NewStreamReader(r)
 	if err != nil {
 		return nil, err
 	}
-	if err := Validate(t.Header, t.Events); err != nil {
-		return nil, err
+	t := &Trace{Header: sr.Header()}
+	for {
+		ev, err := sr.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Events = append(t.Events, ev)
 	}
-	return t, nil
 }
 
 // ReadFile reads and validates the trace at path.
@@ -60,127 +53,47 @@ func ReadFile(path string) (*Trace, error) {
 	return t, nil
 }
 
-func readJSONL(br *bufio.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(br)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	if !sc.Scan() {
-		return nil, fmt.Errorf("%w: no header line", ErrNotTrace)
-	}
-	var h Header
-	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
-		return nil, fmt.Errorf("%w: header: %v", ErrNotTrace, err)
-	}
-	if h.Format != FormatName {
-		return nil, fmt.Errorf("%w: header format %q", ErrNotTrace, h.Format)
-	}
-	if h.Version != FormatVersion {
-		return nil, fmt.Errorf("%w: %d (reader supports %d)", ErrVersion, h.Version, FormatVersion)
-	}
-	t := &Trace{Header: h}
-	// Streaming parse with a single deferred parse error: an unparsable
-	// line is corruption if anything follows it, but a file cut off
-	// mid-write (ErrTruncated) if it is the last line before EOF.
-	sawFooter := false
-	var pendingErr error
-	line := 1
-	for sc.Scan() {
-		line++
-		raw := bytes.TrimSpace(sc.Bytes())
-		if len(raw) == 0 {
-			continue
-		}
-		if pendingErr != nil {
-			return nil, pendingErr
-		}
-		if sawFooter {
-			return nil, fmt.Errorf("%w: line %d: content after footer", ErrCorrupt, line)
-		}
-		var f footer
-		if err := json.Unmarshal(raw, &f); err == nil && f.End {
-			if f.Events != len(t.Events) {
-				return nil, fmt.Errorf("%w: footer declares %d events, read %d", ErrCorrupt, f.Events, len(t.Events))
-			}
-			sawFooter = true
-			continue
-		}
-		var ev Event
-		if err := json.Unmarshal(raw, &ev); err != nil {
-			pendingErr = fmt.Errorf("%w: line %d: %v", ErrCorrupt, line, err)
-			continue
-		}
-		t.Events = append(t.Events, ev)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	if pendingErr != nil {
-		// The unparsable line was the last one: a mid-write cut-off.
-		return nil, fmt.Errorf("%w: last line unparsable after %d events", ErrTruncated, len(t.Events))
-	}
-	if !sawFooter {
-		return nil, fmt.Errorf("%w: footer missing after %d events", ErrTruncated, len(t.Events))
-	}
-	return t, nil
-}
-
-func readBinary(br *bufio.Reader) (*Trace, error) {
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: short magic", ErrNotTrace)
-	}
-	if magic != binaryMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrNotTrace, magic[:])
-	}
-	version, err := br.ReadByte()
+// ReadStats streams a trace, computing its Stats without materializing the
+// event slice — the way to inspect 1024-node or cluster traces on small
+// machines (retained state: O(nodes) counters plus one float per aggregate
+// event for the exact staleness P95). On ErrTruncated the stats of the
+// readable prefix are returned alongside the error, so tools can degrade
+// gracefully on recordings cut off mid-write.
+func ReadStats(r io.Reader) (Header, Stats, error) {
+	sr, err := NewStreamReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("%w: missing version byte", ErrTruncated)
+		return Header{}, Stats{}, err
 	}
-	if version != FormatVersion {
-		return nil, fmt.Errorf("%w: %d (reader supports %d)", ErrVersion, version, FormatVersion)
-	}
-	hdrLen, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, truncOr(err, "header length")
-	}
-	if hdrLen > maxHeaderLen {
-		return nil, fmt.Errorf("%w: header length %d exceeds limit", ErrCorrupt, hdrLen)
-	}
-	hdr := make([]byte, hdrLen)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, truncOr(err, "header")
-	}
-	var h Header
-	if err := json.Unmarshal(hdr, &h); err != nil {
-		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
-	}
-	t := &Trace{Header: h}
+	var acc statsAccum
+	acc.init()
 	for {
-		kind, err := br.ReadByte()
+		ev, err := sr.Next()
+		if err == io.EOF {
+			return sr.Header(), acc.finish(), nil
+		}
 		if err != nil {
-			return nil, truncOr(err, "event kind")
+			return sr.Header(), acc.finish(), err
 		}
-		if kind == 0 { // end marker
-			count, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, truncOr(err, "event count")
-			}
-			if int(count) != len(t.Events) {
-				return nil, fmt.Errorf("%w: end marker declares %d events, read %d", ErrCorrupt, count, len(t.Events))
-			}
-			if _, err := br.ReadByte(); err != io.EOF {
-				return nil, fmt.Errorf("%w: content after end marker", ErrCorrupt)
-			}
-			return t, nil
-		}
-		ev, err := readBinaryEvent(br, Kind(kind))
-		if err != nil {
-			return nil, err
-		}
-		t.Events = append(t.Events, ev)
+		acc.add(&ev)
 	}
 }
 
-func readBinaryEvent(br *bufio.Reader, kind Kind) (Event, error) {
+// ReadStatsFile is ReadStats over a file.
+func ReadStatsFile(path string) (Header, Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, Stats{}, err
+	}
+	defer f.Close()
+	h, s, rerr := ReadStats(f)
+	if rerr != nil && !errors.Is(rerr, ErrTruncated) {
+		return h, s, fmt.Errorf("%s: %w", path, rerr)
+	}
+	return h, s, rerr
+}
+
+// readBinaryEvent decodes one binary event body (after its kind byte).
+func readBinaryEvent(br byteAndFullReader, kind Kind) (Event, error) {
 	ev := Event{Kind: kind}
 	if !kind.Valid() {
 		return ev, fmt.Errorf("%w: unknown event kind %d", ErrCorrupt, uint8(kind))
@@ -214,6 +127,12 @@ func readBinaryEvent(br *bufio.Reader, kind Kind) (Event, error) {
 		ev.LagMean = math.Float64frombits(binary.LittleEndian.Uint64(tb[:]))
 	}
 	return ev, nil
+}
+
+// byteAndFullReader is the reader subset readBinaryEvent needs.
+type byteAndFullReader interface {
+	io.Reader
+	io.ByteReader
 }
 
 // truncOr maps unexpected EOFs to ErrTruncated and everything else to

@@ -5,6 +5,7 @@ package trace
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -34,37 +35,63 @@ type Stats struct {
 
 // ComputeStats scans t once.
 func ComputeStats(t *Trace) Stats {
-	s := Stats{Events: len(t.Events), ByKind: make(map[Kind]int), Duration: t.Duration()}
-	nodes := make(map[int]struct{})
-	var lagMeans []float64
-	var lagSum float64
-	lagCount := 0
-	for _, ev := range t.Events {
-		s.ByKind[ev.Kind]++
-		nodes[ev.Node] = struct{}{}
-		switch ev.Kind {
-		case KindSend:
-			s.TotalBytes += int64(ev.Bytes)
-			s.ModelBytes += int64(ev.ModelBytes)
-			s.MetaBytes += int64(ev.MetaBytes)
-			if ev.Dropped {
-				s.Drops++
-			}
-		case KindAggregate:
-			if ev.LagN > 0 {
-				lagMeans = append(lagMeans, ev.LagMean)
-				lagSum += ev.LagMean * float64(ev.LagN)
-				lagCount += ev.LagN
-			}
-			if float64(ev.LagMax) > s.StaleMax {
-				s.StaleMax = float64(ev.LagMax)
-			}
+	var acc statsAccum
+	acc.init()
+	for i := range t.Events {
+		acc.add(&t.Events[i])
+	}
+	return acc.finish()
+}
+
+// statsAccum folds events into Stats one at a time, shared by ComputeStats
+// and the streaming ReadStats. Retained state is O(nodes) plus one float
+// per aggregate event (the per-aggregation means the exact StaleP95 needs);
+// the send/arrival bulk of a trace — the overwhelming majority at degree d —
+// is folded without retention.
+type statsAccum struct {
+	s        Stats
+	nodes    map[int]struct{}
+	lagMeans []float64
+	lagSum   float64
+	lagCount int
+}
+
+func (a *statsAccum) init() {
+	a.s.ByKind = make(map[Kind]int)
+	a.nodes = make(map[int]struct{})
+}
+
+func (a *statsAccum) add(ev *Event) {
+	a.s.Events++
+	a.s.ByKind[ev.Kind]++
+	a.s.Duration = ev.Time
+	a.nodes[ev.Node] = struct{}{}
+	switch ev.Kind {
+	case KindSend:
+		a.s.TotalBytes += int64(ev.Bytes)
+		a.s.ModelBytes += int64(ev.ModelBytes)
+		a.s.MetaBytes += int64(ev.MetaBytes)
+		if ev.Dropped {
+			a.s.Drops++
+		}
+	case KindAggregate:
+		if ev.LagN > 0 {
+			a.lagMeans = append(a.lagMeans, ev.LagMean)
+			a.lagSum += ev.LagMean * float64(ev.LagN)
+			a.lagCount += ev.LagN
+		}
+		if float64(ev.LagMax) > a.s.StaleMax {
+			a.s.StaleMax = float64(ev.LagMax)
 		}
 	}
-	s.NodesSeen = len(nodes)
-	if lagCount > 0 {
-		s.StaleMean = lagSum / float64(lagCount)
-		s.StaleP95 = Quantile(lagMeans, 0.95)
+}
+
+func (a *statsAccum) finish() Stats {
+	s := a.s
+	s.NodesSeen = len(a.nodes)
+	if a.lagCount > 0 {
+		s.StaleMean = a.lagSum / float64(a.lagCount)
+		s.StaleP95 = Quantile(a.lagMeans, 0.95)
 	}
 	return s
 }
@@ -118,55 +145,149 @@ type diffKey struct {
 
 // Compare diffs a against b.
 func Compare(a, b *Trace) Diff {
-	d := Diff{DurationA: a.Duration(), DurationB: b.Duration()}
-	d.BytesA = sendBytes(a)
-	d.BytesB = sendBytes(b)
+	var c diffAccum
+	c.init()
+	for i := range b.Events {
+		c.addB(&b.Events[i])
+	}
+	for i := range a.Events {
+		c.addA(&a.Events[i])
+	}
+	return c.finish()
+}
 
-	// Pair events by key, FIFO within a key.
-	bTimes := make(map[diffKey][]float64)
-	for _, ev := range b.Events {
-		k := keyOf(ev)
-		bTimes[k] = append(bTimes[k], ev.Time)
-	}
-	var errs []float64
-	for _, ev := range a.Events {
-		k := keyOf(ev)
-		q := bTimes[k]
-		if len(q) == 0 {
-			d.OnlyA++
-			continue
+// CompareReaders is Compare over streaming inputs: b is indexed in one pass,
+// then a streams through the matcher — neither trace's event slice is ever
+// materialized. Memory is one timestamp per B event (the FIFO match index)
+// plus one error sample per match and O(nodes) ordering hashes: several
+// times smaller than holding both event slices, though still linear in the
+// trace length. Inputs must be freshly opened readers.
+func CompareReaders(a, b *StreamReader) (Diff, error) {
+	var c diffAccum
+	c.init()
+	for {
+		ev, err := b.Next()
+		if err == io.EOF {
+			break
 		}
-		bTimes[k] = q[1:]
-		d.Matched++
-		errs = append(errs, math.Abs(ev.Time-q[0]))
+		if err != nil {
+			return Diff{}, fmt.Errorf("trace B: %w", err)
+		}
+		c.addB(&ev)
 	}
-	for _, q := range bTimes {
+	for {
+		ev, err := a.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Diff{}, fmt.Errorf("trace A: %w", err)
+		}
+		c.addA(&ev)
+	}
+	return c.finish(), nil
+}
+
+// diffAccum folds the two event streams of Compare: all of B first (the
+// index side), then A (the probe side). Per-node ordering is tracked as a
+// rolling order-sensitive FNV-1a hash plus a length, O(nodes) instead of a
+// key per event, so the sequences themselves are never retained; bTimes and
+// errs stay O(events) but hold one scalar per event rather than event
+// structs.
+type diffAccum struct {
+	d          Diff
+	bTimes     map[diffKey][]float64
+	seqA, seqB map[int]nodeSeq
+	errs       []float64
+}
+
+// nodeSeq summarizes one node's observed event ordering.
+type nodeSeq struct {
+	hash uint64
+	n    int
+}
+
+// fold mixes k into the order-sensitive sequence hash.
+func (s nodeSeq) fold(k diffKey) nodeSeq {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := s.hash
+	if s.n == 0 {
+		h = offset64
+	}
+	for _, v := range [4]uint64{uint64(k.kind), uint64(k.node), uint64(uint(k.peer)), uint64(uint(k.iter))} {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return nodeSeq{hash: h, n: s.n + 1}
+}
+
+func (c *diffAccum) init() {
+	c.bTimes = make(map[diffKey][]float64)
+	c.seqA = make(map[int]nodeSeq)
+	c.seqB = make(map[int]nodeSeq)
+}
+
+func (c *diffAccum) addB(ev *Event) {
+	k := keyOf(*ev)
+	c.bTimes[k] = append(c.bTimes[k], ev.Time)
+	c.seqB[ev.Node] = c.seqB[ev.Node].fold(k)
+	c.d.DurationB = ev.Time
+	if ev.Kind == KindSend {
+		c.d.BytesB += int64(ev.Bytes)
+	}
+}
+
+func (c *diffAccum) addA(ev *Event) {
+	k := keyOf(*ev)
+	c.seqA[ev.Node] = c.seqA[ev.Node].fold(k)
+	c.d.DurationA = ev.Time
+	if ev.Kind == KindSend {
+		c.d.BytesA += int64(ev.Bytes)
+	}
+	q := c.bTimes[k]
+	if len(q) == 0 {
+		c.d.OnlyA++
+		return
+	}
+	c.bTimes[k] = q[1:]
+	c.d.Matched++
+	c.errs = append(c.errs, math.Abs(ev.Time-q[0]))
+}
+
+func (c *diffAccum) finish() Diff {
+	d := c.d
+	for _, q := range c.bTimes {
 		d.OnlyB += len(q)
 	}
-	if len(errs) > 0 {
+	if len(c.errs) > 0 {
 		var sum float64
-		for _, e := range errs {
+		for _, e := range c.errs {
 			sum += e
 			if e > d.TimeErrMax {
 				d.TimeErrMax = e
 			}
 		}
-		d.TimeErrMean = sum / float64(len(errs))
-		d.TimeErrP95 = Quantile(errs, 0.95)
+		d.TimeErrMean = sum / float64(len(c.errs))
+		d.TimeErrP95 = Quantile(c.errs, 0.95)
 	}
-
-	// Per-node observed ordering: the sequence of a node's own events.
-	seqA, seqB := nodeSequences(a), nodeSequences(b)
+	// Per-node observed ordering: a node diverges when its sequence hash or
+	// event count differs between the traces.
 	nodes := make(map[int]struct{})
-	for n := range seqA {
+	for n := range c.seqA {
 		nodes[n] = struct{}{}
 	}
-	for n := range seqB {
+	for n := range c.seqB {
 		nodes[n] = struct{}{}
 	}
 	d.Nodes = len(nodes)
 	for n := range nodes {
-		if !equalKeys(seqA[n], seqB[n]) {
+		if c.seqA[n] != c.seqB[n] {
 			d.OrderMismatches++
 		}
 	}
@@ -198,36 +319,6 @@ func (d Diff) InSync() bool {
 
 func keyOf(ev Event) diffKey {
 	return diffKey{kind: ev.Kind, node: ev.Node, peer: ev.Peer, iter: ev.Iter}
-}
-
-func sendBytes(t *Trace) int64 {
-	var total int64
-	for _, ev := range t.Events {
-		if ev.Kind == KindSend {
-			total += int64(ev.Bytes)
-		}
-	}
-	return total
-}
-
-func nodeSequences(t *Trace) map[int][]diffKey {
-	seq := make(map[int][]diffKey)
-	for _, ev := range t.Events {
-		seq[ev.Node] = append(seq[ev.Node], keyOf(ev))
-	}
-	return seq
-}
-
-func equalKeys(a, b []diffKey) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // Quantile returns the q-quantile (0..1) of xs by the nearest-rank method,

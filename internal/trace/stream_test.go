@@ -1,0 +1,277 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestStreamRecorderByteIdentical: streaming a trace event by event must
+// produce exactly the bytes of the whole-trace writers, in both encodings —
+// the property that makes streamed recordings interchangeable with in-memory
+// ones for replay and diffing.
+func TestStreamRecorderByteIdentical(t *testing.T) {
+	src := sampleTrace()
+	for _, binary := range []bool{false, true} {
+		name := "jsonl"
+		if binary {
+			name = "binary"
+		}
+		t.Run(name, func(t *testing.T) {
+			var want bytes.Buffer
+			var err error
+			if binary {
+				err = WriteBinary(&want, src)
+			} else {
+				err = Write(&want, src)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var got bytes.Buffer
+			sr, err := NewStreamRecorder(&got, src.Header, binary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range src.Events {
+				sr.Record(ev)
+			}
+			if err := sr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("streamed bytes differ from %s writer (%d vs %d bytes)", name, got.Len(), want.Len())
+			}
+		})
+	}
+}
+
+// TestStreamReaderMatchesRead: the streaming reader must yield exactly the
+// events Read returns.
+func TestStreamReaderMatchesRead(t *testing.T) {
+	src := sampleTrace()
+	for _, binary := range []bool{false, true} {
+		var buf bytes.Buffer
+		var err error
+		if binary {
+			err = WriteBinary(&buf, src)
+		} else {
+			err = Write(&buf, src)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := NewStreamReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Header().Nodes != src.Header.Nodes {
+			t.Fatalf("header nodes %d", sr.Header().Nodes)
+		}
+		var got []Event
+		for {
+			ev, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, ev)
+		}
+		if len(got) != len(src.Events) {
+			t.Fatalf("got %d events, want %d", len(got), len(src.Events))
+		}
+		for i := range got {
+			if got[i] != src.Events[i] {
+				t.Fatalf("event %d differs: %+v vs %+v", i, got[i], src.Events[i])
+			}
+		}
+	}
+}
+
+// TestStreamRecorderTruncation: a recording abandoned mid-write (no Close)
+// must read back as ErrTruncated — not ErrCorrupt — in both encodings, and
+// ReadStats must still summarize the readable prefix.
+func TestStreamRecorderTruncation(t *testing.T) {
+	src := sampleTrace()
+	const keep = 9
+	for _, binary := range []bool{false, true} {
+		name := "jsonl"
+		if binary {
+			name = "binary"
+		}
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			sr, err := NewStreamRecorder(&buf, src.Header, binary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range src.Events[:keep] {
+				sr.Record(ev)
+			}
+			if err := sr.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			// No Close: the footer is missing, as after a mid-run kill.
+			if _, err := Read(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrTruncated) {
+				t.Fatalf("Read of truncated stream: got %v, want ErrTruncated", err)
+			}
+			if errors.Is(err, ErrCorrupt) {
+				t.Fatalf("truncated stream misreported as corrupt")
+			}
+
+			h, stats, err := ReadStats(bytes.NewReader(buf.Bytes()))
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("ReadStats: got %v, want ErrTruncated", err)
+			}
+			if h.Nodes != src.Header.Nodes {
+				t.Fatalf("ReadStats header lost: %+v", h)
+			}
+			if stats.Events != keep {
+				t.Fatalf("prefix stats cover %d events, want %d", stats.Events, keep)
+			}
+		})
+	}
+}
+
+// TestStreamRecorderHardTruncation: cutting the byte stream mid-event (the
+// other way a kill can land) must also be ErrTruncated.
+func TestStreamRecorderHardTruncation(t *testing.T) {
+	src := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-7] // inside the last event/footer
+	if _, err := Read(bytes.NewReader(cut)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v, want ErrTruncated", err)
+	}
+}
+
+// TestStreamRecorderSetRounds: the padded in-place header rewrite of
+// early-stopped runs must survive a file round trip.
+func TestStreamRecorderSetRounds(t *testing.T) {
+	src := sampleTrace()
+	for _, ext := range []string{".jsonl", BinaryExt} {
+		path := filepath.Join(t.TempDir(), "run"+ext)
+		sr, err := NewStreamRecorderFile(path, src.Header)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range src.Events {
+			sr.Record(ev)
+		}
+		sr.SetRounds(1)
+		if err := sr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if tr.Header.Rounds != 1 {
+			t.Fatalf("%s: header rounds %d after SetRounds(1)", path, tr.Header.Rounds)
+		}
+		if len(tr.Events) != len(src.Events) {
+			t.Fatalf("%s: %d events, want %d", path, len(tr.Events), len(src.Events))
+		}
+	}
+}
+
+// TestStreamRecorderSetRoundsNonSeekable: on a plain writer the rewrite is
+// impossible; Close must report it rather than leave a misleading header.
+func TestStreamRecorderSetRoundsNonSeekable(t *testing.T) {
+	var buf bytes.Buffer
+	sr, err := NewStreamRecorder(&buf, sampleTrace().Header, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr.Record(sampleTrace().Events[0])
+	sr.SetRounds(1)
+	if err := sr.Close(); err == nil {
+		t.Fatal("Close accepted a SetRounds rewrite on a non-seekable destination")
+	}
+}
+
+// TestStreamRecorderValidates: an invalid event must stick as the recording
+// error and surface at Close.
+func TestStreamRecorderValidates(t *testing.T) {
+	var buf bytes.Buffer
+	sr, err := NewStreamRecorder(&buf, sampleTrace().Header, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr.Record(Event{Time: 1, Kind: KindTrainDone, Node: 99, Peer: -1}) // node out of range
+	if sr.Err() == nil {
+		t.Fatal("invalid event accepted")
+	}
+	if err := sr.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Close: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadStatsMatchesComputeStats: the streaming stats must equal the
+// in-memory ones.
+func TestReadStatsMatchesComputeStats(t *testing.T) {
+	src := sampleTrace()
+	want := ComputeStats(src)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadStats(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Events != want.Events || got.TotalBytes != want.TotalBytes ||
+		got.Drops != want.Drops || got.NodesSeen != want.NodesSeen ||
+		got.Duration != want.Duration || got.StaleMax != want.StaleMax ||
+		math.Abs(got.StaleMean-want.StaleMean) > 1e-12 {
+		t.Fatalf("streaming stats %+v differ from %+v", got, want)
+	}
+	for k, n := range want.ByKind {
+		if got.ByKind[k] != n {
+			t.Fatalf("kind %v: %d vs %d", k, got.ByKind[k], n)
+		}
+	}
+}
+
+// TestCompareReadersMatchesCompare: the streaming diff must equal the
+// in-memory one, including on traces that genuinely differ.
+func TestCompareReadersMatchesCompare(t *testing.T) {
+	a := sampleTrace()
+	b := sampleTrace()
+	// Perturb B: shift one time (within order), drop one event, add one.
+	b.Events[5].Time += 0.0005
+	b.Events = append(b.Events[:2], b.Events[3:]...)
+	b.Events = append(b.Events, Event{Time: 0.9, Kind: KindTrainDone, Node: 2, Peer: -1, Iter: 1})
+	want := Compare(a, b)
+
+	var ab, bb bytes.Buffer
+	if err := WriteBinary(&ab, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := NewStreamReader(&ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewStreamReader(&bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CompareReaders(ra, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("streaming diff %+v differs from %+v", got, want)
+	}
+}

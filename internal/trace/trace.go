@@ -206,6 +206,21 @@ func (t *Trace) Duration() float64 {
 // and non-decreasing timestamps. Violations return ErrCorrupt (wrapped with
 // the offending event index).
 func Validate(h Header, events []Event) error {
+	if err := validateHeader(h); err != nil {
+		return err
+	}
+	prev := math.Inf(-1)
+	for i := range events {
+		if err := validateEvent(h, i, &events[i], prev); err != nil {
+			return err
+		}
+		prev = events[i].Time
+	}
+	return nil
+}
+
+// validateHeader checks the header alone (format, version, node count).
+func validateHeader(h Header) error {
 	if h.Format != FormatName {
 		return fmt.Errorf("%w: header format %q", ErrNotTrace, h.Format)
 	}
@@ -215,36 +230,56 @@ func Validate(h Header, events []Event) error {
 	if h.Nodes <= 0 {
 		return fmt.Errorf("%w: header declares %d nodes", ErrCorrupt, h.Nodes)
 	}
-	prev := math.Inf(-1)
-	for i, ev := range events {
-		if !ev.Kind.Valid() {
-			return fmt.Errorf("%w: event %d has unknown kind %d", ErrCorrupt, i, uint8(ev.Kind))
+	return nil
+}
+
+// validateEvent checks one event (index i, for error messages) against the
+// header and the previous event's timestamp. Streaming readers and writers
+// share it with Validate so incremental and whole-trace validation agree.
+func validateEvent(h Header, i int, ev *Event, prev float64) error {
+	if !ev.Kind.Valid() {
+		return fmt.Errorf("%w: event %d has unknown kind %d", ErrCorrupt, i, uint8(ev.Kind))
+	}
+	if math.IsNaN(ev.Time) || ev.Time < prev {
+		return fmt.Errorf("%w: event %d time %v regresses below %v", ErrCorrupt, i, ev.Time, prev)
+	}
+	if ev.Node < 0 || ev.Node >= h.Nodes {
+		return fmt.Errorf("%w: event %d node %d out of range [0,%d)", ErrCorrupt, i, ev.Node, h.Nodes)
+	}
+	switch ev.Kind {
+	case KindSend, KindArrival:
+		if ev.Peer < 0 || ev.Peer >= h.Nodes {
+			return fmt.Errorf("%w: event %d peer %d out of range [0,%d)", ErrCorrupt, i, ev.Peer, h.Nodes)
 		}
-		if math.IsNaN(ev.Time) || ev.Time < prev {
-			return fmt.Errorf("%w: event %d time %v regresses below %v", ErrCorrupt, i, ev.Time, prev)
-		}
-		prev = ev.Time
-		if ev.Node < 0 || ev.Node >= h.Nodes {
-			return fmt.Errorf("%w: event %d node %d out of range [0,%d)", ErrCorrupt, i, ev.Node, h.Nodes)
-		}
-		switch ev.Kind {
-		case KindSend, KindArrival:
-			if ev.Peer < 0 || ev.Peer >= h.Nodes {
-				return fmt.Errorf("%w: event %d peer %d out of range [0,%d)", ErrCorrupt, i, ev.Peer, h.Nodes)
-			}
-		default:
-			if ev.Peer != -1 {
-				return fmt.Errorf("%w: event %d (%v) has peer %d, want -1", ErrCorrupt, i, ev.Kind, ev.Peer)
-			}
-		}
-		if ev.Iter < 0 {
-			return fmt.Errorf("%w: event %d iteration %d negative", ErrCorrupt, i, ev.Iter)
-		}
-		if ev.Bytes < 0 || ev.ModelBytes < 0 || ev.MetaBytes < 0 || ev.LagMax < 0 || ev.LagN < 0 {
-			return fmt.Errorf("%w: event %d has negative counters", ErrCorrupt, i)
+	default:
+		if ev.Peer != -1 {
+			return fmt.Errorf("%w: event %d (%v) has peer %d, want -1", ErrCorrupt, i, ev.Kind, ev.Peer)
 		}
 	}
+	if ev.Iter < 0 {
+		return fmt.Errorf("%w: event %d iteration %d negative", ErrCorrupt, i, ev.Iter)
+	}
+	if ev.Bytes < 0 || ev.ModelBytes < 0 || ev.MetaBytes < 0 || ev.LagMax < 0 || ev.LagN < 0 {
+		return fmt.Errorf("%w: event %d has negative counters", ErrCorrupt, i)
+	}
 	return nil
+}
+
+// Sink consumes trace events as a run executes: the recorder hook of the
+// async engine (simulation.AsyncConfig.Record) and the cluster worker loop.
+// Recorder retains the full trace in memory; StreamRecorder writes it out
+// incrementally with bounded buffers, the only option that scales to
+// 1024-node schedules.
+type Sink interface {
+	Record(Event)
+}
+
+// RoundsSetter is implemented by sinks that can adjust the header's
+// advertised round budget after recording started: a run stopped early (at
+// target accuracy) holds only the executed prefix, and replaying it must not
+// chase rounds that were never scheduled.
+type RoundsSetter interface {
+	SetRounds(rounds int)
 }
 
 // Recorder accumulates a trace in memory as a run executes. The zero-cost
@@ -253,6 +288,11 @@ func Validate(h Header, events []Event) error {
 type Recorder struct {
 	t Trace
 }
+
+var (
+	_ Sink         = (*Recorder)(nil)
+	_ RoundsSetter = (*Recorder)(nil)
+)
 
 // NewRecorder starts a recorder. Format and Version are filled in; the caller
 // provides the run description.
@@ -269,6 +309,9 @@ func (r *Recorder) Record(ev Event) {
 
 // Len returns the number of recorded events.
 func (r *Recorder) Len() int { return len(r.t.Events) }
+
+// SetRounds implements RoundsSetter.
+func (r *Recorder) SetRounds(rounds int) { r.t.Header.Rounds = rounds }
 
 // Trace returns the recorded trace. The recorder retains ownership; callers
 // must not mutate it while recording continues.

@@ -57,26 +57,13 @@ func WriteBinary(w io.Writer, t *Trace) error {
 		return err
 	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(binaryMagic[:]); err != nil {
-		return err
-	}
-	if err := bw.WriteByte(FormatVersion); err != nil {
-		return err
-	}
-	hdr, err := json.Marshal(t.Header)
-	if err != nil {
+	if _, _, err := writeBinaryHeader(bw, t.Header); err != nil {
 		return err
 	}
 	var scratch [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) error {
 		n := binary.PutUvarint(scratch[:], v)
 		_, err := bw.Write(scratch[:n])
-		return err
-	}
-	if err := putUvarint(uint64(len(hdr))); err != nil {
-		return err
-	}
-	if _, err := bw.Write(hdr); err != nil {
 		return err
 	}
 	for i := range t.Events {
@@ -92,6 +79,32 @@ func WriteBinary(w io.Writer, t *Trace) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// writeBinaryHeader emits the binary preamble (magic, version byte, length-
+// prefixed JSON header) and returns the byte offset and length of the JSON
+// payload within the stream, which StreamRecorder uses for its padded header
+// rewrite on early-stopped runs.
+func writeBinaryHeader(bw *bufio.Writer, h Header) (jsonOff, jsonLen int64, err error) {
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return 0, 0, err
+	}
+	if err := bw.WriteByte(FormatVersion); err != nil {
+		return 0, 0, err
+	}
+	hdr, err := json.Marshal(h)
+	if err != nil {
+		return 0, 0, err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], uint64(len(hdr)))
+	if _, err := bw.Write(scratch[:n]); err != nil {
+		return 0, 0, err
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return 0, 0, err
+	}
+	return int64(len(binaryMagic) + 1 + n), int64(len(hdr)), nil
 }
 
 func writeBinaryEvent(bw *bufio.Writer, putUvarint func(uint64) error, ev *Event) error {
