@@ -15,6 +15,7 @@
 //	jwins-bench -exp ext-replay        # trace record/replay parity + staleness
 //	jwins-bench -exp ext-dyntopo       # epoch-randomized topologies at 96-384 nodes
 //	jwins-bench -exp ext-scale         # async engine at 256/512/1024 nodes
+//	jwins-bench -exp ext-semiasync     # aggregation policies x heterogeneity
 //	jwins-bench -exp all               # everything, in paper order
 //
 // Flags: -scale micro|small|paper (default small), -seed N,
@@ -113,7 +114,7 @@ func run() error {
 	names := []string{*expName}
 	if *expName == "all" {
 		names = []string{"fig2", "fig3", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-			"ext-powergossip", "ext-adaptive", "ext-faults", "ext-asyncchurn", "ext-replay", "ext-dyntopo", "ext-scale"}
+			"ext-powergossip", "ext-adaptive", "ext-faults", "ext-asyncchurn", "ext-replay", "ext-dyntopo", "ext-scale", "ext-semiasync"}
 	}
 	for _, name := range names {
 		start := time.Now()
@@ -151,6 +152,8 @@ func run() error {
 			result, err = experiments.ExtDynTopo(scale, *seed)
 		case "ext-scale":
 			result, err = experiments.ExtScale(scale, *seed)
+		case "ext-semiasync":
+			result, err = experiments.ExtSemiAsync(scale, *seed)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

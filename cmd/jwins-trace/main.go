@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiments"
@@ -61,22 +62,7 @@ func run() error {
 		if len(os.Args) != 3 {
 			return usage()
 		}
-		// Stats stream: the file is folded event by event, never held as a
-		// slice (what remains is O(nodes) plus one float per aggregation for
-		// the exact staleness P95) — and a recording cut off mid-write (a
-		// killed run) still yields the stats of its readable prefix, with a
-		// warning.
-		h, stats, err := trace.ReadStatsFile(os.Args[2])
-		if err != nil && !errors.Is(err, trace.ErrTruncated) {
-			return err
-		}
-		fmt.Printf("%s: %s trace, %d nodes, %d rounds, %s policy\n",
-			os.Args[2], h.Source, h.Nodes, h.Rounds, h.Policy)
-		if err != nil {
-			fmt.Printf("WARNING: trace is truncated (%v); stats cover the %d readable events\n", err, stats.Events)
-		}
-		fmt.Print(stats)
-		return nil
+		return statsCmd(os.Args[2], os.Stdout, os.Stderr)
 
 	case "diff":
 		if len(os.Args) != 4 {
@@ -130,6 +116,26 @@ func run() error {
 	default:
 		return usage()
 	}
+}
+
+// statsCmd implements the stats subcommand. The file is folded event by
+// event, never held as a slice (what remains is O(nodes) plus one float per
+// aggregation for the exact staleness P95) — and a recording cut off
+// mid-write (a killed run) still yields the stats of its readable prefix,
+// with a warning on stderr so piped stdout stays machine-readable. Hard
+// corruption (an unreadable header or garbled event) is an error.
+func statsCmd(path string, stdout, stderr io.Writer) error {
+	h, stats, err := trace.ReadStatsFile(path)
+	if err != nil && !errors.Is(err, trace.ErrTruncated) {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: %s trace, %d nodes, %d rounds, %s policy\n",
+		path, h.Source, h.Nodes, h.Rounds, h.Policy)
+	if err != nil {
+		fmt.Fprintf(stderr, "WARNING: trace is truncated (%v); stats cover the %d readable events\n", err, stats.Events)
+	}
+	fmt.Fprint(stdout, stats)
+	return nil
 }
 
 func replay(path string, check bool) error {

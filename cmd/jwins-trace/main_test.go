@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestStatsTruncatedZeroEvents: a recording killed before its first event (a
+// header-only file) must yield stats without panicking, keep stdout
+// machine-readable, and route the truncation warning to stderr.
+func TestStatsTruncatedZeroEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jtb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := trace.NewStreamRecorder(f, trace.Header{
+		Nodes: 4, Rounds: 3, Source: trace.SourceSim, Policy: trace.PolicyBarrier,
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the footer is missing, as after a mid-run kill.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr strings.Builder
+	if err := statsCmd(path, &stdout, &stderr); err != nil {
+		t.Fatalf("statsCmd on a truncated zero-event trace: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "4 nodes") {
+		t.Fatalf("stdout lacks the header line:\n%s", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "WARNING") {
+		t.Fatalf("truncation warning leaked to stdout:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "WARNING") || !strings.Contains(stderr.String(), "truncated") {
+		t.Fatalf("stderr lacks the truncation warning:\n%s", stderr.String())
+	}
+}
+
+// TestStatsHardCorruption: a file that is not a trace at all must be a hard
+// error (non-zero exit), not a warning.
+func TestStatsHardCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.jtb")
+	if err := os.WriteFile(path, []byte("not a trace\x00\xff\xfe"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if err := statsCmd(path, &stdout, &stderr); err == nil {
+		t.Fatalf("statsCmd accepted garbage; stdout:\n%s", stdout.String())
+	}
+}

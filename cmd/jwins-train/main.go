@@ -10,9 +10,12 @@
 //	jwins-train -dataset cifar10 -algo jwins -async -churn 0.2 -compute-spread 0.5
 //	jwins-train -dataset cifar10 -algo jwins -async -trace-out run.jsonl
 //	jwins-train -dataset cifar10 -algo jwins -async -dynamic -epoch-sec 0.5
+//	jwins-train -dataset cifar10 -algo jwins -async -policy bounded -stale-tau 2
+//	jwins-train -dataset cifar10 -algo jwins -async -policy deadline -deadline-factor 1.5
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -51,41 +54,32 @@ func run() error {
 		levels     = flag.Int("levels", 4, "wavelet decomposition levels")
 
 		// Event-driven scheduler (async engine).
-		async         = flag.Bool("async", false, "use the event-driven scheduler instead of synchronous rounds")
-		gossip        = flag.Bool("gossip", false, "async: aggregate freshest payloads immediately instead of the local barrier")
-		churnFrac     = flag.Float64("churn", 0, "async: fraction of nodes that leave and rejoin mid-run")
-		computeSpread = flag.Float64("compute-spread", 0, "async: lognormal sigma on per-node compute time")
-		bwSpread      = flag.Float64("bw-spread", 0, "async: lognormal sigma on per-node uplink bandwidth")
-		latencySpread = flag.Float64("latency-spread", 0, "async: lognormal sigma on per-node latency")
-		traceOut      = flag.String("trace-out", "", "async: stream the executed schedule to this trace file as it runs (.jtb = binary, else JSONL; replay with jwins-trace)")
-		epochSec      = flag.Float64("epoch-sec", 0, "async: topology epoch length in simulated seconds (0 with -dynamic = one nominal round)")
-		mixingEvery   = flag.Int("mixing-every", 0, "async: compute the spectral gap only every k-th epoch (0/1 = every epoch, negative = never; sampled-off epochs report NaN)")
+		async          = flag.Bool("async", false, "use the event-driven scheduler instead of synchronous rounds")
+		gossip         = flag.Bool("gossip", false, "async: aggregate freshest payloads immediately instead of the local barrier (shorthand for -policy gossip)")
+		policyName     = flag.String("policy", "", "async: aggregation policy: barrier, gossip, bounded, or deadline (empty = barrier)")
+		staleK         = flag.Int("stale-k", 0, "async -policy bounded: aggregate once this many live-neighbor payloads arrived (0 = half the node degree)")
+		staleTau       = flag.Int("stale-tau", 2, "async -policy bounded: max tolerated iteration lag before waiting")
+		adaptiveTau    = flag.Bool("adaptive-tau", false, "async -policy bounded: retune tau each epoch to the observed lag p95")
+		deadlineFactor = flag.Float64("deadline-factor", 1.5, "async -policy deadline: aggregate after this multiple of the node's nominal round length, dropping stragglers")
+		churnFrac      = flag.Float64("churn", 0, "async: fraction of nodes that leave and rejoin mid-run")
+		computeSpread  = flag.Float64("compute-spread", 0, "async: lognormal sigma on per-node compute time")
+		bwSpread       = flag.Float64("bw-spread", 0, "async: lognormal sigma on per-node uplink bandwidth")
+		latencySpread  = flag.Float64("latency-spread", 0, "async: lognormal sigma on per-node latency")
+		traceOut       = flag.String("trace-out", "", "async: stream the executed schedule to this trace file as it runs (.jtb = binary, else JSONL; replay with jwins-trace)")
+		epochSec       = flag.Float64("epoch-sec", 0, "async: topology epoch length in simulated seconds (0 with -dynamic = one nominal round)")
+		mixingEvery    = flag.Int("mixing-every", 0, "async: compute the spectral gap only every k-th epoch (0/1 = every epoch, -1 = never; sampled-off epochs report NaN)")
 	)
 	flag.Parse()
 
-	// The async-only knobs are rejected without -async rather than silently
-	// ignored: a sync run has no schedule to record and no event times for
-	// gossip/churn/heterogeneity to shape.
-	if !*async {
-		switch {
-		case *gossip:
-			return fmt.Errorf("-gossip requires -async (the synchronous engine has a single blocking aggregation policy)")
-		case *churnFrac != 0:
-			return fmt.Errorf("-churn requires -async (synchronous runs model failures via the fault experiments instead)")
-		case *computeSpread != 0 || *bwSpread != 0 || *latencySpread != 0:
-			return fmt.Errorf("-compute-spread/-bw-spread/-latency-spread require -async (the synchronous time model is per-round, not per-node)")
-		case *traceOut != "":
-			return fmt.Errorf("-trace-out requires -async (only the event-driven scheduler produces an event trace)")
-		case *epochSec != 0:
-			return fmt.Errorf("-epoch-sec requires -async (simulated-time epochs only exist under the event-driven scheduler; sync -dynamic rotates per round)")
-		case *mixingEvery != 0:
-			return fmt.Errorf("-mixing-every requires -async (spectral-gap sampling is per simulated-time epoch)")
-		}
+	tf := trainFlags{
+		Async: *async, Gossip: *gossip, Policy: *policyName,
+		StaleK: *staleK, StaleTau: *staleTau, DeadlineFactor: *deadlineFactor,
+		Churn: *churnFrac, ComputeSpread: *computeSpread, BwSpread: *bwSpread,
+		LatencySpread: *latencySpread, TraceOut: *traceOut,
+		EpochSec: *epochSec, MixingEvery: *mixingEvery,
 	}
-	if *epochSec < 0 {
-		// A negative value would silently run static while recording a
-		// bogus epoch length into the trace header, breaking replay.
-		return fmt.Errorf("-epoch-sec must be >= 0, got %g", *epochSec)
+	if err := tf.validate(); err != nil {
+		return err
 	}
 
 	scale, err := experiments.ParseScale(*scaleName)
@@ -124,14 +118,31 @@ func run() error {
 		effEpochSec = experiments.DefaultEpochSec(w)
 	}
 
+	// Resolve the aggregation policy the same way: the header records its
+	// name and parameters, so a replaying engine can reject a mismatch.
+	effStaleK := *staleK
+	if effStaleK == 0 {
+		if effStaleK = (w.Degree + 1) / 2; effStaleK < 1 {
+			effStaleK = 1
+		}
+	}
+	policy, err := simulation.PolicyByName(*policyName, effStaleK, *staleTau, *adaptiveTau, *deadlineFactor)
+	if err != nil {
+		return err
+	}
+	headerPolicy := policy
+	if *gossip {
+		headerPolicy = simulation.GossipPolicy{}
+	}
+
 	// The schedule streams to disk as it executes (bounded buffers), so
 	// recording 1024-node runs does not hold O(events) in memory. Closing
 	// writes the footer that makes the file a complete trace; a run killed
 	// mid-way leaves a file that readers report as truncated.
 	var recorder *trace.StreamRecorder
 	if *traceOut != "" {
-		recorder, err = trace.NewStreamRecorderFile(*traceOut, experiments.TraceHeaderFor(
-			w, experiments.Algo(*algo), *rounds, *seed, *gossip, *async && *dynamic, effEpochSec))
+		recorder, err = trace.NewStreamRecorderFile(*traceOut, experiments.TraceHeaderForPolicy(
+			w, experiments.Algo(*algo), *rounds, *seed, headerPolicy, *async && *dynamic, effEpochSec))
 		if err != nil {
 			return err
 		}
@@ -152,6 +163,7 @@ func run() error {
 		Seed:           *seed,
 		Async:          *async,
 		Gossip:         *gossip,
+		Policy:         policy,
 		ChurnFraction:  *churnFrac,
 		MixingEvery:    *mixingEvery,
 		Het: simulation.Heterogeneity{
@@ -187,6 +199,12 @@ func run() error {
 	if *async {
 		fmt.Printf("staleness: mean %.3f, max %.0f, p95 %.3f iterations\n",
 			res.StaleMean, res.StaleMax, res.StaleP95)
+		polName := trace.PolicyBarrier
+		if headerPolicy != nil {
+			polName = headerPolicy.Name()
+		}
+		fmt.Printf("policy: %s, eff neighbors mean %.2f, drop rate %.2f%%, late drops %d\n",
+			polName, res.EffNeighborsMean, res.DropRate*100, res.LateDrops)
 		fmt.Printf("mixing: %d epochs, spectral gap mean %.4f (min %.4f), neighbor turnover %.4f\n",
 			res.Epochs, res.SpectralGapMean, res.SpectralGapMin, res.TurnoverMean)
 	}
@@ -213,4 +231,76 @@ func pick(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// errBadFlag is the typed rejection for invalid flag combinations and
+// out-of-range values; match with errors.Is.
+var errBadFlag = errors.New("invalid flag")
+
+// trainFlags carries the scheduler-facing flag values through validation,
+// keeping the rejection rules testable without a flag.FlagSet.
+type trainFlags struct {
+	Async, Gossip  bool
+	Policy         string
+	StaleK         int
+	StaleTau       int
+	DeadlineFactor float64
+	Churn          float64
+	ComputeSpread  float64
+	BwSpread       float64
+	LatencySpread  float64
+	TraceOut       string
+	EpochSec       float64
+	MixingEvery    int
+}
+
+// validate rejects flag combinations the engine would otherwise misinterpret.
+// The async-only knobs are rejected without -async rather than silently
+// ignored: a sync run has no schedule to record and no event times for
+// policies/churn/heterogeneity to shape.
+func (f trainFlags) validate() error {
+	if !f.Async {
+		switch {
+		case f.Gossip:
+			return fmt.Errorf("%w: -gossip requires -async (the synchronous engine has a single blocking aggregation policy)", errBadFlag)
+		case f.Policy != "":
+			return fmt.Errorf("%w: -policy requires -async (aggregation policies only exist under the event-driven scheduler)", errBadFlag)
+		case f.Churn != 0:
+			return fmt.Errorf("%w: -churn requires -async (synchronous runs model failures via the fault experiments instead)", errBadFlag)
+		case f.ComputeSpread != 0 || f.BwSpread != 0 || f.LatencySpread != 0:
+			return fmt.Errorf("%w: -compute-spread/-bw-spread/-latency-spread require -async (the synchronous time model is per-round, not per-node)", errBadFlag)
+		case f.TraceOut != "":
+			return fmt.Errorf("%w: -trace-out requires -async (only the event-driven scheduler produces an event trace)", errBadFlag)
+		case f.EpochSec != 0:
+			return fmt.Errorf("%w: -epoch-sec requires -async (simulated-time epochs only exist under the event-driven scheduler; sync -dynamic rotates per round)", errBadFlag)
+		case f.MixingEvery != 0:
+			return fmt.Errorf("%w: -mixing-every requires -async (spectral-gap sampling is per simulated-time epoch)", errBadFlag)
+		}
+	}
+	switch f.Policy {
+	case "", trace.PolicyBarrier, trace.PolicyGossip, trace.PolicyBounded, trace.PolicyDeadline:
+	default:
+		return fmt.Errorf("%w: -policy %q unknown (want barrier, gossip, bounded, or deadline)", errBadFlag, f.Policy)
+	}
+	if f.Gossip && f.Policy != "" {
+		return fmt.Errorf("%w: -gossip and -policy conflict; -gossip is shorthand for -policy gossip", errBadFlag)
+	}
+	if f.StaleK < 0 {
+		return fmt.Errorf("%w: -stale-k must be >= 0 (0 = half the node degree), got %d", errBadFlag, f.StaleK)
+	}
+	if f.StaleTau < 0 {
+		return fmt.Errorf("%w: -stale-tau must be >= 0, got %d", errBadFlag, f.StaleTau)
+	}
+	if f.DeadlineFactor <= 0 {
+		return fmt.Errorf("%w: -deadline-factor must be > 0, got %g", errBadFlag, f.DeadlineFactor)
+	}
+	if f.EpochSec < 0 {
+		// A negative value would silently run static while recording a
+		// bogus epoch length into the trace header, breaking replay.
+		return fmt.Errorf("%w: -epoch-sec must be >= 0, got %g", errBadFlag, f.EpochSec)
+	}
+	if f.MixingEvery < -1 {
+		return fmt.Errorf("%w: -mixing-every must be >= -1 (0/1 = every epoch, -1 = never), got %d", errBadFlag, f.MixingEvery)
+	}
+	return nil
 }

@@ -16,9 +16,22 @@ import (
 // the effective epoch length (DefaultEpochSec when RunSpec.EpochSec is
 // unset) — replay validates its engine topology against it.
 func TraceHeaderFor(w *Workload, algo Algo, rounds int, seed uint64, gossip, dynamic bool, epochSec float64) trace.Header {
-	policy := trace.PolicyBarrier
+	var policy simulation.AggregationPolicy = simulation.BarrierPolicy{}
 	if gossip {
-		policy = trace.PolicyGossip
+		policy = simulation.GossipPolicy{}
+	}
+	return TraceHeaderForPolicy(w, algo, rounds, seed, policy, dynamic, epochSec)
+}
+
+// TraceHeaderForPolicy is TraceHeaderFor for an arbitrary aggregation policy:
+// the header carries the policy name plus its parameters in Meta
+// (policy_k/policy_tau/policy_adaptive for bounded staleness,
+// policy_deadline_factor for the straggler-dropping deadline), so
+// SpecFromTraceHeader can rebuild the exact policy and replay validation can
+// reject a mismatched engine. A nil policy means the engine default (barrier).
+func TraceHeaderForPolicy(w *Workload, algo Algo, rounds int, seed uint64, policy simulation.AggregationPolicy, dynamic bool, epochSec float64) trace.Header {
+	if policy == nil {
+		policy = simulation.BarrierPolicy{}
 	}
 	if rounds <= 0 {
 		rounds = w.Rounds
@@ -27,8 +40,8 @@ func TraceHeaderFor(w *Workload, algo Algo, rounds int, seed uint64, gossip, dyn
 	if dynamic {
 		topo = "dynamic"
 	}
-	return trace.Header{
-		Nodes: w.Nodes, Rounds: rounds, Source: trace.SourceSim, Policy: policy,
+	h := trace.Header{
+		Nodes: w.Nodes, Rounds: rounds, Source: trace.SourceSim, Policy: policy.Name(),
 		Meta: map[string]string{
 			"dataset":   w.Name,
 			"scale":     w.Scale.String(),
@@ -37,6 +50,46 @@ func TraceHeaderFor(w *Workload, algo Algo, rounds int, seed uint64, gossip, dyn
 			"topology":  topo,
 			"epoch_sec": strconv.FormatFloat(epochSec, 'g', -1, 64),
 		},
+	}
+	switch p := policy.(type) {
+	case simulation.BoundedStalenessPolicy:
+		h.Meta["policy_k"] = strconv.Itoa(p.K)
+		h.Meta["policy_tau"] = strconv.Itoa(p.Tau)
+		h.Meta["policy_adaptive"] = strconv.FormatBool(p.AdaptiveTau)
+	case simulation.DeadlinePolicy:
+		h.Meta["policy_deadline_factor"] = strconv.FormatFloat(p.Factor, 'g', -1, 64)
+	}
+	return h
+}
+
+// policyFromTraceHeader rebuilds the aggregation policy a header describes
+// from its Policy name and Meta parameters. An empty or barrier policy maps
+// to nil (the engine default).
+func policyFromTraceHeader(h trace.Header) (simulation.AggregationPolicy, error) {
+	switch h.Policy {
+	case "", trace.PolicyBarrier:
+		return nil, nil
+	case trace.PolicyGossip:
+		return simulation.GossipPolicy{}, nil
+	case trace.PolicyBounded:
+		k, err := strconv.Atoi(h.Meta["policy_k"])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: trace header policy_k %q: %w", h.Meta["policy_k"], err)
+		}
+		tau, err := strconv.Atoi(h.Meta["policy_tau"])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: trace header policy_tau %q: %w", h.Meta["policy_tau"], err)
+		}
+		adaptive := h.Meta["policy_adaptive"] == "true"
+		return simulation.BoundedStalenessPolicy{K: k, Tau: tau, AdaptiveTau: adaptive}, nil
+	case trace.PolicyDeadline:
+		f, err := strconv.ParseFloat(h.Meta["policy_deadline_factor"], 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: trace header policy_deadline_factor %q: %w", h.Meta["policy_deadline_factor"], err)
+		}
+		return simulation.DeadlinePolicy{Factor: f}, nil
+	default:
+		return nil, fmt.Errorf("experiments: trace header policy %q unknown", h.Policy)
 	}
 }
 
@@ -86,13 +139,17 @@ func SpecFromTraceHeader(h trace.Header) (RunSpec, error) {
 	if err != nil {
 		return RunSpec{}, err
 	}
+	policy, err := policyFromTraceHeader(h)
+	if err != nil {
+		return RunSpec{}, err
+	}
 	spec := RunSpec{
 		Workload: w,
 		Algo:     AlgoSpec{Kind: Algo(h.Meta["algo"])},
 		Rounds:   h.Rounds,
 		Seed:     seed,
 		Async:    true,
-		Gossip:   h.Policy == trace.PolicyGossip,
+		Policy:   policy,
 	}
 	// Topology metadata is optional (older and cluster traces are static).
 	switch h.Meta["topology"] {

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simulation"
+)
+
+// SemiAsyncArm is one (heterogeneity spread, aggregation policy) cell of the
+// semi-async sweep: final quality, simulated wall-clock, and the staleness /
+// effective-neighbor / drop-rate profile of the policy.
+type SemiAsyncArm struct {
+	Policy string
+	Spread float64
+
+	Acc, Loss, SimTime float64
+	Stale              StalenessSummary
+	// EffNeighbors is the mean number of payloads actually merged per
+	// aggregation; DropRate the fraction of live-neighbor payloads that had
+	// not arrived when aggregations fired (straggler drops under the deadline
+	// policy, tolerated lag under gossip and bounded staleness).
+	EffNeighbors, DropRate float64
+	LateDrops              int64
+	Rows                   int
+}
+
+// ExtSemiAsyncResult sweeps the aggregation-policy spectrum — full barrier,
+// bounded staleness (fixed and adaptive tau), straggler-dropping deadline,
+// and pure gossip — across a low- and a high-heterogeneity straggler profile.
+// The question it answers: how much of the barrier's wall-clock cost can a
+// semi-async policy recover before giving up gossip-level accuracy?
+type ExtSemiAsyncResult struct {
+	Nodes, Rounds int
+	StaleK, Tau   int
+	Factor        float64
+
+	Arms   []SemiAsyncArm
+	Curves map[string][]simulation.RoundMetrics
+}
+
+// extSemiAsyncSpreads are the two heterogeneity profiles: a mild spread where
+// the barrier is cheap, and a heavy-tailed one where stragglers dominate it.
+var extSemiAsyncSpreads = []float64{0.2, 0.8}
+
+// ExtSemiAsync runs the policy × heterogeneity sweep on the CIFAR-10-like
+// workload (no churn: the sweep isolates straggler effects). The topology is
+// epoch-rotated so the adaptive-tau arm has epoch boundaries to retune at.
+func ExtSemiAsync(scale Scale, seed uint64) (*ExtSemiAsyncResult, error) {
+	w, err := NewWorkload("cifar10", scale, ExtAsyncChurnNodes(scale), seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExtSemiAsyncResult{
+		Nodes:  w.Nodes,
+		Rounds: w.Rounds,
+		StaleK: (w.Degree + 1) / 2,
+		Tau:    2,
+		Factor: 1.5,
+		Curves: map[string][]simulation.RoundMetrics{},
+	}
+	if res.StaleK < 1 {
+		res.StaleK = 1
+	}
+
+	policies := []struct {
+		name   string
+		policy simulation.AggregationPolicy
+	}{
+		{"barrier", simulation.BarrierPolicy{}},
+		{"bounded", simulation.BoundedStalenessPolicy{K: res.StaleK, Tau: res.Tau}},
+		{"bounded-adaptive", simulation.BoundedStalenessPolicy{K: res.StaleK, Tau: res.Tau, AdaptiveTau: true}},
+		{"deadline", simulation.DeadlinePolicy{Factor: res.Factor}},
+		{"gossip", simulation.GossipPolicy{}},
+	}
+
+	for _, spread := range extSemiAsyncSpreads {
+		het := simulation.Heterogeneity{
+			ComputeSpread:   spread,
+			BandwidthSpread: spread / 2,
+			LatencySpread:   0.2,
+			Seed:            seed ^ 0x686574,
+		}
+		for _, pc := range policies {
+			spec := RunSpec{
+				Workload: w, Algo: AlgoSpec{Kind: AlgoJWINS}, Seed: seed,
+				Async: true, Dynamic: true, Het: het, Policy: pc.policy,
+			}
+			r, err := Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("%s (spread %.1f): %w", pc.name, spread, err)
+			}
+			key := fmt.Sprintf("%s-s%.1f", pc.name, spread)
+			res.Curves[key] = r.Rounds
+			res.Arms = append(res.Arms, SemiAsyncArm{
+				Policy: pc.name, Spread: spread,
+				Acc: r.FinalAccuracy * 100, Loss: r.FinalLoss, SimTime: r.SimTime,
+				Stale:        stalenessOf(r),
+				EffNeighbors: r.EffNeighborsMean, DropRate: r.DropRate,
+				LateDrops: r.LateDrops, Rows: len(r.Rounds),
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders the sweep table.
+func (r *ExtSemiAsyncResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: semi-async aggregation policies (%d nodes, %d rounds, CIFAR-10-like, JWINS)\n",
+		r.Nodes, r.Rounds)
+	fmt.Fprintf(&b, "  bounded staleness: k=%d, tau=%d (adaptive arm retunes tau to the epoch lag p95); deadline factor %.1fx\n",
+		r.StaleK, r.Tau, r.Factor)
+	fmt.Fprintf(&b, "  %-18s %6s %9s %10s %8s %7s %22s\n",
+		"policy", "spread", "accuracy", "sim-time", "eff-nbr", "drop", "staleness mean/max/p95")
+	for _, a := range r.Arms {
+		fmt.Fprintf(&b, "  %-18s %6.1f %8.1f%% %9.1fs %8.2f %6.1f%% %10.3f/%.0f/%.3f\n",
+			a.Policy, a.Spread, a.Acc, a.SimTime, a.EffNeighbors, a.DropRate*100,
+			a.Stale.Mean, a.Stale.Max, a.Stale.P95)
+	}
+	return b.String()
+}
+
+// CSV implements CSVer: one row per (spread, policy) arm plus the learning
+// curves in long format.
+func (r *ExtSemiAsyncResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("nodes,rounds,policy,spread,stale_k,tau,deadline_factor,acc,final_loss,sim_time,stale_mean,stale_max,stale_p95,eff_neighbors,drop_rate,late_drops,rows\n")
+	for _, a := range r.Arms {
+		fmt.Fprintf(&b, "%d,%d,%s,%.2f,%d,%d,%.2f,%.2f,%.4f,%.4f,%.4f,%.0f,%.4f,%.4f,%.4f,%d,%d\n",
+			r.Nodes, r.Rounds, a.Policy, a.Spread, r.StaleK, r.Tau, r.Factor,
+			a.Acc, a.Loss, a.SimTime,
+			a.Stale.Mean, a.Stale.Max, a.Stale.P95,
+			a.EffNeighbors, a.DropRate, a.LateDrops, a.Rows)
+	}
+	b.WriteString("\n")
+	b.WriteString(CurvesCSV(r.Curves))
+	return b.String()
+}

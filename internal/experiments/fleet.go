@@ -147,7 +147,14 @@ type RunSpec struct {
 	// per-node iteration budget.
 	Async bool
 	// Gossip selects the non-blocking aggregation policy (async only).
+	// Shorthand for Policy: simulation.GossipPolicy{}; setting both is a
+	// configuration error.
 	Gossip bool
+	// Policy selects the async aggregation policy (async only): nil defaults
+	// to the full barrier (or gossip when Gossip is set); see
+	// simulation.BoundedStalenessPolicy and simulation.DeadlinePolicy for the
+	// semi-async middle ground.
+	Policy simulation.AggregationPolicy
 	// Het draws per-node compute/bandwidth/latency profiles (async only).
 	Het simulation.Heterogeneity
 	// ChurnFraction cycles this fraction of nodes out and back in mid-run
@@ -250,6 +257,9 @@ func runWithNodes(spec RunSpec, nodes []core.Node) (*simulation.Result, error) {
 		if spec.Recorder != nil || spec.Replay != nil {
 			return nil, fmt.Errorf("%w: trace recording and replay require Async runs (the synchronous engine has no event schedule)", ErrUnsupportedSpec)
 		}
+		if spec.Policy != nil || spec.Gossip {
+			return nil, fmt.Errorf("%w: aggregation policies belong to the Async engine (the synchronous engine is a global barrier by construction)", ErrUnsupportedSpec)
+		}
 		if spec.EpochSec > 0 {
 			return nil, fmt.Errorf("%w: EpochSec rotates on simulated-time epochs, which only the Async engine has (synchronous runs use Dynamic's per-round rotation)", ErrUnsupportedSpec)
 		}
@@ -264,7 +274,7 @@ func runWithNodes(spec RunSpec, nodes []core.Node) (*simulation.Result, error) {
 	}
 
 	acfg := simulation.AsyncConfig{
-		Config: cfg, Het: spec.Het, Gossip: spec.Gossip,
+		Config: cfg, Het: spec.Het, Gossip: spec.Gossip, Policy: spec.Policy,
 		Record: spec.Recorder, Replay: spec.Replay,
 		MixingEvery: spec.MixingEvery,
 	}

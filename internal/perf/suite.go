@@ -157,19 +157,20 @@ func (r *Report) WriteJSON(path string) error {
 }
 
 // CheckDeterminism runs the AsyncChurn16 configuration (stragglers, churn,
-// drops) and its epoch-rotated dyntopo variant serially and at every
-// parallelism level up to NumCPU that is worth checking, and errors on any
-// divergence in the event trace, byte ledger, result rows, or the bytes a
-// streaming recorder emits (each run records its schedule through a
-// trace.StreamRecorder, so the streamed .jtb must be bit-identical across
-// parallelism levels too). CI fails the bench smoke job on a non-nil return.
+// drops) and its epoch-rotated dyntopo and bounded-staleness variants
+// serially and at every parallelism level up to NumCPU that is worth
+// checking, and errors on any divergence in the event trace, byte ledger,
+// result rows, or the bytes a streaming recorder emits (each run records its
+// schedule through a trace.StreamRecorder, so the streamed .jtb must be
+// bit-identical across parallelism levels too). CI fails the bench smoke job
+// on a non-nil return.
 func CheckDeterminism() error {
 	type capture struct {
 		trace    []simulation.Event
 		result   *simulation.Result
 		streamed []byte
 	}
-	run := func(parallelism int, dyntopo bool) (capture, error) {
+	run := func(parallelism int, dyntopo bool, policy simulation.AggregationPolicy) (capture, error) {
 		nodes, ds, topo, err := EngineFleet()
 		if err != nil {
 			return capture{}, err
@@ -177,10 +178,14 @@ func CheckDeterminism() error {
 		if dyntopo {
 			topo = DynTopoProvider()
 		}
+		policyName := trace.PolicyBarrier
+		if policy != nil {
+			policyName = policy.Name()
+		}
 		var c capture
 		var buf bytes.Buffer
 		sr, err := trace.NewStreamRecorder(&buf, trace.Header{
-			Nodes: len(nodes), Rounds: 10, Source: trace.SourceSim, Policy: trace.PolicyBarrier,
+			Nodes: len(nodes), Rounds: 10, Source: trace.SourceSim, Policy: policyName,
 		}, true)
 		if err != nil {
 			return capture{}, err
@@ -191,6 +196,7 @@ func CheckDeterminism() error {
 				Config:  simulation.Config{Rounds: 10, EvalEvery: 5, Parallelism: parallelism, DropProb: 0.05, FaultSeed: 3},
 				Het:     EngineHet(),
 				Churn:   EngineChurn(),
+				Policy:  policy,
 				OnEvent: func(ev simulation.Event) { c.trace = append(c.trace, ev) },
 				Record:  sr,
 			},
@@ -209,26 +215,31 @@ func CheckDeterminism() error {
 	if n := runtime.NumCPU(); n > 2 {
 		levels = append(levels, n)
 	}
-	for _, dyntopo := range []bool{false, true} {
-		name := "static"
-		if dyntopo {
-			name = "dyntopo"
-		}
-		ref, err := run(1, dyntopo)
+	arms := []struct {
+		name    string
+		dyntopo bool
+		policy  simulation.AggregationPolicy
+	}{
+		{"static", false, nil},
+		{"dyntopo", true, nil},
+		{"bounded", false, simulation.BoundedStalenessPolicy{K: 2, Tau: 2}},
+	}
+	for _, arm := range arms {
+		ref, err := run(1, arm.dyntopo, arm.policy)
 		if err != nil {
-			return fmt.Errorf("%s serial: %w", name, err)
+			return fmt.Errorf("%s serial: %w", arm.name, err)
 		}
 		for _, p := range levels {
-			got, err := run(p, dyntopo)
+			got, err := run(p, arm.dyntopo, arm.policy)
 			if err != nil {
-				return fmt.Errorf("%s parallelism %d: %w", name, p, err)
+				return fmt.Errorf("%s parallelism %d: %w", arm.name, p, err)
 			}
 			if err := compareCaptures(ref.trace, got.trace, ref.result, got.result); err != nil {
-				return fmt.Errorf("%s parallelism %d diverged from serial: %w", name, p, err)
+				return fmt.Errorf("%s parallelism %d diverged from serial: %w", arm.name, p, err)
 			}
 			if !bytes.Equal(ref.streamed, got.streamed) {
 				return fmt.Errorf("%s parallelism %d: streamed trace bytes diverge from serial (%d vs %d bytes)",
-					name, p, len(got.streamed), len(ref.streamed))
+					arm.name, p, len(got.streamed), len(ref.streamed))
 			}
 		}
 	}

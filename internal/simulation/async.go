@@ -6,7 +6,8 @@
 // with Engine, and reports the same Result/RoundMetrics series, with rows
 // aligned on per-node iteration numbers instead of global rounds.
 //
-// Two aggregation policies are supported:
+// Aggregation is governed by a pluggable AggregationPolicy (see policy.go).
+// Four policies are supported:
 //
 //   - local barrier (default): a node aggregates iteration k once every live
 //     neighbor's iteration-k payload has arrived (or is known dropped, or the
@@ -16,8 +17,19 @@
 //     only their own neighborhood, not the whole graph.
 //
 //   - gossip: a node aggregates immediately after broadcasting, using the
-//     freshest payload it holds from each live neighbor (bounded staleness).
-//     Fast nodes run ahead; stale models mix in asynchronously.
+//     freshest payload it holds from each live neighbor. Fast nodes run
+//     ahead; stale models mix in asynchronously with unbounded staleness.
+//
+//   - bounded staleness: a node waits until at least k live neighbors
+//     delivered the current iteration, or every live neighbor is within τ
+//     iterations — the semi-async middle ground, with an adaptive mode that
+//     retunes τ at each topology-epoch boundary from the observed lag p95.
+//
+//   - straggler-dropping deadline: a barrier with a simulated-time deadline
+//     derived from the node's own nominal round length; late neighbors are
+//     dropped from the merge and counted in the drop-rate metrics. Deadline
+//     events are recorded in traces and consumed verbatim on replay, so the
+//     record→replay byte-parity guarantee holds for every policy.
 //
 // Churn is a seeded trace of leave/join events. A leaver keeps its model; on
 // rejoin its iteration counter fast-forwards to the run's emitted-row floor,
@@ -185,8 +197,12 @@ type AsyncConfig struct {
 	// Churn is the leave/join trace (see GenerateChurn).
 	Churn []ChurnEvent
 	// Gossip switches from the local-barrier policy to immediate freshest-
-	// payload aggregation.
+	// payload aggregation. Shorthand for Policy: GossipPolicy{}; setting both
+	// Gossip and Policy is a configuration error.
 	Gossip bool
+	// Policy selects the aggregation policy (see policy.go). Nil defaults to
+	// BarrierPolicy (or GossipPolicy when Gossip is set).
+	Policy AggregationPolicy
 	// MixingEvery samples the spectral-gap computation, which is O(n·d) per
 	// power iteration and would otherwise sit on the 1024-node critical path
 	// at every rotation: 0 or 1 computes the gap at every epoch boundary,
@@ -240,8 +256,12 @@ type asyncNode struct {
 	gen  int // bumped on leave/join; stale train-done events are discarded
 	iter int // completed aggregations
 	// waiting is true while the node has broadcast iteration `iter` and is
-	// blocked on the local barrier.
+	// blocked on the aggregation policy's readiness condition.
 	waiting bool
+	// deadlineFired marks that the node's straggler deadline for iteration
+	// `iter` was processed while it was still waiting (DeadlinePolicy only);
+	// cleared when the aggregation fires or the node churns.
+	deadlineFired bool
 	// got[j] is the highest iteration for which sender j's payload arrived
 	// or was known dropped — the barrier bookkeeping.
 	got map[int]int
@@ -277,6 +297,15 @@ type asyncRun struct {
 	now      float64
 	ledger   byteLedger
 	faultRNG *vec.RNG
+
+	// Aggregation-policy state. policy is the resolved AggregationPolicy,
+	// blocking its cached Blocking(); curTau is the live staleness bound
+	// (BoundedStalenessPolicy — the adaptive mode retunes it at epoch
+	// boundaries from the lag samples accumulated since epochLagStart).
+	policy        AggregationPolicy
+	blocking      bool
+	curTau        int
+	epochLagStart int
 
 	// Topology state. topo serves the live-filtered graph of the current
 	// epoch; epochSec > 0 (an EpochProvider) enables rotation, and epoch is
@@ -348,12 +377,14 @@ type asyncRun struct {
 	// receiver then sender (FIFO per sender).
 	meshPending []map[int][]transport.Message
 
-	// trace subsystem state: recorder hook, replay oracle, staleness
-	// accumulator, and the count of replay lookups that found no recorded
-	// event (a nonzero count on a stalled replay means config mismatch).
+	// trace subsystem state: recorder hook, replay oracle, staleness and
+	// policy accumulators, and the count of replay lookups that found no
+	// recorded event (a nonzero count on a stalled replay means config
+	// mismatch).
 	rec          trace.Sink
 	replay       *trace.Replayer
 	stale        *staleTracker
+	polTrack     *policyTracker
 	replayMisses int
 }
 
@@ -375,6 +406,19 @@ func (e *AsyncEngine) Run() (*Result, error) {
 	if len(profiles) != n {
 		return nil, fmt.Errorf("simulation: %d profiles for %d nodes", len(profiles), n)
 	}
+	policy := cfg.Policy
+	if policy == nil {
+		if cfg.Gossip {
+			policy = GossipPolicy{}
+		} else {
+			policy = BarrierPolicy{}
+		}
+	} else if cfg.Gossip {
+		return nil, fmt.Errorf("%w: both Gossip and Policy are set; use Policy alone", ErrPolicyConfig)
+	}
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
 
 	r := &asyncRun{
 		eng:          e,
@@ -387,6 +431,9 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		rec:          cfg.Record,
 		replay:       cfg.Replay,
 		stale:        newStaleTracker(cfg.Rounds),
+		polTrack:     newPolicyTracker(cfg.Rounds),
+		policy:       policy,
+		blocking:     policy.Blocking(),
 		pool:         newComputePool(cfg.Parallelism),
 		tails:        make([]*future, n),
 		pendTrain:    make([]*trainTask, n),
@@ -394,6 +441,9 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		alphas:       make([]float64, n),
 		isJWINS:      make([]bool, n),
 		churnPending: make([][]float64, n),
+	}
+	if bp, ok := policy.(BoundedStalenessPolicy); ok {
+		r.curTau = bp.Tau
 	}
 	// Registered before any validation early-return: the pool's workers must
 	// not outlive a failed Run.
@@ -429,6 +479,9 @@ func (e *AsyncEngine) Run() (*Result, error) {
 			return nil, fmt.Errorf("simulation: replay trace has %d nodes, engine has %d", rn, n)
 		}
 		if err := r.validateReplayEpochs(); err != nil {
+			return nil, err
+		}
+		if err := r.validateReplayPolicy(); err != nil {
 			return nil, err
 		}
 	}
@@ -538,6 +591,7 @@ func (e *AsyncEngine) Run() (*Result, error) {
 	r.res.TotalBytes, r.res.ModelBytes, r.res.MetaBytes = r.ledger.total, r.ledger.model, r.ledger.meta
 	r.res.SimTime = r.now
 	r.res.StaleMean, r.res.StaleMax, r.res.StaleP95 = r.stale.runStats()
+	r.res.EffNeighborsMean, r.res.DropRate, r.res.LateDrops = r.polTrack.runStats()
 	r.res.Epochs = r.epochCount
 	if r.gapCount > 0 {
 		r.res.SpectralGapMean = r.gapSum / float64(r.gapCount)
@@ -583,6 +637,8 @@ func (r *asyncRun) eventLoop() error {
 			err = r.onJoin(ev.Node)
 		case EventEpoch:
 			err = r.onEpoch(&ev)
+		case EventDeadline:
+			err = r.onDeadline(&ev)
 		}
 		if err != nil {
 			return err
@@ -626,6 +682,58 @@ func (r *asyncRun) validateReplayEpochs() error {
 	}
 	if len(r.replay.Epochs()) > 0 && r.epochSec <= 0 {
 		return fmt.Errorf("%w: trace carries topology-rotation events but the engine topology never rotates; wrap it in a topology.EpochProvider with the recorded epoch length", ErrReplayConfig)
+	}
+	return nil
+}
+
+// validateReplayPolicy rejects a replay whose aggregation policy differs from
+// the recording's: the policy shapes the schedule (deadline events, waiting
+// decisions), so a mismatch would stall or silently diverge. Traces without a
+// policy header (hand-built) skip the check; parameters are compared only
+// when the recording carries them in Meta.
+func (r *asyncRun) validateReplayPolicy() error {
+	h := r.replay.Header()
+	if h.Policy == "" {
+		return nil
+	}
+	if h.Policy != r.policy.Name() {
+		return fmt.Errorf("%w: trace was recorded under the %q policy, engine runs %q", ErrReplayConfig, h.Policy, r.policy.Name())
+	}
+	checkInt := func(key string, got int) error {
+		s := h.Meta[key]
+		if s == "" {
+			return nil
+		}
+		rec, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("%w: trace %s %q: %v", ErrReplayConfig, key, s, err)
+		}
+		if rec != got {
+			return fmt.Errorf("%w: trace was recorded with %s=%d, engine uses %d", ErrReplayConfig, key, rec, got)
+		}
+		return nil
+	}
+	switch p := r.policy.(type) {
+	case BoundedStalenessPolicy:
+		if err := checkInt("policy_k", p.K); err != nil {
+			return err
+		}
+		if err := checkInt("policy_tau", p.Tau); err != nil {
+			return err
+		}
+		if s := h.Meta["policy_adaptive"]; s != "" && (s == "true") != p.AdaptiveTau {
+			return fmt.Errorf("%w: trace was recorded with policy_adaptive=%s, engine uses %v", ErrReplayConfig, s, p.AdaptiveTau)
+		}
+	case DeadlinePolicy:
+		if s := h.Meta["policy_deadline_factor"]; s != "" {
+			rec, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("%w: trace policy_deadline_factor %q: %v", ErrReplayConfig, s, err)
+			}
+			if rec != p.Factor {
+				return fmt.Errorf("%w: trace was recorded with deadline factor %g, engine uses %g", ErrReplayConfig, rec, p.Factor)
+			}
+		}
 	}
 	return nil
 }
@@ -690,6 +798,22 @@ func (r *asyncRun) onEpoch(ev *Event) error {
 	r.curTurnover = topology.EdgeTurnover(gOld, gNew)
 	r.turnSum += r.curTurnover
 	r.turnCount++
+
+	// Adaptive-τ retune: the staleness bound for the new epoch is the p95 of
+	// the lag samples observed since the previous boundary (floored at 1 so
+	// the policy never degenerates to a strict barrier mid-run). Lags are a
+	// deterministic function of the schedule, so recorded and replayed runs
+	// retune identically. Epochs without samples keep the current bound.
+	if bp, ok := r.policy.(BoundedStalenessPolicy); ok && bp.AdaptiveTau {
+		if fresh := r.stale.all[r.epochLagStart:]; len(fresh) > 0 {
+			tau := int(math.Ceil(trace.Quantile(fresh, 0.95)))
+			if tau < 1 {
+				tau = 1
+			}
+			r.curTau = tau
+		}
+		r.epochLagStart = len(r.stale.all)
+	}
 
 	// Re-key the per-edge buffers: payloads from senders that are no longer
 	// neighbors can never satisfy a barrier and would otherwise accumulate
@@ -856,7 +980,9 @@ func (r *asyncRun) scheduleTrain(i int) {
 }
 
 // onTrainDone runs the node's local steps and broadcast, then either blocks
-// on the barrier or (gossip) aggregates immediately.
+// on the aggregation policy's readiness condition or (gossip) aggregates
+// immediately. Under the deadline policy it also schedules the iteration's
+// straggler deadline.
 func (r *asyncRun) onTrainDone(ev *Event) error {
 	i := ev.Node
 	st := &r.nodes[i]
@@ -899,11 +1025,51 @@ func (r *asyncRun) onTrainDone(ev *Event) error {
 	if err := r.broadcast(i, st.iter, payload, bd); err != nil {
 		return err
 	}
-	if r.cfg.Gossip {
+	if !r.blocking {
 		return r.aggregate(i)
 	}
 	st.waiting = true
-	return r.checkBarrier(i)
+	if dp, ok := r.policy.(DeadlinePolicy); ok {
+		// The deadline is pushed before readiness is checked so its schedule
+		// slot exists even when every payload already arrived (the stale
+		// event is discarded at pop) — recording and replay then agree on
+		// the event sequence. Under replay the recorded firing time is the
+		// schedule; a deadline the recording never popped is not re-created.
+		if r.replay != nil {
+			if t, ok := r.replay.NextDeadline(i, st.iter); ok {
+				r.push(Event{Time: math.Max(t, r.now), Kind: EventDeadline, Node: i, Iter: st.iter, gen: st.gen})
+			}
+		} else {
+			t := r.now + dp.Factor*r.nominalRoundFor(i, len(payload))
+			r.push(Event{Time: t, Kind: EventDeadline, Node: i, Iter: st.iter, gen: st.gen})
+		}
+	}
+	return r.checkReady(i)
+}
+
+// nominalRoundFor estimates node i's own nominal round duration under its
+// hardware profile and the current graph degree — the deadline policy's
+// time base (compare Config.NominalRoundSec, which uses the base profile).
+func (r *asyncRun) nominalRoundFor(i, payloadBytes int) float64 {
+	p := r.profiles[i]
+	g, _ := r.graph()
+	return float64(localSteps(r.eng.Nodes[i]))*p.ComputeSecPerStep +
+		float64(g.Degree(i)*(payloadBytes+transport.FrameOverhead))/p.BandwidthBytesPerSec +
+		p.LatencySec
+}
+
+// onDeadline fires a node's straggler deadline: if the node is still waiting
+// on the same iteration (and generation), the deadline unlocks the policy's
+// readiness condition and the node aggregates whatever arrived. Anything else
+// — the node aggregated early, churned, or advanced — makes the event stale
+// and it is discarded.
+func (r *asyncRun) onDeadline(ev *Event) error {
+	st := &r.nodes[ev.Node]
+	if !st.live || ev.gen != st.gen || ev.Iter != st.iter || !st.waiting {
+		return nil
+	}
+	st.deadlineFired = true
+	return r.checkReady(ev.Node)
 }
 
 // broadcast serializes copies of payload through node i's uplink to every
@@ -1008,7 +1174,7 @@ func (r *asyncRun) onArrival(ev *Event) error {
 			}
 			st.inbox[ev.From] = box
 		}
-		if r.cfg.Gossip {
+		if !r.blocking {
 			// Keep only the freshest payload per sender.
 			stale := false
 			for k := range box {
@@ -1025,25 +1191,40 @@ func (r *asyncRun) onArrival(ev *Event) error {
 		box[ev.Iter] = payload
 	}
 	if st.waiting {
-		return r.checkBarrier(j)
+		return r.checkReady(j)
 	}
 	return nil
 }
 
-// checkBarrier aggregates node i's pending iteration once every live
-// neighbor's payload (or drop notice, or departure) is in.
-func (r *asyncRun) checkBarrier(i int) error {
+// checkReady consults the aggregation policy on node i's pending iteration:
+// the full barrier fires once every live neighbor's payload (or drop notice,
+// or departure) is in; bounded staleness once its quorum or lag bound holds;
+// the deadline policy at the barrier or its deadline, whichever first.
+func (r *asyncRun) checkReady(i int) error {
 	st := &r.nodes[i]
 	if !st.waiting {
 		return nil
 	}
 	g, _ := r.graph()
+	v := policyView{iter: st.iter, tau: r.curTau, deadline: st.deadlineFired, minGot: math.MaxInt}
 	for _, j := range g.Neighbors(i) {
-		if got, ok := st.got[j]; !ok || got < st.iter {
-			return nil
+		v.live++
+		got, ok := st.got[j]
+		if !ok {
+			got = -1
+		}
+		if got >= st.iter {
+			v.heard++
+		}
+		if got < v.minGot {
+			v.minGot = got
 		}
 	}
+	if !r.policy.ready(v) {
+		return nil
+	}
 	st.waiting = false
+	st.deadlineFired = false
 	return r.aggregate(i)
 }
 
@@ -1062,9 +1243,10 @@ func (r *asyncRun) aggregate(i int) error {
 		if len(box) == 0 {
 			continue
 		}
-		// Prefer the payload matching this iteration (barrier), falling back
-		// to the freshest buffered one (gossip, or a fast-forwarded joiner).
-		if p, ok := box[st.iter]; ok && !r.cfg.Gossip {
+		// Prefer the payload matching this iteration (blocking policies),
+		// falling back to the freshest buffered one (gossip, a bounded or
+		// deadline merge of a straggler, or a fast-forwarded joiner).
+		if p, ok := box[st.iter]; ok && r.blocking {
 			msgs[j] = p
 			lags = append(lags, 0)
 			continue
@@ -1099,15 +1281,39 @@ func (r *asyncRun) aggregate(i int) error {
 		})
 	}
 	r.stale.add(st.iter, lags)
+	// Effective-neighbor / late-drop accounting: merged is what actually
+	// mixed, expected the live-neighbor count, late the live neighbors whose
+	// current-iteration payload had not landed (0 under the full barrier).
+	{
+		live, heard := g.Degree(i), 0
+		for _, j := range g.Neighbors(i) {
+			if got, ok := st.got[j]; ok && got >= st.iter {
+				heard++
+			}
+		}
+		r.polTrack.add(st.iter, len(lags), live, live-heard)
+	}
 	r.lagScratch = lags[:0]
 	if r.rec != nil {
-		mean, max, _ := summarizeLags(lags)
+		// Mean and max are folded inline: summarizeLags would sort the
+		// samples for a p95 the trace record does not carry.
+		var sum, max float64
+		for _, l := range lags {
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		mean := 0.0
+		if len(lags) > 0 {
+			mean = sum / float64(len(lags))
+		}
 		r.rec.Record(trace.Event{
 			Time: r.now, Kind: trace.KindAggregate, Node: i, Peer: -1, Iter: st.iter,
 			LagMax: int(max), LagMean: mean, LagN: len(lags),
 		})
 	}
-	if !r.cfg.Gossip {
+	if r.blocking {
 		// Consume everything at or below the aggregated iteration. Emptied
 		// boxes stay keyed in the inbox: the same neighbor refills them next
 		// iteration, so dropping them would just re-allocate one box per edge
@@ -1140,6 +1346,7 @@ func (r *asyncRun) onLeave(i int) error {
 	st.live = false
 	st.gen++
 	st.waiting = false
+	st.deadlineFired = false
 	r.topo.SetLive(i, false)
 	// Departure can unblock waiting neighbors and lower the row floor.
 	return r.recheckAll()
@@ -1158,6 +1365,7 @@ func (r *asyncRun) onJoin(i int) error {
 	st.live = true
 	st.gen++
 	st.waiting = false
+	st.deadlineFired = false
 	if st.iter < r.emitted {
 		st.iter = r.emitted
 	}
@@ -1192,7 +1400,7 @@ func (r *asyncRun) onJoin(i int) error {
 	return r.recheckAll()
 }
 
-// recheckAll re-evaluates every waiting node's barrier and the emission
+// recheckAll re-evaluates every waiting node's readiness and the emission
 // floor after a live-set change.
 func (r *asyncRun) recheckAll() error {
 	if err := r.emitRows(); err != nil {
@@ -1200,7 +1408,7 @@ func (r *asyncRun) recheckAll() error {
 	}
 	for i := range r.nodes {
 		if r.nodes[i].waiting {
-			if err := r.checkBarrier(i); err != nil {
+			if err := r.checkReady(i); err != nil {
 				return err
 			}
 		}
@@ -1255,6 +1463,7 @@ func (r *asyncRun) emitRows() error {
 			NeighborTurnover: r.curTurnover,
 		}
 		rm.StaleMean, rm.StaleMax, rm.StaleP95 = r.stale.rowStats(k)
+		rm.EffNeighbors, rm.DropRate = r.polTrack.rowStats(k)
 		if r.lossCount[k] > 0 {
 			rm.TrainLoss = r.lossSum[k] / float64(r.lossCount[k])
 		}

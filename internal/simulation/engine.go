@@ -106,6 +106,14 @@ type RoundMetrics struct {
 	StaleMean float64
 	StaleMax  float64
 	StaleP95  float64
+	// EffNeighbors is the mean number of payloads actually merged per
+	// aggregation at this iteration; DropRate is the fraction of expected
+	// live-neighbor payloads that had not delivered the current iteration
+	// when the aggregation fired (0 under the full barrier; the deadline
+	// policy's straggler drops and gossip/bounded-staleness misses land
+	// here). Async engine only.
+	EffNeighbors float64
+	DropRate     float64
 	// Epoch is the topology epoch active when this row was emitted;
 	// SpectralGap (1 - SLEM of the live mixing matrix) and NeighborTurnover
 	// (fraction of that epoch's live edges absent from the previous epoch)
@@ -139,6 +147,13 @@ type Result struct {
 	StaleMean float64
 	StaleMax  float64
 	StaleP95  float64
+	// EffNeighborsMean is the mean merged-payload count per aggregation over
+	// the run; DropRate the late fraction of expected payloads; LateDrops
+	// the total count of live neighbors missing at aggregation time (see
+	// RoundMetrics.EffNeighbors/DropRate). Async engine only.
+	EffNeighborsMean float64
+	DropRate         float64
+	LateDrops        int64
 	// Epochs counts the topology epochs entered (>= 1 for async runs: the
 	// initial graph is epoch 0). SpectralGapMean/Min average and bound the
 	// per-epoch spectral gap of the live mixing matrix; TurnoverMean is the

@@ -25,6 +25,10 @@ const (
 	// (EpochProvider runs only). Node is 0 by convention: the change is
 	// global, not per-node.
 	EventEpoch
+	// EventDeadline fires a node's straggler-dropping aggregation deadline
+	// for iteration Iter (DeadlinePolicy runs only). Stale deadlines — the
+	// node already aggregated, churned, or advanced — are no-ops.
+	EventDeadline
 )
 
 // String implements fmt.Stringer for trace output.
@@ -40,6 +44,8 @@ func (k EventKind) String() string {
 		return "join"
 	case EventEpoch:
 		return "epoch"
+	case EventDeadline:
+		return "deadline"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

@@ -98,6 +98,10 @@ func assertRunsIdentical(t *testing.T, name string, ref, got capturedRun, p int)
 	if a.SimTime != b.SimTime || !sameFloat(a.StaleMean, b.StaleMean) || !sameFloat(a.StaleP95, b.StaleP95) {
 		t.Fatalf("%s: parallelism %d sim/staleness differ: %+v vs %+v", name, p, b, a)
 	}
+	if a.EffNeighborsMean != b.EffNeighborsMean || a.DropRate != b.DropRate || a.LateDrops != b.LateDrops {
+		t.Fatalf("%s: parallelism %d policy metrics (%v,%v,%d) != serial (%v,%v,%d)",
+			name, p, b.EffNeighborsMean, b.DropRate, b.LateDrops, a.EffNeighborsMean, a.DropRate, a.LateDrops)
+	}
 	if len(a.Rounds) != len(b.Rounds) {
 		t.Fatalf("%s: parallelism %d emitted %d rows, serial %d", name, p, len(b.Rounds), len(a.Rounds))
 	}

@@ -31,6 +31,8 @@ func schedTraceEvent(ev *Event) (trace.Event, bool) {
 	case EventEpoch:
 		out.Kind = trace.KindEpoch
 		out.Node = 0 // global event; trace validation needs an in-range node
+	case EventDeadline:
+		out.Kind = trace.KindDeadline
 	default:
 		return trace.Event{}, false
 	}
@@ -79,6 +81,65 @@ func (s *staleTracker) rowStats(iter int) (mean, max, p95 float64) {
 // runStats summarizes the whole run.
 func (s *staleTracker) runStats() (mean, max, p95 float64) {
 	return summarizeLags(s.all)
+}
+
+// policyTracker accumulates per-aggregation effective-neighbor and late-drop
+// counts: merged is how many payloads an aggregation actually mixed, expected
+// its live-neighbor count, and late how many live neighbors had not delivered
+// the current iteration when it fired (always 0 under the full barrier;
+// the deadline policy's straggler drops land here). Bucketed by iteration for
+// row emission and totaled for the run summary.
+type policyTracker struct {
+	merged, expected, late, aggs     []int64
+	mergedT, expectedT, lateT, aggsT int64
+}
+
+func newPolicyTracker(rounds int) *policyTracker {
+	return &policyTracker{
+		merged:   make([]int64, rounds),
+		expected: make([]int64, rounds),
+		late:     make([]int64, rounds),
+		aggs:     make([]int64, rounds),
+	}
+}
+
+// add records one aggregation at the given iteration.
+func (p *policyTracker) add(iter, merged, expected, late int) {
+	if iter >= 0 && iter < len(p.aggs) {
+		p.merged[iter] += int64(merged)
+		p.expected[iter] += int64(expected)
+		p.late[iter] += int64(late)
+		p.aggs[iter]++
+	}
+	p.mergedT += int64(merged)
+	p.expectedT += int64(expected)
+	p.lateT += int64(late)
+	p.aggsT++
+}
+
+// rowStats summarizes one iteration: mean merged payloads per aggregation and
+// the late fraction of expected payloads (zeros when nothing aggregated).
+func (p *policyTracker) rowStats(iter int) (eff, dropRate float64) {
+	if iter < 0 || iter >= len(p.aggs) {
+		return 0, 0
+	}
+	return policyStats(p.merged[iter], p.expected[iter], p.late[iter], p.aggs[iter])
+}
+
+// runStats summarizes the whole run; late is the total straggler-drop count.
+func (p *policyTracker) runStats() (eff, dropRate float64, late int64) {
+	eff, dropRate = policyStats(p.mergedT, p.expectedT, p.lateT, p.aggsT)
+	return eff, dropRate, p.lateT
+}
+
+func policyStats(merged, expected, late, aggs int64) (eff, dropRate float64) {
+	if aggs > 0 {
+		eff = float64(merged) / float64(aggs)
+	}
+	if expected > 0 {
+		dropRate = float64(late) / float64(expected)
+	}
+	return eff, dropRate
 }
 
 func summarizeLags(lags []float64) (mean, max, p95 float64) {

@@ -1,0 +1,95 @@
+package simulation
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSummarizeLags: the lag summary over the edge cases row emission hits —
+// no samples (nothing merged this iteration), a single sample (p95 must be
+// that sample, not an out-of-range rank), and a spread.
+func TestSummarizeLags(t *testing.T) {
+	cases := []struct {
+		name              string
+		lags              []float64
+		mean, maxLag, p95 float64
+	}{
+		{"empty", nil, 0, 0, 0},
+		{"empty-slice", []float64{}, 0, 0, 0},
+		{"one-sample", []float64{3}, 3, 3, 3},
+		{"uniform", []float64{2, 2, 2, 2}, 2, 2, 2},
+		// Nearest-rank p95 over 1..20 is the 19th smallest sample.
+		{"spread", []float64{20, 19, 18, 17, 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1}, 10.5, 20, 19},
+	}
+	for _, tc := range cases {
+		mean, maxLag, p95 := summarizeLags(tc.lags)
+		if mean != tc.mean || maxLag != tc.maxLag || p95 != tc.p95 {
+			t.Errorf("%s: summarizeLags = (%v,%v,%v), want (%v,%v,%v)",
+				tc.name, mean, maxLag, p95, tc.mean, tc.maxLag, tc.p95)
+		}
+		if math.IsNaN(mean) || math.IsNaN(p95) {
+			t.Errorf("%s: summary contains NaN", tc.name)
+		}
+	}
+}
+
+// TestStaleTrackerRowStats: per-iteration bucketing, including out-of-range
+// iterations (churn rejoins can aggregate past the recorded horizon) and
+// iterations nothing aggregated at.
+func TestStaleTrackerRowStats(t *testing.T) {
+	s := newStaleTracker(3)
+	s.add(0, []float64{1, 3})
+	s.add(2, []float64{2})
+	s.add(5, []float64{9})  // beyond the horizon: run summary only
+	s.add(-1, []float64{9}) // defensive: never emitted as a row
+
+	if mean, maxLag, p95 := s.rowStats(0); mean != 2 || maxLag != 3 || p95 != 3 {
+		t.Fatalf("iter 0: (%v,%v,%v)", mean, maxLag, p95)
+	}
+	if mean, maxLag, p95 := s.rowStats(1); mean != 0 || maxLag != 0 || p95 != 0 {
+		t.Fatalf("empty iter 1 not all-zero: (%v,%v,%v)", mean, maxLag, p95)
+	}
+	if mean, _, _ := s.rowStats(2); mean != 2 {
+		t.Fatalf("iter 2 mean %v", mean)
+	}
+	for _, iter := range []int{-1, 3, 99} {
+		if mean, maxLag, p95 := s.rowStats(iter); mean != 0 || maxLag != 0 || p95 != 0 {
+			t.Fatalf("out-of-range iter %d not all-zero: (%v,%v,%v)", iter, mean, maxLag, p95)
+		}
+	}
+	// The run summary pools everything, including out-of-range samples.
+	if mean, maxLag, _ := s.runStats(); maxLag != 9 || mean != (1+3+2+9+9)/5.0 {
+		t.Fatalf("run summary (%v,%v)", mean, maxLag)
+	}
+}
+
+// TestPolicyTracker: effective-neighbor and drop-rate accounting, including
+// the zero-aggregation case (all zeros, no division by zero).
+func TestPolicyTracker(t *testing.T) {
+	p := newPolicyTracker(2)
+	if eff, rate := p.rowStats(0); eff != 0 || rate != 0 {
+		t.Fatalf("fresh tracker row: (%v,%v)", eff, rate)
+	}
+	if eff, rate, late := p.runStats(); eff != 0 || rate != 0 || late != 0 {
+		t.Fatalf("fresh tracker run: (%v,%v,%d)", eff, rate, late)
+	}
+
+	p.add(0, 4, 4, 0) // full barrier aggregation
+	p.add(0, 2, 4, 2) // straggler-dropping aggregation
+	p.add(1, 3, 3, 0)
+	p.add(7, 1, 4, 3) // out of range: run totals only
+
+	if eff, rate := p.rowStats(0); eff != 3 || rate != 0.25 {
+		t.Fatalf("iter 0: eff %v, rate %v", eff, rate)
+	}
+	if eff, rate := p.rowStats(1); eff != 3 || rate != 0 {
+		t.Fatalf("iter 1: eff %v, rate %v", eff, rate)
+	}
+	if eff, rate := p.rowStats(5); eff != 0 || rate != 0 {
+		t.Fatalf("out-of-range row: (%v,%v)", eff, rate)
+	}
+	eff, rate, late := p.runStats()
+	if eff != 10.0/4 || rate != 5.0/15 || late != 5 {
+		t.Fatalf("run totals: eff %v, rate %v, late %d", eff, rate, late)
+	}
+}

@@ -3,6 +3,7 @@ package simulation
 import (
 	"bytes"
 	"math"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -22,8 +23,20 @@ func recordedRun(t *testing.T, rounds int, mut func(*AsyncConfig)) (*trace.Trace
 		if cfg.Gossip {
 			policy = trace.PolicyGossip
 		}
+		meta := map[string]string{}
+		if cfg.Policy != nil {
+			policy = cfg.Policy.Name()
+			switch p := cfg.Policy.(type) {
+			case BoundedStalenessPolicy:
+				meta["policy_k"] = strconv.Itoa(p.K)
+				meta["policy_tau"] = strconv.Itoa(p.Tau)
+				meta["policy_adaptive"] = strconv.FormatBool(p.AdaptiveTau)
+			case DeadlinePolicy:
+				meta["policy_deadline_factor"] = strconv.FormatFloat(p.Factor, 'g', -1, 64)
+			}
+		}
 		rec = trace.NewRecorder(trace.Header{
-			Nodes: 8, Rounds: rounds, Source: trace.SourceSim, Policy: policy,
+			Nodes: 8, Rounds: rounds, Source: trace.SourceSim, Policy: policy, Meta: meta,
 		})
 		cfg.Record = rec
 	})
@@ -52,6 +65,17 @@ func TestRecordReplayIdentical(t *testing.T) {
 		{"gossip-het", func(cfg *AsyncConfig) {
 			cfg.Gossip = true
 			cfg.Het = Heterogeneity{ComputeSpread: 0.6, BandwidthSpread: 0.4, Seed: 21}
+		}},
+		{"bounded-het-churn", func(cfg *AsyncConfig) {
+			cfg.Policy = BoundedStalenessPolicy{K: 2, Tau: 1}
+			cfg.Het = Heterogeneity{ComputeSpread: 0.7, BandwidthSpread: 0.3, Seed: 11}
+			cfg.Churn = GenerateChurn(8, 0.25, 0.02, 0.3, 0.1, 9)
+		}},
+		{"deadline-het-drops", func(cfg *AsyncConfig) {
+			cfg.Policy = DeadlinePolicy{Factor: 1.2}
+			cfg.Het = Heterogeneity{ComputeSpread: 1.0, BandwidthSpread: 0.4, Seed: 5}
+			cfg.DropProb = 0.1
+			cfg.FaultSeed = 3
 		}},
 	}
 	for _, tc := range cases {
@@ -138,7 +162,8 @@ func metricsEqual(a, b RoundMetrics) bool {
 		a.CumTotalBytes == b.CumTotalBytes && a.CumModelBytes == b.CumModelBytes &&
 		a.CumMetaBytes == b.CumMetaBytes && a.SimTime == b.SimTime &&
 		eq(a.MeanAlpha, b.MeanAlpha) &&
-		a.StaleMean == b.StaleMean && a.StaleMax == b.StaleMax && a.StaleP95 == b.StaleP95
+		a.StaleMean == b.StaleMean && a.StaleMax == b.StaleMax && a.StaleP95 == b.StaleP95 &&
+		a.EffNeighbors == b.EffNeighbors && a.DropRate == b.DropRate
 }
 
 // TestReplayMismatchErrors: replaying against a different configuration must

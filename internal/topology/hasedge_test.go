@@ -65,6 +65,35 @@ func TestHasEdgeSearchFallback(t *testing.T) {
 	}
 }
 
+// TestHasEdgeBitmapBoundary: the bitmap/binary-search seam sits at exactly
+// maxBitmapNodes — a 4096-node graph must materialize the bitmap (2 MiB,
+// still worth it), a 4097-node graph must never allocate N² bits. Full O(N²)
+// verification is too slow at this size; ring graphs make the true edge set
+// checkable per node.
+func TestHasEdgeBitmapBoundary(t *testing.T) {
+	check := func(t *testing.T, g *Graph, wantBitmap bool) {
+		t.Helper()
+		for _, i := range []int{0, 1, g.N / 2, g.N - 2, g.N - 1} {
+			prev, next := (i+g.N-1)%g.N, (i+1)%g.N
+			if !g.HasEdge(i, prev) || !g.HasEdge(i, next) {
+				t.Fatalf("N=%d: ring edge at node %d missing", g.N, i)
+			}
+			far := (i + g.N/2) % g.N
+			if far != prev && far != next && far != i && g.HasEdge(i, far) {
+				t.Fatalf("N=%d: phantom edge (%d,%d)", g.N, i, far)
+			}
+			if g.HasEdge(i, i) {
+				t.Fatalf("N=%d: self-loop at %d", g.N, i)
+			}
+		}
+		if got := g.bitmap != nil; got != wantBitmap {
+			t.Fatalf("N=%d: bitmap built = %v, want %v", g.N, got, wantBitmap)
+		}
+	}
+	t.Run("at-cap", func(t *testing.T) { check(t, Ring(maxBitmapNodes), true) })
+	t.Run("past-cap", func(t *testing.T) { check(t, Ring(maxBitmapNodes+1), false) })
+}
+
 // TestSLEMScratchReuse: the scratch-reusing SLEM must reproduce the
 // allocation-per-call estimate bit for bit across differently sized and
 // live-restricted queries, in any order.

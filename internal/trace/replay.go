@@ -27,12 +27,13 @@ type arrivalRec struct {
 
 // Replayer indexes a trace for schedule playback.
 type Replayer struct {
-	header Header
-	train  map[trainKey][]float64
-	arr    map[sendKey][]arrivalRec
-	sends  map[sendKey][]bool // recorded per-send dropped flags
-	churn  []Event
-	epochs []Event
+	header    Header
+	train     map[trainKey][]float64
+	arr       map[sendKey][]arrivalRec
+	sends     map[sendKey][]bool // recorded per-send dropped flags
+	deadlines map[trainKey][]float64
+	churn     []Event
+	epochs    []Event
 }
 
 // NewReplayer validates t and builds the schedule index.
@@ -41,10 +42,11 @@ func NewReplayer(t *Trace) (*Replayer, error) {
 		return nil, err
 	}
 	r := &Replayer{
-		header: t.Header,
-		train:  make(map[trainKey][]float64),
-		arr:    make(map[sendKey][]arrivalRec),
-		sends:  make(map[sendKey][]bool),
+		header:    t.Header,
+		train:     make(map[trainKey][]float64),
+		arr:       make(map[sendKey][]arrivalRec),
+		sends:     make(map[sendKey][]bool),
+		deadlines: make(map[trainKey][]float64),
 	}
 	for _, ev := range t.Events {
 		switch ev.Kind {
@@ -58,6 +60,9 @@ func NewReplayer(t *Trace) (*Replayer, error) {
 			// The arrival's subject is the receiver; Peer is the sender.
 			k := sendKey{ev.Peer, ev.Node, ev.Iter}
 			r.arr[k] = append(r.arr[k], arrivalRec{time: ev.Time, dropped: ev.Dropped})
+		case KindDeadline:
+			k := trainKey{ev.Node, ev.Iter}
+			r.deadlines[k] = append(r.deadlines[k], ev.Time)
 		case KindLeave, KindJoin:
 			r.churn = append(r.churn, ev)
 		case KindEpoch:
@@ -114,6 +119,20 @@ func (r *Replayer) NextSend(from, to, iter int) (dropped, ok bool) {
 		return false, false
 	}
 	r.sends[k] = q[1:]
+	return q[0], true
+}
+
+// NextDeadline consumes and returns the next recorded straggler-deadline
+// firing for node's iteration iter. ok is false when no (further) deadline
+// was recorded for that iteration — the original run aggregated early every
+// time (or ended first), so the replay schedules nothing.
+func (r *Replayer) NextDeadline(node, iter int) (t float64, ok bool) {
+	k := trainKey{node, iter}
+	q := r.deadlines[k]
+	if len(q) == 0 {
+		return 0, false
+	}
+	r.deadlines[k] = q[1:]
 	return q[0], true
 }
 

@@ -139,6 +139,63 @@ func TestStreamRecorderTruncation(t *testing.T) {
 	}
 }
 
+// TestStreamRecorderCloseIdempotent: Close and Abort must be safe to call in
+// any order after finalization — a second Close must not append a second
+// footer, Abort after Close must not un-finalize the file, and Close after
+// Abort must not graft a footer onto a deliberately truncated recording.
+func TestStreamRecorderCloseIdempotent(t *testing.T) {
+	src := sampleTrace()
+	for _, binary := range []bool{false, true} {
+		var buf bytes.Buffer
+		sr, err := NewStreamRecorder(&buf, src.Header, binary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range src.Events {
+			sr.Record(ev)
+		}
+		if err := sr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		closed := buf.Len()
+		if err := sr.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+		if err := sr.Abort(); err != nil {
+			t.Fatalf("Abort after Close: %v", err)
+		}
+		if buf.Len() != closed {
+			t.Fatalf("finalized recording grew from %d to %d bytes", closed, buf.Len())
+		}
+		if _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("finalized recording unreadable after redundant calls: %v", err)
+		}
+	}
+
+	// Close after Abort: the file must stay truncated.
+	var buf bytes.Buffer
+	sr, err := NewStreamRecorder(&buf, src.Header, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range src.Events[:3] {
+		sr.Record(ev)
+	}
+	if err := sr.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	aborted := buf.Len()
+	if err := sr.Close(); err != nil {
+		t.Fatalf("Close after Abort: %v", err)
+	}
+	if buf.Len() != aborted {
+		t.Fatalf("Close after Abort appended %d bytes", buf.Len()-aborted)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("aborted recording reads as %v, want ErrTruncated", err)
+	}
+}
+
 // TestStreamRecorderHardTruncation: cutting the byte stream mid-event (the
 // other way a kill can land) must also be ErrTruncated.
 func TestStreamRecorderHardTruncation(t *testing.T) {

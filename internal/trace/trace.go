@@ -62,6 +62,11 @@ const (
 	// KindEpoch marks a topology rotation: the run entered epoch Iter at
 	// Time. Node is 0 by convention (the event is global), Peer -1.
 	KindEpoch
+	// KindDeadline marks a straggler-dropping deadline firing for Node's
+	// iteration Iter (the deadline aggregation policy). Part of the
+	// authoritative schedule: a replay consumes recorded deadline times
+	// instead of re-deriving them from hardware profiles.
+	KindDeadline
 	kindEnd // exclusive upper bound for validation
 )
 
@@ -73,6 +78,7 @@ var kindNames = map[Kind]string{
 	KindLeave:     "leave",
 	KindJoin:      "join",
 	KindEpoch:     "epoch",
+	KindDeadline:  "deadline",
 }
 
 var kindByName = func() map[string]Kind {
@@ -130,7 +136,10 @@ type Header struct {
 	// seconds) or "cluster" for real runs (wall-clock seconds since the
 	// coordinator's start signal).
 	Source string `json:"source"`
-	// Policy is the aggregation policy: "barrier" or "gossip".
+	// Policy is the aggregation policy: "barrier", "gossip", "bounded"
+	// (bounded staleness), or "deadline" (straggler-dropping barrier).
+	// Bounded/deadline parameters travel in Meta (policy_k, policy_tau,
+	// policy_adaptive, policy_deadline_factor) so replays can verify them.
 	Policy string `json:"policy"`
 	// Meta carries free-form run parameters (dataset, scale, algo, seed...)
 	// so tools can rebuild the fleet for replay without extra flags.
@@ -145,8 +154,10 @@ const (
 
 // Aggregation policies.
 const (
-	PolicyBarrier = "barrier"
-	PolicyGossip  = "gossip"
+	PolicyBarrier  = "barrier"
+	PolicyGossip   = "gossip"
+	PolicyBounded  = "bounded"
+	PolicyDeadline = "deadline"
 )
 
 // Event is one entry of the executed schedule. Field use by kind:
@@ -161,6 +172,7 @@ const (
 //	leave/join  Node left or rejoined the run (churn)
 //	epoch       the communication topology rotated into epoch Iter
 //	            (Node is 0 by convention: the change is global)
+//	deadline    Node's straggler-dropping deadline for iteration Iter fired
 type Event struct {
 	// Time is seconds since run start (simulated or wall-clock per
 	// Header.Source). Within a trace, times are non-decreasing.
