@@ -91,6 +91,10 @@ func run() error {
 				return
 			}
 			defer f.Close()
+			// The GC must run before the heap is profiled: WriteHeapProfile
+			// reports the live set as of the last collection, so skipping it
+			// snapshots whatever garbage the final iteration left and the
+			// profile overstates retained memory by that noise.
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "jwins-bench: memprofile:", err)

@@ -15,15 +15,29 @@
 // The emitted trace replays through the simulator (jwins-trace replay) to
 // check schedule parity and measure the time model's error against observed
 // wall-clock timings.
+//
+// -telemetry-addr serves live introspection over HTTP while the run executes:
+// Prometheus text exposition on /metrics (workers stream their schedule
+// progress — rounds, sends, bytes, barrier waits — into it), Go expvar on
+// /debug/vars, and the pprof endpoints under /debug/pprof/.
+//
+// Both roles shut down gracefully on SIGINT/SIGTERM: the coordinator closes
+// its control listener and finalizes -trace-out (a run cut short leaves a
+// file readers report as truncated, never a silently corrupt one); a worker
+// closes its control and data-plane sockets so every blocked peer unwinds.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -32,6 +46,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jwins-node:", err)
 		os.Exit(1)
 	}
+}
+
+// interruptChan converts SIGINT/SIGTERM into a closed channel, the shape
+// cluster.WorkerOptions.Interrupt and the coordinator's stop path consume.
+func interruptChan() <-chan struct{} {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	intr := make(chan struct{})
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "jwins-node: %v: shutting down\n", s)
+		close(intr)
+		// A second signal kills the process the default way.
+		signal.Stop(sig)
+	}()
+	return intr
 }
 
 func run() error {
@@ -50,8 +80,12 @@ func run() error {
 		algo     = flag.String("algo", "jwins", "coordinator: algorithm name")
 		seed     = flag.Uint64("seed", 42, "coordinator: root random seed")
 		traceOut = flag.String("trace-out", "", "coordinator: write the merged cluster trace here (.jtb = binary, else JSONL)")
+
+		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while the run executes")
 	)
 	flag.Parse()
+
+	intr := interruptChan()
 
 	switch *role {
 	case "coordinator":
@@ -63,25 +97,7 @@ func run() error {
 			Dataset: *dataset, Scale: *scale, Algo: *algo,
 			Nodes: *nodes, Rounds: *rounds, Seed: *seed,
 		}
-		c, err := cluster.NewCoordinator(addr, cfg)
-		if err != nil {
-			return err
-		}
-		c.Timeout = *timeout
-		fmt.Printf("coordinator listening on %s: %d nodes, %s/%s/%s, %d rounds, seed %d\n",
-			c.Addr(), cfg.Nodes, cfg.Dataset, cfg.Scale, cfg.Algo, cfg.Rounds, cfg.Seed)
-		tr, err := c.Run()
-		if err != nil {
-			return err
-		}
-		fmt.Print(trace.ComputeStats(tr))
-		if *traceOut != "" {
-			if err := trace.WriteFile(*traceOut, tr); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s (%d events)\n", *traceOut, len(tr.Events))
-		}
-		return nil
+		return runCoordinator(addr, cfg, *timeout, *traceOut, *telemetryAddr, intr)
 
 	case "worker":
 		if *coord == "" {
@@ -91,9 +107,87 @@ func run() error {
 		if dataListen == "" {
 			dataListen = "127.0.0.1:0"
 		}
-		return cluster.RunWorker(*coord, dataListen, *timeout)
+		return runWorker(*coord, dataListen, *timeout, *telemetryAddr, intr)
 
 	default:
 		return fmt.Errorf("unknown role %q (want coordinator or worker)", *role)
 	}
+}
+
+// runCoordinator drives one coordinated run. The trace streams to traceOut
+// through a StreamRecorder once the merged schedule is available; an
+// interrupted or failed run aborts the recording so the file on disk reads as
+// truncated rather than masquerading as a complete trace.
+func runCoordinator(addr string, cfg cluster.RunConfig, timeout time.Duration, traceOut, telemetryAddr string, intr <-chan struct{}) error {
+	c, err := cluster.NewCoordinator(addr, cfg)
+	if err != nil {
+		return err
+	}
+	c.Timeout = timeout
+	go func() {
+		<-intr
+		c.Stop()
+	}()
+
+	if telemetryAddr != "" {
+		// The coordinator has no per-round counters of its own; the endpoint
+		// still serves the process-level surfaces (expvar, pprof) and an
+		// empty exposition.
+		srv, err := metrics.Serve(telemetryAddr, metrics.New())
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+
+	var rec *trace.StreamRecorder
+	if traceOut != "" {
+		rec, err = trace.NewStreamRecorderFile(traceOut, cfg.Header())
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("coordinator listening on %s: %d nodes, %s/%s/%s, %d rounds, seed %d\n",
+		c.Addr(), cfg.Nodes, cfg.Dataset, cfg.Scale, cfg.Algo, cfg.Rounds, cfg.Seed)
+	tr, err := c.Run()
+	if err != nil {
+		if rec != nil {
+			// Abort, don't Close: the file must read as truncated, not as a
+			// finalized trace of a run that never completed.
+			rec.Abort()
+		}
+		if errors.Is(err, cluster.ErrStopped) {
+			fmt.Println("coordinator stopped before the run completed")
+		}
+		return err
+	}
+	fmt.Print(trace.ComputeStats(tr))
+	if rec != nil {
+		for _, ev := range tr.Events {
+			rec.Record(ev)
+		}
+		// Close writes the footer that makes the file a complete trace.
+		if err := rec.Close(); err != nil {
+			return fmt.Errorf("finalizing %s: %w", traceOut, err)
+		}
+		fmt.Printf("wrote %s (%d events)\n", traceOut, len(tr.Events))
+	}
+	return nil
+}
+
+// runWorker executes one worker, optionally serving its live metrics.
+func runWorker(coordAddr, dataListen string, timeout time.Duration, telemetryAddr string, intr <-chan struct{}) error {
+	opts := cluster.WorkerOptions{Timeout: timeout, Interrupt: intr}
+	if telemetryAddr != "" {
+		opts.Metrics = cluster.NewWorkerMetrics()
+		srv, err := metrics.Serve(telemetryAddr, opts.Metrics.Registry())
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	return cluster.RunWorkerOpts(coordAddr, dataListen, opts)
 }

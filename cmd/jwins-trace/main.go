@@ -4,8 +4,16 @@
 //	jwins-trace stats run.jsonl           # counts, byte ledger, staleness
 //	jwins-trace diff sim.jsonl real.jsonl # per-event time error, ordering
 //	jwins-trace convert run.jsonl run.jtb # re-encode (JSONL <-> binary)
+//	jwins-trace timeline run.jtb run.json # Chrome trace-event JSON (Perfetto)
 //	jwins-trace replay run.jsonl          # re-execute through the simulator
 //	jwins-trace replay -check run.jsonl   # exit non-zero on parity failure
+//
+// timeline converts a recording into the Chrome trace-event format: load the
+// output at https://ui.perfetto.dev (or chrome://tracing) for a browsable
+// Gantt of per-node train/wait spans, churn and deadline markers, epoch
+// boundaries, and the cumulative wire-byte counter. Truncated recordings
+// convert like stats computes: the readable prefix becomes a valid timeline
+// and a warning lands on stderr.
 //
 // replay rebuilds the fleet from the trace header's metadata (dataset,
 // scale, algo, seed), re-executes the recorded schedule through the async
@@ -50,7 +58,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: jwins-trace stats <file> | diff <a> <b> | convert <in> <out> | replay [-check] <file>")
+	return fmt.Errorf("usage: jwins-trace stats <file> | diff <a> <b> | convert <in> <out> | timeline <in> <out.json> | replay [-check] <file>")
 }
 
 func run() error {
@@ -102,6 +110,12 @@ func run() error {
 		fmt.Printf("wrote %s (%d events)\n", os.Args[3], len(tr.Events))
 		return nil
 
+	case "timeline":
+		if len(os.Args) != 4 {
+			return usage()
+		}
+		return timelineCmd(os.Args[2], os.Args[3], os.Stdout, os.Stderr)
+
 	case "replay":
 		fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 		check := fs.Bool("check", false, "exit non-zero unless the replay matches the trace exactly")
@@ -135,6 +149,22 @@ func statsCmd(path string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "WARNING: trace is truncated (%v); stats cover the %d readable events\n", err, stats.Events)
 	}
 	fmt.Fprint(stdout, stats)
+	return nil
+}
+
+// timelineCmd implements the timeline subcommand: src (JSONL or .jtb) is
+// converted to Chrome trace-event JSON at dst. Truncation degrades gracefully
+// — the readable prefix becomes a complete, loadable timeline — with the
+// warning on stderr so scripted stdout stays clean.
+func timelineCmd(src, dst string, stdout, stderr io.Writer) error {
+	n, err := trace.WriteTimelineFile(dst, src)
+	if err != nil && !errors.Is(err, trace.ErrTruncated) {
+		return err
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "WARNING: trace is truncated (%v); timeline covers the readable prefix\n", err)
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d timeline records); load it at https://ui.perfetto.dev\n", dst, n)
 	return nil
 }
 

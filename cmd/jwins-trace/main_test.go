@@ -1,11 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/perf"
+	"repro/internal/simulation"
 	"repro/internal/trace"
 )
 
@@ -57,5 +60,98 @@ func TestStatsHardCorruption(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if err := statsCmd(path, &stdout, &stderr); err == nil {
 		t.Fatalf("statsCmd accepted garbage; stdout:\n%s", stdout.String())
+	}
+}
+
+// TestTimeline256NodeRecording is the acceptance run for the timeline
+// subcommand: record a real 256-node async run to disk, convert it, and
+// check the output is valid Chrome trace-event JSON — every record carries
+// the format's required keys (name/ph/ts/pid/tid; dur on complete events).
+func TestTimeline256NodeRecording(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a 256-node engine run")
+	}
+	const rounds = 4
+	nodes, ds, topo, err := perf.ScaleFleet(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "run256"+trace.BinaryExt)
+	sr, err := trace.NewStreamRecorderFile(src, trace.Header{
+		Nodes: len(nodes), Rounds: rounds, Source: trace.SourceSim, Policy: trace.PolicyBarrier,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &simulation.AsyncEngine{
+		Nodes: nodes, Topology: topo, TestSet: ds,
+		Config: simulation.AsyncConfig{
+			Config: simulation.Config{Rounds: rounds, EvalEvery: rounds, EvalNodes: 8},
+			Het:    simulation.Heterogeneity{ComputeSpread: 0.3, Seed: perf.Seed},
+			Record: sr,
+		},
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := filepath.Join(dir, "run256.json")
+	var stdout, stderr strings.Builder
+	if err := timelineCmd(src, dst, &stdout, &stderr); err != nil {
+		t.Fatalf("timelineCmd: %v", err)
+	}
+	if stderr.Len() != 0 {
+		t.Fatalf("clean recording produced a warning:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "wrote "+dst) {
+		t.Fatalf("stdout lacks the summary line:\n%s", stdout.String())
+	}
+
+	buf, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	// 256 nodes × 4 rounds: at minimum a train span and a wait span per
+	// node-round, plus per-node metadata.
+	if len(doc.TraceEvents) < 4*256 {
+		t.Fatalf("only %d timeline records for a 256-node, %d-round run", len(doc.TraceEvents), rounds)
+	}
+	trains := 0
+	for i, rec := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := rec[key]; !ok {
+				t.Fatalf("record %d lacks required key %q: %v", i, key, rec)
+			}
+		}
+		ph, _ := rec["ph"].(string)
+		if ph == "X" {
+			dur, ok := rec["dur"].(float64)
+			if !ok && rec["dur"] != nil {
+				t.Fatalf("record %d: dur is not a number: %v", i, rec)
+			}
+			if dur < 0 {
+				t.Fatalf("record %d: negative dur: %v", i, rec)
+			}
+			if rec["name"] == "train" {
+				trains++
+			}
+		}
+	}
+	if trains < 256*rounds {
+		t.Fatalf("train spans = %d, want at least %d", trains, 256*rounds)
 	}
 }

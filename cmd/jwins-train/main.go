@@ -12,6 +12,12 @@
 //	jwins-train -dataset cifar10 -algo jwins -async -dynamic -epoch-sec 0.5
 //	jwins-train -dataset cifar10 -algo jwins -async -policy bounded -stale-tau 2
 //	jwins-train -dataset cifar10 -algo jwins -async -policy deadline -deadline-factor 1.5
+//	jwins-train -dataset cifar10 -algo jwins -async -telemetry-addr localhost:9090
+//
+// -telemetry-addr serves live introspection over HTTP while the run executes:
+// Prometheus text exposition on /metrics (async runs stream the engine's
+// queue/wait/speculation/byte counters into it), Go expvar on /debug/vars,
+// and the pprof profile endpoints under /debug/pprof/.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"repro/internal/choco"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/simulation"
 	"repro/internal/trace"
 	"repro/internal/vec"
@@ -68,6 +75,7 @@ func run() error {
 		traceOut       = flag.String("trace-out", "", "async: stream the executed schedule to this trace file as it runs (.jtb = binary, else JSONL; replay with jwins-trace)")
 		epochSec       = flag.Float64("epoch-sec", 0, "async: topology epoch length in simulated seconds (0 with -dynamic = one nominal round)")
 		mixingEvery    = flag.Int("mixing-every", 0, "async: compute the spectral gap only every k-th epoch (0/1 = every epoch, -1 = never; sampled-off epochs report NaN)")
+		telemetryAddr  = flag.String("telemetry-addr", "", "serve /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while the run executes")
 	)
 	flag.Parse()
 
@@ -148,6 +156,24 @@ func run() error {
 		}
 	}
 
+	// Live introspection: the registry serves while the run executes. Engine
+	// telemetry only exists under the async scheduler; a sync run still gets
+	// the process-level endpoints (expvar, pprof).
+	var tel *simulation.Telemetry
+	if *telemetryAddr != "" {
+		reg := metrics.New()
+		if *async {
+			tel = simulation.NewTelemetry()
+			reg = tel.Registry()
+		}
+		srv, err := metrics.Serve(*telemetryAddr, reg)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+
 	fmt.Printf("dataset=%s algo=%s nodes=%d degree=%d params=%d rounds=%d\n",
 		w.Name, *algo, w.Nodes, w.Degree, w.NewModel(vec.NewRNG(*seed)).ParamCount(), pick(*rounds, w.Rounds))
 	fmt.Printf("%-7s %-11s %-10s %-9s %-13s %-10s\n",
@@ -166,6 +192,7 @@ func run() error {
 		Policy:         policy,
 		ChurnFraction:  *churnFrac,
 		MixingEvery:    *mixingEvery,
+		Telemetry:      tel,
 		Het: simulation.Heterogeneity{
 			ComputeSpread:   *computeSpread,
 			BandwidthSpread: *bwSpread,
@@ -207,6 +234,11 @@ func run() error {
 			polName, res.EffNeighborsMean, res.DropRate*100, res.LateDrops)
 		fmt.Printf("mixing: %d epochs, spectral gap mean %.4f (min %.4f), neighbor turnover %.4f\n",
 			res.Epochs, res.SpectralGapMean, res.SpectralGapMin, res.TurnoverMean)
+		if res.Telemetry != nil {
+			ts := simulation.Summarize(res.Telemetry)
+			fmt.Printf("telemetry: queue p95 %.0f, policy wait p95 %.3fs, speculation hit rate %.0f%%\n",
+				ts.QueueP95, ts.WaitP95, ts.SpecHitRate*100)
+		}
 	}
 	if recorder != nil {
 		if err := recorder.Close(); err != nil {

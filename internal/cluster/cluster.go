@@ -16,9 +16,11 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -125,6 +127,11 @@ func expect(c *transport.ControlConn, want string) (ctrlMsg, error) {
 	return m, nil
 }
 
+// ErrStopped reports that Coordinator.Run unwound because Stop was called
+// (jwins-node wires SIGINT/SIGTERM to it) rather than through a protocol
+// failure.
+var ErrStopped = errors.New("cluster: coordinator stopped")
+
 // Coordinator runs the control plane of one cluster run.
 type Coordinator struct {
 	cfg RunConfig
@@ -132,6 +139,10 @@ type Coordinator struct {
 	// Timeout bounds each control-plane phase per worker (default 5m; the
 	// report phase spans the whole training run).
 	Timeout time.Duration
+
+	mu      sync.Mutex
+	stopped bool
+	conns   []*transport.ControlConn
 }
 
 // NewCoordinator starts listening for workers. Use "host:0" and Addr to
@@ -150,10 +161,54 @@ func NewCoordinator(listenAddr string, cfg RunConfig) (*Coordinator, error) {
 // Addr returns the control listen address workers dial.
 func (c *Coordinator) Addr() string { return c.srv.Addr() }
 
+// Stop aborts an in-flight Run from another goroutine: the control listener
+// and every accepted worker connection close, so whatever phase Run is
+// blocked in fails promptly and Run returns ErrStopped. Safe to call more
+// than once, and before or after Run finishes.
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	conns := c.conns
+	c.conns = nil
+	c.mu.Unlock()
+	c.srv.Close()
+	for _, conn := range conns {
+		conn.Close()
+	}
+}
+
+// trackConn registers an accepted worker connection so Stop can cut it.
+func (c *Coordinator) trackConn(conn *transport.ControlConn) {
+	c.mu.Lock()
+	stopped := c.stopped
+	if !stopped {
+		c.conns = append(c.conns, conn)
+	}
+	c.mu.Unlock()
+	if stopped {
+		conn.Close()
+	}
+}
+
+func (c *Coordinator) wasStopped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stopped
+}
+
 // Run drives one full cluster run: registration, address exchange, start
 // signal, report collection, and trace merge. It blocks until every worker
 // reported (or a phase times out) and returns the merged, validated trace.
+// A concurrent Stop makes it return ErrStopped.
 func (c *Coordinator) Run() (*trace.Trace, error) {
+	tr, err := c.run()
+	if err != nil && c.wasStopped() {
+		return nil, ErrStopped
+	}
+	return tr, err
+}
+
+func (c *Coordinator) run() (*trace.Trace, error) {
 	defer c.srv.Close()
 	n := c.cfg.Nodes
 	conns := make([]*transport.ControlConn, n)
@@ -172,6 +227,7 @@ func (c *Coordinator) Run() (*trace.Trace, error) {
 			return nil, err
 		}
 		conns[i] = conn
+		c.trackConn(conn)
 		conn.SetDeadline(time.Now().Add(c.Timeout))
 		if _, err := expect(conn, "hello"); err != nil {
 			return nil, err

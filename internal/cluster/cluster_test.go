@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -85,6 +87,137 @@ func TestClusterLoopbackReplayParity(t *testing.T) {
 	// The replay must also carry the wall-clock span into simulated time.
 	if res.SimTime <= 0 {
 		t.Fatalf("replayed SimTime = %v", res.SimTime)
+	}
+}
+
+// TestClusterWorkerMetrics: a loopback run with live worker metrics must
+// count the full schedule — and expose it as non-empty Prometheus text. The
+// instrumentation is observational, so the merged trace is as complete as an
+// unmetered run's.
+func TestClusterWorkerMetrics(t *testing.T) {
+	cfg := RunConfig{Dataset: "cifar10", Scale: "micro", Algo: "jwins", Nodes: 4, Rounds: 3, Seed: 7}
+	coord, err := NewCoordinator("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Timeout = 2 * time.Minute
+	wms := make([]*WorkerMetrics, cfg.Nodes)
+	workerErrs := make(chan error, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		wms[i] = NewWorkerMetrics()
+		go func(wm *WorkerMetrics) {
+			workerErrs <- RunWorkerOpts(coord.Addr(), "127.0.0.1:0", WorkerOptions{
+				Timeout: 2 * time.Minute, Metrics: wm,
+			})
+		}(wms[i])
+	}
+	tr, err := coord.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		if err := <-workerErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := trace.ComputeStats(tr)
+	var sends, bytes int64
+	for i, wm := range wms {
+		snap := wm.Snapshot()
+		if got := snap.Counter(MetricWorkerRounds); got != int64(cfg.Rounds) {
+			t.Fatalf("worker %d: rounds counter = %d, want %d", i, got, cfg.Rounds)
+		}
+		if got := snap.Counter(MetricWorkerArrivals); got == 0 {
+			t.Fatalf("worker %d: no arrivals counted", i)
+		}
+		wait, ok := snap.Histogram(MetricWorkerBarrierWait)
+		if !ok || wait.Count != int64(cfg.Rounds) {
+			t.Fatalf("worker %d: barrier-wait observations = %d (ok=%v), want %d", i, wait.Count, ok, cfg.Rounds)
+		}
+		sends += snap.Counter(MetricWorkerSends)
+		bytes += snap.Counter(MetricWorkerBytes)
+
+		var expo strings.Builder
+		if err := wm.Registry().WritePrometheus(&expo); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(expo.String(), MetricWorkerRounds) {
+			t.Fatalf("worker %d: exposition lacks %s:\n%s", i, MetricWorkerRounds, expo.String())
+		}
+	}
+	// The fleet-wide counters must agree with the merged trace's ledger.
+	if sends != int64(stats.ByKind[trace.KindSend]) {
+		t.Fatalf("metered sends %d, trace records %d", sends, stats.ByKind[trace.KindSend])
+	}
+	if bytes != stats.TotalBytes {
+		t.Fatalf("metered bytes %d, trace ledger %d", bytes, stats.TotalBytes)
+	}
+}
+
+// TestClusterCoordinatorStop: Stop from another goroutine unwinds a Run
+// blocked on worker registration, promptly and with the typed error.
+func TestClusterCoordinatorStop(t *testing.T) {
+	cfg := RunConfig{Dataset: "cifar10", Scale: "micro", Algo: "jwins", Nodes: 2, Rounds: 2, Seed: 5}
+	coord, err := NewCoordinator("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Run()
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let Run reach Accept
+	coord.Stop()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("Run returned %v, want ErrStopped", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not unwind after Stop")
+	}
+	coord.Stop() // idempotent
+}
+
+// TestClusterWorkerInterrupt: firing WorkerOptions.Interrupt mid-protocol
+// closes the worker's sockets and surfaces ErrInterrupted — the SIGINT path
+// of jwins-node, minus the signal.
+func TestClusterWorkerInterrupt(t *testing.T) {
+	// Four-node config but only one worker ever dials: the worker blocks
+	// waiting for the start signal that cannot come.
+	cfg := RunConfig{Dataset: "cifar10", Scale: "micro", Algo: "jwins", Nodes: 4, Rounds: 2, Seed: 5}
+	coord, err := NewCoordinator("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordDone := make(chan struct{})
+	go func() {
+		coord.Run()
+		close(coordDone)
+	}()
+	intr := make(chan struct{})
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- RunWorkerOpts(coord.Addr(), "127.0.0.1:0", WorkerOptions{
+			Timeout: 2 * time.Minute, Interrupt: intr,
+		})
+	}()
+	time.Sleep(100 * time.Millisecond) // let the worker reach a blocking phase
+	close(intr)
+	select {
+	case err := <-workerDone:
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("worker returned %v, want ErrInterrupted", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not unwind after interrupt")
+	}
+	coord.Stop()
+	select {
+	case <-coordDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator did not unwind after Stop")
 	}
 }
 

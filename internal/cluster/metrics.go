@@ -1,0 +1,62 @@
+// metrics.go is the cluster counterpart of the engine's telemetry: a worker
+// streams its schedule progress — rounds, sends, arrivals, wire bytes, wall-
+// clock barrier waits — into an internal/metrics registry that jwins-node can
+// serve live over HTTP (-telemetry-addr) while the run executes. Like the
+// simulator's, the instrumentation is strictly observational: nothing reads a
+// metric back, so the executed schedule (and the trace it reports) is
+// identical with metrics on or off.
+package cluster
+
+import (
+	"repro/internal/metrics"
+)
+
+// Worker metric names (Prometheus families).
+const (
+	// MetricWorkerRounds counts completed iterations (train + barrier +
+	// aggregate); MetricWorkerIteration is the current iteration gauge.
+	MetricWorkerRounds    = "jwins_worker_rounds_total"
+	MetricWorkerIteration = "jwins_worker_iteration"
+	// MetricWorkerSends / MetricWorkerArrivals count data-plane payloads.
+	MetricWorkerSends    = "jwins_worker_sends_total"
+	MetricWorkerArrivals = "jwins_worker_arrivals_total"
+	// MetricWorkerBytes is cumulative wire bytes sent (payload + framing).
+	MetricWorkerBytes = "jwins_worker_bytes_total"
+	// MetricWorkerBarrierWait is the wall-clock seconds per iteration spent
+	// blocked on the neighborhood barrier (broadcast done → inbox full).
+	MetricWorkerBarrierWait = "jwins_worker_barrier_wait_seconds"
+)
+
+// WorkerMetrics bundles a worker's pre-registered metrics. Create one with
+// NewWorkerMetrics, pass it via WorkerOptions.Metrics, and serve Registry()
+// with metrics.Serve for live scraping.
+type WorkerMetrics struct {
+	reg *metrics.Registry
+
+	rounds    *metrics.Counter
+	iteration *metrics.Gauge
+	sends     *metrics.Counter
+	arrivals  *metrics.Counter
+	bytes     *metrics.Counter
+	wait      *metrics.Histogram
+}
+
+// NewWorkerMetrics builds a WorkerMetrics on a fresh registry.
+func NewWorkerMetrics() *WorkerMetrics {
+	m := &WorkerMetrics{reg: metrics.New()}
+	m.rounds = m.reg.Counter(MetricWorkerRounds, "completed schedule iterations")
+	m.iteration = m.reg.Gauge(MetricWorkerIteration, "current schedule iteration")
+	m.sends = m.reg.Counter(MetricWorkerSends, "data-plane payloads sent")
+	m.arrivals = m.reg.Counter(MetricWorkerArrivals, "data-plane payloads received")
+	m.bytes = m.reg.Counter(MetricWorkerBytes, "cumulative wire bytes sent (payload+framing)")
+	m.wait = m.reg.Histogram(MetricWorkerBarrierWait, "wall-clock seconds blocked on the neighborhood barrier",
+		[]float64{1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30})
+	return m
+}
+
+// Registry exposes the underlying registry for metrics.Serve or a custom
+// exposition.
+func (m *WorkerMetrics) Registry() *metrics.Registry { return m.reg }
+
+// Snapshot returns a point-in-time copy of every metric.
+func (m *WorkerMetrics) Snapshot() *metrics.Snapshot { return m.reg.Snapshot() }

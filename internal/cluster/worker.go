@@ -7,7 +7,10 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -16,11 +19,94 @@ import (
 	"repro/internal/transport"
 )
 
+// ErrInterrupted reports that a worker unwound because its
+// WorkerOptions.Interrupt channel fired (jwins-node wires SIGINT/SIGTERM to
+// it): the control connection and data plane were closed, so whatever phase
+// the worker was blocked in failed promptly.
+var ErrInterrupted = errors.New("cluster: worker interrupted")
+
+// WorkerOptions tunes RunWorkerOpts beyond the two required addresses.
+type WorkerOptions struct {
+	// Timeout bounds each control-plane phase (default 5m).
+	Timeout time.Duration
+	// Metrics, if set, streams schedule progress into the given registry as
+	// the run executes (observational only; see NewWorkerMetrics).
+	Metrics *WorkerMetrics
+	// Interrupt, if non-nil, aborts the worker when it becomes readable or
+	// closed: every open connection is shut so blocking reads fail, and the
+	// worker returns ErrInterrupted.
+	Interrupt <-chan struct{}
+}
+
+// interruptGuard closes registered resources once fire is called — including
+// resources registered after the fact, so a worker that opens its data plane
+// mid-interrupt still unwinds.
+type interruptGuard struct {
+	mu      sync.Mutex
+	fired   bool
+	closers []io.Closer
+}
+
+func (g *interruptGuard) add(c io.Closer) {
+	g.mu.Lock()
+	fired := g.fired
+	if !fired {
+		g.closers = append(g.closers, c)
+	}
+	g.mu.Unlock()
+	if fired {
+		c.Close()
+	}
+}
+
+func (g *interruptGuard) fire() {
+	g.mu.Lock()
+	g.fired = true
+	closers := g.closers
+	g.closers = nil
+	g.mu.Unlock()
+	for _, c := range closers {
+		c.Close()
+	}
+}
+
+func (g *interruptGuard) wasFired() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.fired
+}
+
 // RunWorker executes one worker against the coordinator at coordAddr.
 // dataListen is the data-plane listen address ("127.0.0.1:0" on loopback; a
 // routable host:0 across machines). It blocks until the coordinator releases
 // the run.
 func RunWorker(coordAddr, dataListen string, timeout time.Duration) error {
+	return RunWorkerOpts(coordAddr, dataListen, WorkerOptions{Timeout: timeout})
+}
+
+// RunWorkerOpts is RunWorker with live metrics and interrupt support.
+func RunWorkerOpts(coordAddr, dataListen string, opts WorkerOptions) error {
+	guard := &interruptGuard{}
+	if opts.Interrupt != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-opts.Interrupt:
+				guard.fire()
+			case <-stop:
+			}
+		}()
+	}
+	err := runWorker(coordAddr, dataListen, opts, guard)
+	if err != nil && guard.wasFired() {
+		return ErrInterrupted
+	}
+	return err
+}
+
+func runWorker(coordAddr, dataListen string, opts WorkerOptions, guard *interruptGuard) error {
+	timeout := opts.Timeout
 	if timeout <= 0 {
 		timeout = 5 * time.Minute
 	}
@@ -29,6 +115,7 @@ func RunWorker(coordAddr, dataListen string, timeout time.Duration) error {
 		return err
 	}
 	defer conn.Close()
+	guard.add(conn)
 
 	conn.SetDeadline(time.Now().Add(timeout))
 	if err := conn.Send(ctrlMsg{Type: "hello"}); err != nil {
@@ -55,6 +142,7 @@ func RunWorker(coordAddr, dataListen string, timeout time.Duration) error {
 		return fmt.Errorf("cluster: worker %d data plane: %w", id, err)
 	}
 	defer ep.Close()
+	guard.add(ep)
 	ep.EnableTimestamps()
 
 	conn.SetDeadline(time.Now().Add(timeout))
@@ -72,7 +160,7 @@ func RunWorker(coordAddr, dataListen string, timeout time.Duration) error {
 		ep.SetPeerAddr(peer, addr)
 	}
 
-	events, runErr := runSchedule(id, cfg, nodes[id], g, weights[id], ep, start.Epoch)
+	events, runErr := runSchedule(id, cfg, nodes[id], g, weights[id], ep, start.Epoch, opts.Metrics)
 	report := ctrlMsg{Type: "report", ID: id, Events: events}
 	if runErr != nil {
 		report.Err = runErr.Error()
@@ -94,7 +182,7 @@ func RunWorker(coordAddr, dataListen string, timeout time.Duration) error {
 // seconds since the epoch; arrivals additionally carry the sender's in-frame
 // SentAt through the timestamped mesh (stamped into Message.SentAt/ArriveAt,
 // the trace's send/arrival pair).
-func runSchedule(id int, cfg RunConfig, node core.Node, g *topology.Graph, w topology.Weights, ep *transport.TCP, epoch int64) ([]trace.Event, error) {
+func runSchedule(id int, cfg RunConfig, node core.Node, g *topology.Graph, w topology.Weights, ep *transport.TCP, epoch int64, wm *WorkerMetrics) ([]trace.Event, error) {
 	now := func() float64 { return float64(time.Now().UnixNano()-epoch) / 1e9 }
 	neighbors := g.Neighbors(id)
 	deg := len(neighbors)
@@ -105,6 +193,9 @@ func runSchedule(id int, cfg RunConfig, node core.Node, g *topology.Graph, w top
 	pending := map[int]map[int][]byte{}
 
 	for iter := 0; iter < cfg.Rounds; iter++ {
+		if wm != nil {
+			wm.iteration.Set(int64(iter))
+		}
 		node.LocalTrain()
 		payload, bd, err := node.Share(iter)
 		if err != nil {
@@ -126,6 +217,10 @@ func runSchedule(id int, cfg RunConfig, node core.Node, g *topology.Graph, w top
 				ModelBytes: bd.Model,
 				MetaBytes:  bd.Meta + transport.FrameOverhead,
 			})
+			if wm != nil {
+				wm.sends.Inc()
+				wm.bytes.Add(int64(len(payload) + transport.FrameOverhead))
+			}
 		}
 
 		inbox := pending[iter]
@@ -133,6 +228,7 @@ func runSchedule(id int, cfg RunConfig, node core.Node, g *topology.Graph, w top
 			inbox = map[int][]byte{}
 		}
 		delete(pending, iter)
+		waitStart := now()
 		for len(inbox) < deg {
 			msg, err := ep.Recv(id)
 			if err != nil {
@@ -142,6 +238,9 @@ func runSchedule(id int, cfg RunConfig, node core.Node, g *topology.Graph, w top
 			events = append(events, trace.Event{
 				Time: msg.ArriveAt, Kind: trace.KindArrival, Node: id, Peer: msg.From, Iter: msg.Round,
 			})
+			if wm != nil {
+				wm.arrivals.Inc()
+			}
 			if msg.Round == iter {
 				inbox[msg.From] = msg.Payload
 			} else if msg.Round > iter {
@@ -153,6 +252,10 @@ func runSchedule(id int, cfg RunConfig, node core.Node, g *topology.Graph, w top
 				return nil, fmt.Errorf("node %d: stale payload for iteration %d while at %d", id, msg.Round, iter)
 			}
 		}
+		if wm != nil {
+			// The barrier wait proper: broadcast done → inbox full.
+			wm.wait.Observe(now() - waitStart)
+		}
 		if err := node.Aggregate(iter, w, inbox); err != nil {
 			return nil, fmt.Errorf("node %d aggregate: %w", id, err)
 		}
@@ -161,6 +264,9 @@ func runSchedule(id int, cfg RunConfig, node core.Node, g *topology.Graph, w top
 			Time: now(), Kind: trace.KindAggregate, Node: id, Peer: -1, Iter: iter,
 			LagN: len(inbox),
 		})
+		if wm != nil {
+			wm.rounds.Inc()
+		}
 	}
 	return events, nil
 }

@@ -78,6 +78,12 @@ type ExtScaleRow struct {
 	// (bounded memory); TraceBytes is the resulting .jtb size.
 	Streamed   bool
 	TraceBytes int64
+
+	// Engine telemetry (internal/metrics registry, snapshotted per arm):
+	// queue-depth p95, simulated policy-wait p95, speculation hit rate.
+	QueueP95    float64
+	WaitP95     float64
+	SpecHitRate float64
 }
 
 // ExtScaleResult is the sweep over node counts × arms.
@@ -135,6 +141,7 @@ func ExtScale(scale Scale, seed uint64) (*ExtScaleResult, error) {
 				EvalNodes:     8,
 				ChurnFraction: arm.churn,
 				Het:           simulation.Heterogeneity{ComputeSpread: 0.3},
+				Telemetry:     simulation.NewTelemetry(),
 			}
 			if arm.dyntopo {
 				spec.Dynamic = true
@@ -191,6 +198,10 @@ func ExtScale(scale Scale, seed uint64) (*ExtScaleResult, error) {
 			row.Epochs = r.Epochs
 			row.GapMean = r.SpectralGapMean
 			row.StaleMean = r.StaleMean
+			tel := simulation.Summarize(r.Telemetry)
+			row.QueueP95 = tel.QueueP95
+			row.WaitP95 = tel.WaitP95
+			row.SpecHitRate = tel.SpecHitRate
 			res.Rows = append(res.Rows, row)
 		}
 	}
@@ -223,33 +234,36 @@ func (c *countingSink) Record(trace.Event) { c.n++ }
 func (r *ExtScaleResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Extension: async engine at scale (scale=%s, lean MLP task, JWINS)\n", r.Scale)
-	fmt.Fprintf(&b, "%-6s %-6s %-8s | %9s %9s %12s | %8s %8s | %7s %8s | %-8s\n",
-		"nodes", "degree", "arm", "events", "wall-ms", "events/s", "sim-time", "acc", "epochs", "gap", "trace")
+	fmt.Fprintf(&b, "%-6s %-6s %-8s | %9s %9s %12s | %8s %8s | %7s %8s | %8s %8s %7s | %-8s\n",
+		"nodes", "degree", "arm", "events", "wall-ms", "events/s", "sim-time", "acc", "epochs", "gap", "q-p95", "wait-p95", "spec", "trace")
 	for _, row := range r.Rows {
 		traceCol := "-"
 		if row.Streamed {
 			traceCol = FormatBytes(row.TraceBytes)
 		}
-		fmt.Fprintf(&b, "%-6d %-6d %-8s | %9d %9.1f %12.0f | %7.2fs %7.1f%% | %7d %8.4f | %-8s\n",
+		fmt.Fprintf(&b, "%-6d %-6d %-8s | %9d %9.1f %12.0f | %7.2fs %7.1f%% | %7d %8.4f | %8.1f %7.3fs %6.0f%% | %-8s\n",
 			row.Nodes, row.Degree, row.Arm,
 			row.Events, row.WallMS, row.EventsPerSec,
 			row.SimTime, row.Acc,
-			row.Epochs, row.GapMean, traceCol)
+			row.Epochs, row.GapMean,
+			row.QueueP95, row.WaitP95, row.SpecHitRate*100, traceCol)
 	}
 	b.WriteString("streamed arms record their full schedule through trace.StreamRecorder (bounded memory).\n")
+	b.WriteString("q-p95/wait-p95/spec come from the engine telemetry registry (internal/metrics).\n")
 	return b.String()
 }
 
 // CSV implements CSVer.
 func (r *ExtScaleResult) CSV() string {
 	var b strings.Builder
-	b.WriteString("nodes,degree,arm,rounds,events,wall_ms,events_per_sec,sim_time,bytes,acc,epochs,gap_mean,stale_mean,streamed,trace_bytes\n")
+	b.WriteString("nodes,degree,arm,rounds,events,wall_ms,events_per_sec,sim_time,bytes,acc,epochs,gap_mean,stale_mean,streamed,trace_bytes,queue_p95,wait_p95,spec_hit_rate\n")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%d,%d,%s,%d,%d,%.1f,%.0f,%.4f,%d,%.2f,%d,%.4f,%.4f,%v,%d\n",
+		fmt.Fprintf(&b, "%d,%d,%s,%d,%d,%.1f,%.0f,%.4f,%d,%.2f,%d,%.4f,%.4f,%v,%d,%.1f,%.4f,%.4f\n",
 			row.Nodes, row.Degree, row.Arm, row.Rounds,
 			row.Events, row.WallMS, row.EventsPerSec,
 			row.SimTime, row.Bytes, row.Acc,
-			row.Epochs, row.GapMean, row.StaleMean, row.Streamed, row.TraceBytes)
+			row.Epochs, row.GapMean, row.StaleMean, row.Streamed, row.TraceBytes,
+			row.QueueP95, row.WaitP95, row.SpecHitRate)
 	}
 	return b.String()
 }

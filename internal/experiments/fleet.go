@@ -174,6 +174,13 @@ type RunSpec struct {
 	// Replay, if set, makes a recorded trace the authoritative async
 	// schedule; Het/ChurnFraction stop influencing event times (async only).
 	Replay *trace.Replayer
+	// Telemetry, if set, streams engine counters (queue depth, barrier
+	// waits, speculation hit rate, byte split) into the given registry as
+	// the run executes and snapshots them into Result.Telemetry (async
+	// only). Strictly observational: the schedule is identical with or
+	// without it. The same registry may serve a live HTTP endpoint (see
+	// internal/metrics.Serve) while the run is in flight.
+	Telemetry *simulation.Telemetry
 
 	// failure injection, set by runFleetWithFaults
 	faultDrop, faultOffline float64
@@ -257,6 +264,9 @@ func runWithNodes(spec RunSpec, nodes []core.Node) (*simulation.Result, error) {
 		if spec.Recorder != nil || spec.Replay != nil {
 			return nil, fmt.Errorf("%w: trace recording and replay require Async runs (the synchronous engine has no event schedule)", ErrUnsupportedSpec)
 		}
+		if spec.Telemetry != nil {
+			return nil, fmt.Errorf("%w: engine telemetry instruments the Async event loop (the synchronous engine has no queue, pool, or policy waits to observe)", ErrUnsupportedSpec)
+		}
 		if spec.Policy != nil || spec.Gossip {
 			return nil, fmt.Errorf("%w: aggregation policies belong to the Async engine (the synchronous engine is a global barrier by construction)", ErrUnsupportedSpec)
 		}
@@ -276,7 +286,7 @@ func runWithNodes(spec RunSpec, nodes []core.Node) (*simulation.Result, error) {
 	acfg := simulation.AsyncConfig{
 		Config: cfg, Het: spec.Het, Gossip: spec.Gossip, Policy: spec.Policy,
 		Record: spec.Recorder, Replay: spec.Replay,
-		MixingEvery: spec.MixingEvery,
+		MixingEvery: spec.MixingEvery, Telemetry: spec.Telemetry,
 	}
 	if acfg.Het.Seed == 0 {
 		acfg.Het.Seed = spec.Seed ^ 0x686574 // "het"

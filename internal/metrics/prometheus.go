@@ -1,0 +1,88 @@
+// prometheus.go renders a Registry in the Prometheus text exposition format
+// (version 0.0.4), the lingua franca every scraper and `curl | grep` speaks.
+// No client library is vendored; the format is a few lines of fmt.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus writes every registered metric in text exposition format.
+// Histograms emit cumulative le buckets plus _sum and _count, matching what
+// promtool and Grafana expect of a native histogram-typed series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+
+	// Group by name so # HELP / # TYPE headers are emitted once per family
+	// even when several labeled series share a name.
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	bw := bufio.NewWriter(w)
+	prev := ""
+	for _, e := range entries {
+		if e.name != prev {
+			prev = e.name
+			if e.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", e.name, e.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, typeString(e.kind))
+		}
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s%s %d\n", e.name, braced(e.label), e.c.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s%s %d\n", e.name, braced(e.label), e.g.Value())
+		case kindHistogram:
+			writeHistogram(bw, e)
+		}
+	}
+	return bw.Flush()
+}
+
+func typeString(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+func braced(label string) string {
+	if label == "" {
+		return ""
+	}
+	return "{" + label + "}"
+}
+
+// writeHistogram emits cumulative buckets: each le series counts observations
+// at or below the bound, ending with le="+Inf" equal to _count.
+func writeHistogram(w io.Writer, e *entry) {
+	h := e.h
+	sep := ""
+	if e.label != "" {
+		sep = e.label + ","
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", e.name, sep, formatBound(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", e.name, sep, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", e.name, braced(e.label), formatBound(math.Float64frombits(h.sum.Load())))
+	fmt.Fprintf(w, "%s_count%s %d\n", e.name, braced(e.label), h.count.Load())
+}
+
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -18,6 +18,10 @@ import (
 const schedulerAllocCeiling = 4.0
 
 // allocRun executes one serial raw32 engine run and returns its event count.
+// Telemetry is enabled on purpose: the instrumented hot path must stay under
+// the same ceiling — every metric op is a pre-registered atomic (see
+// internal/simulation/telemetry.go), and the registry construction is
+// rounds-independent so the lo/hi differencing cancels it exactly.
 func allocRun(rounds int) (int64, error) {
 	nodes, ds, topo, err := EngineFleet()
 	if err != nil {
@@ -27,8 +31,9 @@ func allocRun(rounds int) (int64, error) {
 	eng := &simulation.AsyncEngine{
 		Nodes: nodes, Topology: topo, TestSet: ds,
 		Config: simulation.AsyncConfig{
-			Config:  simulation.Config{Rounds: rounds, EvalEvery: rounds, Parallelism: 1},
-			OnEvent: func(simulation.Event) { events++ },
+			Config:    simulation.Config{Rounds: rounds, EvalEvery: rounds, Parallelism: 1},
+			OnEvent:   func(simulation.Event) { events++ },
+			Telemetry: simulation.NewTelemetry(),
 		},
 	}
 	if _, err := eng.Run(); err != nil {

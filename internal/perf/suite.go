@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/codec"
@@ -96,13 +97,71 @@ func microPair(suffix string, fc codec.FloatCodec) ([]Bench, error) {
 
 // Report is the schema of a BENCH_*.json artifact.
 type Report struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	GOOS        string   `json:"goos"`
-	GOARCH      string   `json:"goarch"`
-	NumCPU      int      `json:"num_cpu"`
-	Quick       bool     `json:"quick,omitempty"`
-	Records     []Record `json:"records"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	// GOMAXPROCS is the effective scheduler width — it diverges from NumCPU
+	// under cgroup CPU limits or an explicit env override, and parallel
+	// engine numbers are only comparable at equal width.
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	Quick      bool `json:"quick,omitempty"`
+	// Telemetry is the engine's own view of the reference async256 serial
+	// run (queue depth, policy waits, speculation hit rate), recorded so an
+	// anomalous timing regression can be cross-read against scheduler
+	// behavior in the same artifact.
+	Telemetry *TelemetryContext `json:"telemetry,omitempty"`
+	Records   []Record          `json:"records"`
+}
+
+// TelemetryContext is the distilled engine-telemetry block of a Report.
+type TelemetryContext struct {
+	Source      string  `json:"source"` // the configuration probed
+	Events      int64   `json:"events"`
+	Sends       int64   `json:"sends"`
+	BytesTotal  int64   `json:"bytes_total"`
+	QueueP95    float64 `json:"queue_p95"`
+	WaitP95     float64 `json:"wait_p95_s"`
+	SpecHitRate float64 `json:"spec_hit_rate"`
+}
+
+// TelemetryProbe executes the async256 reference configuration serially with
+// engine telemetry enabled and distills the snapshot. Strictly observational:
+// the run it measures is schedule-identical to engine-async256-p1.
+func TelemetryProbe() (*TelemetryContext, error) {
+	nodes, ds, topo, err := ScaleFleet(256)
+	if err != nil {
+		return nil, err
+	}
+	tel := simulation.NewTelemetry()
+	eng := &simulation.AsyncEngine{
+		Nodes: nodes, Topology: topo, TestSet: ds,
+		Config: simulation.AsyncConfig{
+			Config:    simulation.Config{Rounds: 4, EvalEvery: 4, EvalNodes: 8, Parallelism: 1},
+			Het:       simulation.Heterogeneity{ComputeSpread: 0.3, Seed: Seed},
+			Telemetry: tel,
+		},
+	}
+	if _, err := eng.Run(); err != nil {
+		return nil, err
+	}
+	snap := tel.Snapshot()
+	sum := simulation.Summarize(snap)
+	ctx := &TelemetryContext{
+		Source:      "engine-async256-p1",
+		Sends:       snap.Counter(simulation.MetricSends),
+		BytesTotal:  snap.Counter(simulation.MetricBytesTotal),
+		QueueP95:    sum.QueueP95,
+		WaitP95:     sum.WaitP95,
+		SpecHitRate: sum.SpecHitRate,
+	}
+	for key, v := range snap.Counters {
+		if strings.HasPrefix(key, simulation.MetricEvents+"{") {
+			ctx.Events += v
+		}
+	}
+	return ctx, nil
 }
 
 // Run executes the suite. quick runs each benchmark once (-benchtime=1x
@@ -118,7 +177,13 @@ func Run(quick bool, logf func(format string, args ...any)) (*Report, error) {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Quick:       quick,
+	}
+	if tel, err := TelemetryProbe(); err == nil {
+		rep.Telemetry = tel
+	} else if logf != nil {
+		logf("telemetry probe failed: %v", err)
 	}
 	for _, b := range benches {
 		iters := 1

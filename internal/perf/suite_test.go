@@ -1,0 +1,43 @@
+package perf
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestTelemetryProbe: the BENCH artifact's telemetry block must reflect a
+// real instrumented run — events flowed, payloads moved, and the queue was
+// never observed empty at a pop (depth counts the popped event itself).
+func TestTelemetryProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a 256-node engine run")
+	}
+	ctx, err := TelemetryProbe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Source != "engine-async256-p1" {
+		t.Fatalf("Source = %q", ctx.Source)
+	}
+	if ctx.Events == 0 || ctx.Sends == 0 || ctx.BytesTotal == 0 {
+		t.Fatalf("probe counted nothing: %+v", ctx)
+	}
+	if ctx.QueueP95 < 1 {
+		t.Fatalf("queue p95 = %v, want >= 1", ctx.QueueP95)
+	}
+	if ctx.SpecHitRate < 0 || ctx.SpecHitRate > 1 {
+		t.Fatalf("spec hit rate = %v outside [0,1]", ctx.SpecHitRate)
+	}
+	// The block must survive the artifact round trip.
+	buf, err := json.Marshal(Report{Telemetry: ctx, GOMAXPROCS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Telemetry == nil || back.Telemetry.Events != ctx.Events || back.GOMAXPROCS != 4 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}

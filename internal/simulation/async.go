@@ -60,6 +60,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/metrics"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -215,6 +216,13 @@ type AsyncConfig struct {
 	// deterministic event trace.
 	OnEvent func(Event)
 
+	// Telemetry, if set, streams runtime metrics (queue depth, barrier wait,
+	// speculation hit rate, byte counters, ...) into its registry as the run
+	// executes, and leaves a point-in-time snapshot in Result.Telemetry.
+	// Strictly observational — the schedule is bit-identical with or without
+	// it — and allocation-free on the hot path (see telemetry.go).
+	Telemetry *Telemetry
+
 	// Record, if set, captures the full executed schedule as trace events:
 	// the authoritative train-done/arrival/leave/join sequence plus derived
 	// send records (byte breakdowns) and aggregate records (staleness lags).
@@ -256,8 +264,10 @@ type asyncNode struct {
 	gen  int // bumped on leave/join; stale train-done events are discarded
 	iter int // completed aggregations
 	// waiting is true while the node has broadcast iteration `iter` and is
-	// blocked on the aggregation policy's readiness condition.
-	waiting bool
+	// blocked on the aggregation policy's readiness condition. waitStart is
+	// the simulated time the wait began (telemetry's barrier-wait series).
+	waiting   bool
+	waitStart float64
 	// deadlineFired marks that the node's straggler deadline for iteration
 	// `iter` was processed while it was still waiting (DeadlinePolicy only);
 	// cleared when the aggregation fires or the node churns.
@@ -386,6 +396,12 @@ type asyncRun struct {
 	stale        *staleTracker
 	polTrack     *policyTracker
 	replayMisses int
+
+	// telemetry: tel is nil when disabled; telWait is the per-policy
+	// barrier-wait histogram resolved once at setup so the hot path touches
+	// only pre-registered atomics.
+	tel     *Telemetry
+	telWait *metrics.Histogram
 }
 
 // Run executes the event-driven schedule and returns the collected metrics.
@@ -444,6 +460,12 @@ func (e *AsyncEngine) Run() (*Result, error) {
 	}
 	if bp, ok := policy.(BoundedStalenessPolicy); ok {
 		r.curTau = bp.Tau
+	}
+	if cfg.Telemetry != nil {
+		r.tel = cfg.Telemetry
+		r.telWait = r.tel.waitHistogram(policy.Name())
+		r.pool.telPooled = r.tel.poolTasks
+		r.pool.telInline = r.tel.poolInline
 	}
 	// Registered before any validation early-return: the pool's workers must
 	// not outlive a failed Run.
@@ -606,6 +628,9 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		r.res.BytesToTarget = r.ledger.total
 		r.res.TimeToTarget = r.now
 	}
+	if r.tel != nil {
+		r.res.Telemetry = r.tel.Snapshot()
+	}
 	return r.res, nil
 }
 
@@ -615,6 +640,11 @@ func (r *asyncRun) eventLoop() error {
 	for r.queue.Len() > 0 && !r.stop {
 		ev := r.queue.pop()
 		r.now = ev.Time
+		if r.tel != nil {
+			// Depth at pop, inclusive of the event just taken.
+			r.tel.queueDepth.Observe(float64(r.queue.Len() + 1))
+			r.tel.events[ev.Kind].Inc()
+		}
 		if r.cfg.OnEvent != nil {
 			r.cfg.OnEvent(ev)
 		}
@@ -1001,9 +1031,15 @@ func (r *asyncRun) onTrainDone(ev *Event) error {
 			return err
 		}
 		loss, payload, bd = tt.loss, tt.payload, tt.bd
+		if r.tel != nil {
+			r.tel.specHits.Inc()
+		}
 	} else {
 		// Speculation was unsafe (churn or eval window): run inline, after any
 		// still-running aggregate of this node.
+		if r.tel != nil {
+			r.tel.specMisses.Inc()
+		}
 		if err := r.tails[i].wait(); err != nil {
 			return err
 		}
@@ -1029,6 +1065,7 @@ func (r *asyncRun) onTrainDone(ev *Event) error {
 		return r.aggregate(i)
 	}
 	st.waiting = true
+	st.waitStart = r.now
 	if dp, ok := r.policy.(DeadlinePolicy); ok {
 		// The deadline is pushed before readiness is checked so its schedule
 		// slot exists even when every payload already arrived (the stale
@@ -1118,7 +1155,13 @@ func (r *asyncRun) sendOne(i, j, iter int, payload []byte, bd codec.ByteBreakdow
 			deliver = false
 		}
 	}
-	r.ledger.addSend(bd, len(payload), 1)
+	sent := r.ledger.addSend(bd, len(payload), 1)
+	if r.tel != nil {
+		r.tel.sends.Inc()
+		r.tel.bytesTotal.Add(sent)
+		r.tel.bytesModel.Add(int64(bd.Model))
+		r.tel.bytesMeta.Add(int64(bd.Meta + transport.FrameOverhead))
+	}
 	if r.rec != nil {
 		r.rec.Record(sendTraceEvent(r.now, i, j, iter, len(payload), bd, dropped))
 	}
@@ -1225,6 +1268,9 @@ func (r *asyncRun) checkReady(i int) error {
 	}
 	st.waiting = false
 	st.deadlineFired = false
+	if r.telWait != nil {
+		r.telWait.Observe(r.now - st.waitStart)
+	}
 	return r.aggregate(i)
 }
 
@@ -1281,6 +1327,10 @@ func (r *asyncRun) aggregate(i int) error {
 		})
 	}
 	r.stale.add(st.iter, lags)
+	if r.tel != nil {
+		r.tel.aggregations.Inc()
+		r.tel.inboxOccupancy.Observe(float64(len(lags)))
+	}
 	// Effective-neighbor / late-drop accounting: merged is what actually
 	// mixed, expected the live-neighbor count, late the live neighbors whose
 	// current-iteration payload had not landed (0 under the full barrier).
@@ -1485,6 +1535,9 @@ func (r *asyncRun) emitRows() error {
 			}
 		}
 		r.res.Rounds = append(r.res.Rounds, rm)
+		if r.tel != nil {
+			r.tel.rows.Inc()
+		}
 		if r.eng.OnRound != nil {
 			r.eng.OnRound(rm)
 		}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/metrics"
 	"repro/internal/topology"
 	"repro/internal/transport"
 	"repro/internal/vec"
@@ -163,6 +164,11 @@ type Result struct {
 	SpectralGapMean float64
 	SpectralGapMin  float64
 	TurnoverMean    float64
+	// Telemetry is the end-of-run metrics snapshot when AsyncConfig.Telemetry
+	// was set (nil otherwise). Observational only: values like the speculation
+	// hit rate may differ across parallelism levels even though every other
+	// Result field is bit-identical, so determinism comparisons skip it.
+	Telemetry *metrics.Snapshot
 }
 
 // Engine runs one experiment.

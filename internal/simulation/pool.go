@@ -12,7 +12,11 @@
 // against.
 package simulation
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
 
 // future is the completion handle of one submitted task. The zero value is
 // not usable; tasks create their futures through computePool.submit.
@@ -49,6 +53,11 @@ type computePool struct {
 	limit int
 	tasks chan func()
 	wg    sync.WaitGroup
+
+	// telPooled/telInline count submissions dispatched to a worker vs run
+	// inline — the pool-utilization split. Nil when telemetry is off.
+	telPooled *metrics.Counter
+	telInline *metrics.Counter
 }
 
 // newComputePool starts a pool with the given concurrency limit. limit <= 1
@@ -88,6 +97,9 @@ func (p *computePool) submit(prev *future, fn func() error) *future {
 		// Inline mode: prev is always complete here because every earlier
 		// submission ran inline too, so its error (if any) can propagate by
 		// returning prev itself, and a successful run needs no fresh future.
+		if p.telInline != nil {
+			p.telInline.Inc()
+		}
 		if prev != nil && prev.err != nil {
 			return prev
 		}
@@ -95,6 +107,9 @@ func (p *computePool) submit(prev *future, fn func() error) *future {
 			return &future{ch: closedFutureCh, err: err}
 		}
 		return doneFuture
+	}
+	if p.telPooled != nil {
+		p.telPooled.Inc()
 	}
 	f := &future{ch: make(chan struct{})}
 	run := func() {

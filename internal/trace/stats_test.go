@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// TestComputeStatsPerKindCounts covers the per-kind counters for the newer
+// event kinds (epoch, deadline) alongside the original six, over a golden
+// mixed-kind trace that exercises every kind at least once.
+func TestComputeStatsPerKindCounts(t *testing.T) {
+	tr := mixedKindTrace()
+	s := ComputeStats(tr)
+
+	want := map[Kind]int{
+		KindTrainDone: 2,
+		KindSend:      2,
+		KindArrival:   2,
+		KindAggregate: 2,
+		KindLeave:     1,
+		KindJoin:      1,
+		KindEpoch:     1,
+		KindDeadline:  1,
+	}
+	total := 0
+	for kind, n := range want {
+		if s.ByKind[kind] != n {
+			t.Fatalf("ByKind[%s] = %d, want %d (all: %v)", kind, s.ByKind[kind], n, s.ByKind)
+		}
+		total += n
+	}
+	if s.Events != total || s.Events != len(tr.Events) {
+		t.Fatalf("Events = %d, want %d", s.Events, len(tr.Events))
+	}
+	if len(s.ByKind) != len(want) {
+		t.Fatalf("ByKind has %d kinds, want %d: %v", len(s.ByKind), len(want), s.ByKind)
+	}
+	if s.Duration != tr.Events[len(tr.Events)-1].Time {
+		t.Fatalf("Duration = %v, want last event time %v", s.Duration, tr.Events[len(tr.Events)-1].Time)
+	}
+	if s.NodesSeen != 3 {
+		t.Fatalf("NodesSeen = %d, want 3", s.NodesSeen)
+	}
+	// The golden ledger: two sends of 100 and 120 bytes (80/90 model,
+	// 20/30 meta), one in-flight drop.
+	if s.TotalBytes != 220 || s.ModelBytes != 170 || s.MetaBytes != 50 {
+		t.Fatalf("ledger (%d,%d,%d), want (220,170,50)", s.TotalBytes, s.ModelBytes, s.MetaBytes)
+	}
+	if s.Drops != 0 {
+		t.Fatalf("Drops = %d, want 0 (the golden drop is an arrival, not a send)", s.Drops)
+	}
+	if s.StaleMax != 0 || s.StaleMean != 0 {
+		t.Fatalf("staleness (%v,%v), want zeros", s.StaleMean, s.StaleMax)
+	}
+}
+
+// TestComputeStatsEpochDeadlineOnly: a trace of only the newer kinds folds
+// cleanly — no NaNs from the empty staleness path, no ledger contribution.
+func TestComputeStatsEpochDeadlineOnly(t *testing.T) {
+	tr := &Trace{
+		Header: Header{Format: FormatName, Version: FormatVersion, Nodes: 4, Rounds: 1, Source: SourceSim, Policy: PolicyDeadline},
+		Events: []Event{
+			{Time: 0.1, Kind: KindEpoch, Node: 0, Peer: -1, Iter: 1},
+			{Time: 0.2, Kind: KindDeadline, Node: 2, Peer: -1, Iter: 0},
+			{Time: 0.3, Kind: KindDeadline, Node: 3, Peer: -1, Iter: 0},
+			{Time: 0.4, Kind: KindEpoch, Node: 0, Peer: -1, Iter: 2},
+		},
+	}
+	if err := Validate(tr.Header, tr.Events); err != nil {
+		t.Fatalf("golden trace invalid: %v", err)
+	}
+	s := ComputeStats(tr)
+	if s.ByKind[KindEpoch] != 2 || s.ByKind[KindDeadline] != 2 {
+		t.Fatalf("ByKind = %v, want 2 epochs + 2 deadlines", s.ByKind)
+	}
+	if s.TotalBytes != 0 || s.Drops != 0 {
+		t.Fatalf("ledger should be empty: %+v", s)
+	}
+	if s.StaleMean != 0 || s.StaleMax != 0 || s.StaleP95 != 0 {
+		t.Fatalf("staleness should be zero without aggregations: %+v", s)
+	}
+	if math.IsNaN(s.StaleP95) {
+		t.Fatal("StaleP95 is NaN on an aggregation-free trace")
+	}
+	// NodesSeen counts distinct subjects: 0 (epoch convention), 2, 3.
+	if s.NodesSeen != 3 {
+		t.Fatalf("NodesSeen = %d, want 3", s.NodesSeen)
+	}
+}
