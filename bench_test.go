@@ -218,6 +218,42 @@ func BenchmarkEngineAsync256(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineAsync1024 is the first sampled-eval tier: 1024 heterogeneous
+// nodes, copy-on-write fleet construction, and a 64-node rotating eval subset
+// per eval row.
+func BenchmarkEngineAsync1024(b *testing.B) {
+	for _, p := range []int{1, perf.MaxParallelism()} {
+		p := p
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				events, err := perf.RunAsync1024(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(events), "events/run")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineAsync4096 is the 10k-ceiling tier: 4096 nodes under the same
+// sampled-eval configuration, the largest fleet the committed BENCH baselines
+// track.
+func BenchmarkEngineAsync4096(b *testing.B) {
+	for _, p := range []int{1, perf.MaxParallelism()} {
+		p := p
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				events, err := perf.RunAsync4096(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(events), "events/run")
+			}
+		})
+	}
+}
+
 // --- Primitive micro-benchmarks ---------------------------------------------
 
 func benchParams(n int) []float64 {

@@ -14,7 +14,7 @@
 //	jwins-bench -exp ext-asyncchurn    # event-driven stragglers + churn
 //	jwins-bench -exp ext-replay        # trace record/replay parity + staleness
 //	jwins-bench -exp ext-dyntopo       # epoch-randomized topologies at 96-384 nodes
-//	jwins-bench -exp ext-scale         # async engine at 256/512/1024 nodes
+//	jwins-bench -exp ext-scale         # async engine at 256-8192 nodes (sampled eval from 2048)
 //	jwins-bench -exp ext-semiasync     # aggregation policies x heterogeneity
 //	jwins-bench -exp all               # everything, in paper order
 //
@@ -62,6 +62,8 @@ func run() error {
 		outDir     = flag.String("out", "", "directory for per-experiment CSV files (optional)")
 		benchJSON  = flag.String("bench-json", "", "run the benchmark suite and write a BENCH_*.json report to this path (skips experiments)")
 		benchQuick = flag.Bool("bench-quick", false, "with -bench-json: run each benchmark once (-benchtime=1x semantics)")
+		evalSample = flag.Int("eval-sample", 0, "ext-scale: force this rotating eval subset size on every arm (0 = exact below 2048 nodes, 64-node sample above)")
+		evalRotate = flag.Int("eval-rotate", 0, "ext-scale: advance the eval sampling window every k eval rows (0/1 = every row)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this path on exit")
 	)
@@ -155,7 +157,8 @@ func run() error {
 		case "ext-dyntopo":
 			result, err = experiments.ExtDynTopo(scale, *seed)
 		case "ext-scale":
-			result, err = experiments.ExtScale(scale, *seed)
+			result, err = experiments.ExtScaleWith(scale, *seed,
+				experiments.ExtScaleOpts{EvalSample: *evalSample, EvalRotate: *evalRotate})
 		case "ext-semiasync":
 			result, err = experiments.ExtSemiAsync(scale, *seed)
 		default:

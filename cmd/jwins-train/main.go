@@ -60,6 +60,12 @@ func run() error {
 		wavelet    = flag.String("wavelet", "sym2", "wavelet basis for JWINS")
 		levels     = flag.Int("levels", 4, "wavelet decomposition levels")
 
+		// Evaluation schedule (sync and async). Exact all-node evaluation is
+		// the default; large fleets opt into sampling.
+		evalNodes  = flag.Int("eval-nodes", 0, "cap evaluated nodes to a seeded uniform subset fixed for the run (0 = all; previously the first k nodes, which biased toward low-index nodes)")
+		evalSample = flag.Int("eval-sample", 0, "evaluate a seeded rotating subset of this many nodes per eval row (0 = exact); every node is visited within ceil(n/sample) eval rows")
+		evalRotate = flag.Int("eval-rotate", 0, "with -eval-sample: advance the sampling window every k eval rows (0/1 = every row)")
+
 		// Event-driven scheduler (async engine).
 		async          = flag.Bool("async", false, "use the event-driven scheduler instead of synchronous rounds")
 		gossip         = flag.Bool("gossip", false, "async: aggregate freshest payloads immediately instead of the local barrier (shorthand for -policy gossip)")
@@ -85,6 +91,7 @@ func run() error {
 		Churn: *churnFrac, ComputeSpread: *computeSpread, BwSpread: *bwSpread,
 		LatencySpread: *latencySpread, TraceOut: *traceOut,
 		EpochSec: *epochSec, MixingEvery: *mixingEvery,
+		EvalNodes: *evalNodes, EvalSample: *evalSample, EvalRotate: *evalRotate,
 	}
 	if err := tf.validate(); err != nil {
 		return err
@@ -149,8 +156,10 @@ func run() error {
 	// mid-way leaves a file that readers report as truncated.
 	var recorder *trace.StreamRecorder
 	if *traceOut != "" {
-		recorder, err = trace.NewStreamRecorderFile(*traceOut, experiments.TraceHeaderForPolicy(
-			w, experiments.Algo(*algo), *rounds, *seed, headerPolicy, *async && *dynamic, effEpochSec))
+		recorder, err = trace.NewStreamRecorderFile(*traceOut, experiments.WithEvalSchedule(
+			experiments.TraceHeaderForPolicy(
+				w, experiments.Algo(*algo), *rounds, *seed, headerPolicy, *async && *dynamic, effEpochSec),
+			*evalSample, *evalRotate))
 		if err != nil {
 			return err
 		}
@@ -186,6 +195,9 @@ func run() error {
 		TargetAccuracy: *target,
 		Dynamic:        *dynamic,
 		EpochSec:       effEpochSec,
+		EvalNodes:      *evalNodes,
+		EvalSample:     *evalSample,
+		EvalRotate:     *evalRotate,
 		Seed:           *seed,
 		Async:          *async,
 		Gossip:         *gossip,
@@ -284,6 +296,9 @@ type trainFlags struct {
 	TraceOut       string
 	EpochSec       float64
 	MixingEvery    int
+	EvalNodes      int
+	EvalSample     int
+	EvalRotate     int
 }
 
 // validate rejects flag combinations the engine would otherwise misinterpret.
@@ -333,6 +348,18 @@ func (f trainFlags) validate() error {
 	}
 	if f.MixingEvery < -1 {
 		return fmt.Errorf("%w: -mixing-every must be >= -1 (0/1 = every epoch, -1 = never), got %d", errBadFlag, f.MixingEvery)
+	}
+	if f.EvalNodes < 0 {
+		return fmt.Errorf("%w: -eval-nodes must be >= 0 (0 = all), got %d", errBadFlag, f.EvalNodes)
+	}
+	if f.EvalSample < 0 {
+		return fmt.Errorf("%w: -eval-sample must be >= 0 (0 = exact evaluation), got %d", errBadFlag, f.EvalSample)
+	}
+	if f.EvalRotate < 0 {
+		return fmt.Errorf("%w: -eval-rotate must be >= 0 (0/1 = advance every eval row), got %d", errBadFlag, f.EvalRotate)
+	}
+	if f.EvalRotate > 1 && f.EvalSample == 0 {
+		return fmt.Errorf("%w: -eval-rotate only applies with -eval-sample (exact evaluation has no rotation window)", errBadFlag)
 	}
 	return nil
 }

@@ -186,6 +186,48 @@ func TestSpecFromTraceHeaderRejects(t *testing.T) {
 	}
 }
 
+// TestEvalScheduleHeaderRoundTrip: WithEvalSchedule must stamp the eval
+// schedule into the header, SpecFromTraceHeader must rebuild it, and a zero
+// sample must leave the header untouched so pre-sampler traces stay
+// byte-identical.
+func TestEvalScheduleHeaderRoundTrip(t *testing.T) {
+	w, err := NewWorkload("cifar10", Micro, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := TraceHeaderFor(w, AlgoJWINS, 4, 1, false, false, 0)
+
+	h := WithEvalSchedule(base, 64, 2)
+	if h.Meta["eval_sample"] != "64" || h.Meta["eval_rotate"] != "2" {
+		t.Fatalf("meta = %v", h.Meta)
+	}
+	spec, err := SpecFromTraceHeader(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.EvalSample != 64 || spec.EvalRotate != 2 {
+		t.Fatalf("spec eval schedule = (%d, %d), want (64, 2)", spec.EvalSample, spec.EvalRotate)
+	}
+
+	// Zero rotate normalizes to 1 (every row).
+	if h := WithEvalSchedule(base, 8, 0); h.Meta["eval_rotate"] != "1" {
+		t.Fatalf("rotate not normalized: %v", h.Meta)
+	}
+
+	// Sampling off: the header must pass through untouched.
+	plain := WithEvalSchedule(base, 0, 3)
+	if _, ok := plain.Meta["eval_sample"]; ok {
+		t.Fatalf("exact-eval header gained eval meta: %v", plain.Meta)
+	}
+	spec, err = SpecFromTraceHeader(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.EvalSample != 0 || spec.EvalRotate != 0 {
+		t.Fatalf("legacy header produced eval schedule (%d, %d)", spec.EvalSample, spec.EvalRotate)
+	}
+}
+
 // TestRecorderRequiresAsync: trace hooks on a synchronous run are a user
 // error, reported as such.
 func TestRecorderRequiresAsync(t *testing.T) {

@@ -62,6 +62,30 @@ func TraceHeaderForPolicy(w *Workload, algo Algo, rounds int, seed uint64, polic
 	return h
 }
 
+// WithEvalSchedule stamps a sampled-evaluation schedule into a trace header
+// (eval_sample/eval_rotate Meta keys), so replays validate their eval config
+// against the recording's and SpecFromTraceHeader rebuilds it. Exact-eval
+// runs (sample <= 0) leave the header untouched — older traces and exact
+// recordings stay byte-identical.
+func WithEvalSchedule(h trace.Header, sample, rotate int) trace.Header {
+	if sample <= 0 {
+		return h
+	}
+	if rotate <= 0 {
+		rotate = 1
+	}
+	// Copy-on-write: Header is a value but Meta is a shared map — mutating it
+	// in place would leak the schedule into the caller's header too.
+	meta := make(map[string]string, len(h.Meta)+2)
+	for k, v := range h.Meta {
+		meta[k] = v
+	}
+	meta["eval_sample"] = strconv.Itoa(sample)
+	meta["eval_rotate"] = strconv.Itoa(rotate)
+	h.Meta = meta
+	return h
+}
+
 // policyFromTraceHeader rebuilds the aggregation policy a header describes
 // from its Policy name and Meta parameters. An empty or barrier policy maps
 // to nil (the engine default).
@@ -163,6 +187,19 @@ func SpecFromTraceHeader(h trace.Header) (RunSpec, error) {
 		spec.EpochSec, err = strconv.ParseFloat(s, 64)
 		if err != nil {
 			return RunSpec{}, fmt.Errorf("experiments: trace header epoch_sec %q: %w", s, err)
+		}
+	}
+	// Eval-schedule metadata is optional (exact-eval traces omit it).
+	if s := h.Meta["eval_sample"]; s != "" {
+		spec.EvalSample, err = strconv.Atoi(s)
+		if err != nil {
+			return RunSpec{}, fmt.Errorf("experiments: trace header eval_sample %q: %w", s, err)
+		}
+	}
+	if s := h.Meta["eval_rotate"]; s != "" {
+		spec.EvalRotate, err = strconv.Atoi(s)
+		if err != nil {
+			return RunSpec{}, fmt.Errorf("experiments: trace header eval_rotate %q: %w", s, err)
 		}
 	}
 	return spec, nil

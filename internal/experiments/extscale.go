@@ -20,34 +20,38 @@ import (
 // non-IID dealing) under a 64→16→4 MLP, so per-node compute stays tiny and
 // the run measures the *system* — scheduler, payload fan-out, mixing
 // bookkeeping — rather than SGD. One sample per class per node keeps dataset
-// memory linear in n (4n samples) all the way to 1024 nodes.
+// memory linear in n (4n samples) all the way to 8192 nodes. Synthesis is
+// memoized per (n, seed), so a sweep's arms and benchmark re-runs share one
+// dataset.
 func ScaleWorkload(n int, seed uint64) (*Workload, error) {
-	rng := vec.NewRNG(seed)
-	ds, err := datasets.SyntheticImages(datasets.ImageConfig{
-		Name: "extscale", Classes: 4, Channels: 1, Height: 8, Width: 8,
-		TrainPerClass: n, TestPerClass: 8, NoiseSD: 0.3,
-	}, rng)
-	if err != nil {
-		return nil, err
-	}
-	parts, err := datasets.PartitionShards(ds, n, 2, rng)
-	if err != nil {
-		return nil, err
-	}
-	return &Workload{
-		Name:    "extscale",
-		Nodes:   n,
-		Degree:  degreeFor(n),
-		Dataset: ds,
-		Parts:   parts,
-		NewModel: func(r *vec.RNG) nn.Trainable {
-			return nn.NewMLP(64, 16, 4, r)
-		},
-		Opts:      core.TrainOpts{LR: 0.05, LocalSteps: 2},
-		Batch:     4,
-		Rounds:    4,
-		EvalEvery: 4,
-	}, nil
+	return memoWorkload(workloadKey{"extscale", Micro, n, 2, seed}, func() (*Workload, error) {
+		rng := vec.NewRNG(seed)
+		ds, err := datasets.SyntheticImages(datasets.ImageConfig{
+			Name: "extscale", Classes: 4, Channels: 1, Height: 8, Width: 8,
+			TrainPerClass: n, TestPerClass: 8, NoiseSD: 0.3,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		parts, err := datasets.PartitionShards(ds, n, 2, rng)
+		if err != nil {
+			return nil, err
+		}
+		return &Workload{
+			Name:    "extscale",
+			Nodes:   n,
+			Degree:  degreeFor(n),
+			Dataset: ds,
+			Parts:   parts,
+			NewModel: func(r *vec.RNG) nn.Trainable {
+				return nn.NewMLP(64, 16, 4, r)
+			},
+			Opts:      core.TrainOpts{LR: 0.05, LocalSteps: 2},
+			Batch:     4,
+			Rounds:    4,
+			EvalEvery: 4,
+		}, nil
+	})
 }
 
 // ExtScaleRow is one arm of the scale sweep.
@@ -74,6 +78,10 @@ type ExtScaleRow struct {
 	GapMean   float64
 	StaleMean float64
 
+	// EvalSample is the rotating eval subset size the arm ran with (0 =
+	// exact evaluation over the EvalNodes cap).
+	EvalSample int
+
 	// Streamed marks arms recorded through a trace.StreamRecorder to disk
 	// (bounded memory); TraceBytes is the resulting .jtb size.
 	Streamed   bool
@@ -92,24 +100,50 @@ type ExtScaleResult struct {
 	Rows  []ExtScaleRow
 }
 
-// extScaleSizes returns the sweep's node counts: 256/512/1024 (the push past
-// every earlier sweep's 384-node ceiling), shrunk to 32/64 at micro scale
-// for CI.
+// extScaleSizes returns the sweep's node counts: 256 through 8192 (the push
+// past the previous sweep's 1024-node ceiling), shrunk to 32/64 plus one
+// 4096-node smoke row at micro scale for CI.
 func extScaleSizes(scale Scale) []int {
 	if scale == Micro {
-		return []int{32, 64}
+		return []int{32, 64, 4096}
 	}
-	return []int{256, 512, 1024}
+	return []int{256, 512, 1024, 2048, 4096, 8192}
 }
 
-// ExtScale sweeps the async engine to 1024 nodes under three arms per size:
+// extScaleSampledFloor is the node count from which ext-scale arms switch to
+// sampled rotating evaluation, sampled mixing metrics, and streamed traces —
+// the three knobs that keep per-arm cost from scaling super-linearly.
+const extScaleSampledFloor = 2048
+
+// extScaleEvalSample is the rotating eval subset size of the big arms.
+const extScaleEvalSample = 64
+
+// ExtScaleOpts overrides the sweep's evaluation schedule (jwins-bench flags).
+// Zero values keep the defaults: exact-over-EvalNodes evaluation below 2048
+// nodes, a 64-node rotating sample from 2048 up.
+type ExtScaleOpts struct {
+	// EvalSample forces this rotating subset size on every arm when > 0.
+	EvalSample int
+	// EvalRotate advances the sampling window every k eval rows (0/1 = every
+	// row); only meaningful with sampling on.
+	EvalRotate int
+}
+
+// ExtScale sweeps the async engine to 8192 nodes under three arms per size:
 // plain heterogeneous async, +20% churn, and +epoch-rotated dynamic
 // topologies with sampled mixing metrics (MixingEvery=2, so spectral-gap
-// estimation stays off the critical path). Every arm of the largest size
-// records its full schedule through a trace.StreamRecorder to a temporary
-// .jtb — the demonstration that 1024-node recording needs bounded memory
-// only — while smaller arms count events through an in-process sink.
+// estimation stays off the critical path). Arms at 2048 nodes and beyond
+// (and every arm of the largest size) record their full schedule through a
+// trace.StreamRecorder to a temporary .jtb — the demonstration that big-fleet
+// recording needs bounded memory only — and score a 64-node rotating eval
+// sample instead of the exact fleet; smaller arms count events through an
+// in-process sink and keep exact (EvalNodes-capped) evaluation.
 func ExtScale(scale Scale, seed uint64) (*ExtScaleResult, error) {
+	return ExtScaleWith(scale, seed, ExtScaleOpts{})
+}
+
+// ExtScaleWith is ExtScale with an overridden evaluation schedule.
+func ExtScaleWith(scale Scale, seed uint64, opts ExtScaleOpts) (*ExtScaleResult, error) {
 	res := &ExtScaleResult{Scale: scale}
 	sizes := extScaleSizes(scale)
 	largest := sizes[len(sizes)-1]
@@ -139,6 +173,7 @@ func ExtScale(scale Scale, seed uint64) (*ExtScaleResult, error) {
 				Seed:          seed,
 				Async:         true,
 				EvalNodes:     8,
+				EvalRotate:    opts.EvalRotate,
 				ChurnFraction: arm.churn,
 				Het:           simulation.Heterogeneity{ComputeSpread: 0.3},
 				Telemetry:     simulation.NewTelemetry(),
@@ -147,21 +182,31 @@ func ExtScale(scale Scale, seed uint64) (*ExtScaleResult, error) {
 				spec.Dynamic = true
 				spec.MixingEvery = 2
 			}
+			if n >= extScaleSampledFloor {
+				spec.EvalSample = extScaleEvalSample
+				spec.MixingEvery = 2
+			}
+			if opts.EvalSample > 0 {
+				spec.EvalSample = opts.EvalSample
+			}
 
 			row := ExtScaleRow{
 				Arm: arm.name, Nodes: n, Degree: w.Degree, Rounds: w.Rounds,
+				EvalSample: spec.EvalSample,
 			}
 			var (
 				stream    *trace.StreamRecorder
 				counter   countingSink
 				tracePath string
 			)
-			if n == largest {
+			if n == largest || n >= extScaleSampledFloor {
 				// The headline arms stream their schedule to disk with
-				// bounded buffers: nothing here retains O(events).
+				// bounded buffers: nothing here retains O(events). The header
+				// carries the eval schedule so replays validate against it.
 				tracePath = filepath.Join(tmpDir, fmt.Sprintf("n%d-%s%s", n, arm.name, trace.BinaryExt))
-				stream, err = trace.NewStreamRecorderFile(tracePath, TraceHeaderFor(
-					w, AlgoJWINS, w.Rounds, seed, false, arm.dyntopo, extScaleEpochSec(&spec, w)))
+				stream, err = trace.NewStreamRecorderFile(tracePath, WithEvalSchedule(TraceHeaderFor(
+					w, AlgoJWINS, w.Rounds, seed, false, arm.dyntopo, extScaleEpochSec(&spec, w)),
+					spec.EvalSample, spec.EvalRotate))
 				if err != nil {
 					return nil, err
 				}
@@ -234,21 +279,26 @@ func (c *countingSink) Record(trace.Event) { c.n++ }
 func (r *ExtScaleResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Extension: async engine at scale (scale=%s, lean MLP task, JWINS)\n", r.Scale)
-	fmt.Fprintf(&b, "%-6s %-6s %-8s | %9s %9s %12s | %8s %8s | %7s %8s | %8s %8s %7s | %-8s\n",
-		"nodes", "degree", "arm", "events", "wall-ms", "events/s", "sim-time", "acc", "epochs", "gap", "q-p95", "wait-p95", "spec", "trace")
+	fmt.Fprintf(&b, "%-6s %-6s %-8s %-5s | %9s %9s %12s | %8s %8s | %7s %8s | %8s %8s %7s | %-8s\n",
+		"nodes", "degree", "arm", "eval", "events", "wall-ms", "events/s", "sim-time", "acc", "epochs", "gap", "q-p95", "wait-p95", "spec", "trace")
 	for _, row := range r.Rows {
 		traceCol := "-"
 		if row.Streamed {
 			traceCol = FormatBytes(row.TraceBytes)
 		}
-		fmt.Fprintf(&b, "%-6d %-6d %-8s | %9d %9.1f %12.0f | %7.2fs %7.1f%% | %7d %8.4f | %8.1f %7.3fs %6.0f%% | %-8s\n",
-			row.Nodes, row.Degree, row.Arm,
+		evalCol := "exact"
+		if row.EvalSample > 0 {
+			evalCol = fmt.Sprintf("s%d", row.EvalSample)
+		}
+		fmt.Fprintf(&b, "%-6d %-6d %-8s %-5s | %9d %9.1f %12.0f | %7.2fs %7.1f%% | %7d %8.4f | %8.1f %7.3fs %6.0f%% | %-8s\n",
+			row.Nodes, row.Degree, row.Arm, evalCol,
 			row.Events, row.WallMS, row.EventsPerSec,
 			row.SimTime, row.Acc,
 			row.Epochs, row.GapMean,
 			row.QueueP95, row.WaitP95, row.SpecHitRate*100, traceCol)
 	}
 	b.WriteString("streamed arms record their full schedule through trace.StreamRecorder (bounded memory).\n")
+	b.WriteString("eval sN arms score a seeded rotating n-node subset per eval row (exact below 2048 nodes).\n")
 	b.WriteString("q-p95/wait-p95/spec come from the engine telemetry registry (internal/metrics).\n")
 	return b.String()
 }
@@ -256,10 +306,10 @@ func (r *ExtScaleResult) String() string {
 // CSV implements CSVer.
 func (r *ExtScaleResult) CSV() string {
 	var b strings.Builder
-	b.WriteString("nodes,degree,arm,rounds,events,wall_ms,events_per_sec,sim_time,bytes,acc,epochs,gap_mean,stale_mean,streamed,trace_bytes,queue_p95,wait_p95,spec_hit_rate\n")
+	b.WriteString("nodes,degree,arm,rounds,eval_sample,events,wall_ms,events_per_sec,sim_time,bytes,acc,epochs,gap_mean,stale_mean,streamed,trace_bytes,queue_p95,wait_p95,spec_hit_rate\n")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%d,%d,%s,%d,%d,%.1f,%.0f,%.4f,%d,%.2f,%d,%.4f,%.4f,%v,%d,%.1f,%.4f,%.4f\n",
-			row.Nodes, row.Degree, row.Arm, row.Rounds,
+		fmt.Fprintf(&b, "%d,%d,%s,%d,%d,%d,%.1f,%.0f,%.4f,%d,%.2f,%d,%.4f,%.4f,%v,%d,%.1f,%.4f,%.4f\n",
+			row.Nodes, row.Degree, row.Arm, row.Rounds, row.EvalSample,
 			row.Events, row.WallMS, row.EventsPerSec,
 			row.SimTime, row.Bytes, row.Acc,
 			row.Epochs, row.GapMean, row.StaleMean, row.Streamed, row.TraceBytes,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/nn"
 	"repro/internal/simulation"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -58,7 +59,26 @@ func (s AlgoSpec) codec() codec.FloatCodec {
 // identical initial weights (standard D-PSGD practice, required for CHOCO's
 // replica bookkeeping); per-node randomness (batch order, cut-off draws)
 // descends deterministically from seed.
+//
+// Per-node models are copy-on-write (nn.Lazy): construction builds one
+// template model plus a small wrapper per node, and each node's real layer
+// graph materializes on its first train/aggregate/eval touch with the shared
+// initial weights installed. A 10k-node fleet at round 0 therefore costs ~1
+// model; results are bit-identical to eager construction (the wrapped build
+// closure owns a dedicated RNG split, so loader and algorithm seeds do not
+// depend on when — or whether — the model is built).
 func BuildFleet(w *Workload, spec AlgoSpec, seed uint64) ([]core.Node, error) {
+	return buildFleet(w, spec, seed, true)
+}
+
+// BuildFleetEager is BuildFleet without copy-on-write models: every node's
+// layer graph is built up front. It exists for equivalence tests and for
+// measuring what the lazy path saves; fleets behave identically either way.
+func BuildFleetEager(w *Workload, spec AlgoSpec, seed uint64) ([]core.Node, error) {
+	return buildFleet(w, spec, seed, false)
+}
+
+func buildFleet(w *Workload, spec AlgoSpec, seed uint64, lazy bool) ([]core.Node, error) {
 	root := vec.NewRNG(seed)
 	template := w.NewModel(root.Split())
 	initial := make([]float64, template.ParamCount())
@@ -67,8 +87,17 @@ func BuildFleet(w *Workload, spec AlgoSpec, seed uint64) ([]core.Node, error) {
 	nodes := make([]core.Node, 0, w.Nodes)
 	for i := 0; i < w.Nodes; i++ {
 		nodeRNG := root.Split()
-		model := w.NewModel(nodeRNG)
-		model.SetParams(initial)
+		// The model gets its own split in both paths so the loader/algorithm
+		// splits below are independent of model construction order; a lazy
+		// node that never materializes must not shift its siblings' seeds.
+		modelRNG := nodeRNG.Split()
+		var model nn.Trainable
+		if lazy {
+			model = nn.NewLazy(len(initial), initial, func() nn.Trainable { return w.NewModel(modelRNG) })
+		} else {
+			model = w.NewModel(modelRNG)
+			model.SetParams(initial)
+		}
 		loader := datasets.NewLoader(w.Dataset, w.Parts[i], w.Batch, nodeRNG.Split())
 
 		var (
@@ -136,8 +165,17 @@ type RunSpec struct {
 	// round, see DefaultEpochSec); without Dynamic a positive value rotates
 	// epochs over the static graph (bookkeeping only — no edges change).
 	EpochSec float64
-	// EvalNodes caps evaluated nodes (0 = all).
+	// EvalNodes caps evaluated nodes (0 = all); the cap is a seeded uniform
+	// subset fixed for the run (see simulation.Config.EvalNodes).
 	EvalNodes int
+	// EvalSample, when > 0, evaluates a seeded rotating subset of that many
+	// nodes per eval row instead of the whole fleet; every node is still
+	// visited within ceil(n/EvalSample)×EvalRotate eval rows. 0 keeps exact
+	// evaluation (see simulation.Config.EvalSample).
+	EvalSample int
+	// EvalRotate advances the sampling window every EvalRotate eval rows
+	// (0 = every row).
+	EvalRotate int
 	// Seed controls every random choice in the run.
 	Seed uint64
 	// OnRound is forwarded to the engine (optional).
@@ -255,6 +293,9 @@ func runWithNodes(spec RunSpec, nodes []core.Node) (*simulation.Result, error) {
 		Rounds:         rounds,
 		EvalEvery:      w.EvalEvery,
 		EvalNodes:      spec.EvalNodes,
+		EvalSample:     spec.EvalSample,
+		EvalRotate:     spec.EvalRotate,
+		EvalSeed:       spec.Seed,
 		TargetAccuracy: spec.TargetAccuracy,
 		DropProb:       spec.faultDrop,
 		OfflineProb:    spec.faultOffline,

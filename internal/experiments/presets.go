@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
@@ -81,48 +82,99 @@ type Workload struct {
 // WorkloadNames lists the five benchmark tasks in paper order.
 var WorkloadNames = []string{"cifar10", "movielens", "shakespeare", "celeba", "femnist"}
 
+// workloadKey identifies one deterministic workload synthesis: the build
+// functions draw everything from (name, scale, nodes, shards, seed), so equal
+// keys produce identical workloads and the synthesis can be shared.
+type workloadKey struct {
+	name   string
+	scale  Scale
+	nodes  int
+	shards int
+	seed   uint64
+}
+
+// workloadCache memoizes dataset synthesis across sweep arms: a sweep that
+// runs three arms per node count used to synthesize (and partition) the same
+// tensors three times. Cached workloads share their Dataset, Parts, and model
+// factory — all read-only after construction (loaders copy the index slices
+// they shuffle) — while each caller gets its own Workload struct to keep
+// value-field writes private.
+var workloadCache = struct {
+	sync.Mutex
+	m map[workloadKey]*Workload
+}{m: map[workloadKey]*Workload{}}
+
+// memoWorkload returns a shallow copy of the cached workload for key,
+// building and caching it on first use. The lock is held across the build so
+// concurrent arms of a sweep synthesize each key once.
+func memoWorkload(key workloadKey, build func() (*Workload, error)) (*Workload, error) {
+	workloadCache.Lock()
+	defer workloadCache.Unlock()
+	w, ok := workloadCache.m[key]
+	if !ok {
+		var err error
+		if w, err = build(); err != nil {
+			return nil, err
+		}
+		workloadCache.m[key] = w
+	}
+	cp := *w
+	return &cp, nil
+}
+
 // NewWorkload builds the named workload ("cifar10", "movielens",
 // "shakespeare", "celeba", "femnist") at the given scale. nodes == 0 uses the
-// scale's default node count. All randomness descends from seed.
+// scale's default node count. All randomness descends from seed; repeated
+// calls with the same arguments share one synthesized dataset (memoized
+// across sweep arms).
 func NewWorkload(name string, scale Scale, nodes int, seed uint64) (*Workload, error) {
 	if nodes == 0 {
 		nodes = defaultNodes(scale)
 	}
-	rng := vec.NewRNG(seed)
-	w := &Workload{Name: name, Scale: scale, Nodes: nodes, Degree: degreeFor(nodes)}
-	var err error
-	switch name {
-	case "cifar10":
-		err = buildCIFAR10(w, scale, rng, 2)
-	case "femnist":
-		err = buildFEMNIST(w, scale, rng)
-	case "celeba":
-		err = buildCelebA(w, scale, rng)
-	case "shakespeare":
-		err = buildShakespeare(w, scale, rng)
-	case "movielens":
-		err = buildMovieLens(w, scale, rng)
-	default:
-		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	shards := 0
+	if name == "cifar10" {
+		shards = 2
 	}
-	if err != nil {
-		return nil, fmt.Errorf("experiments: building %s: %w", name, err)
-	}
-	return w, nil
+	return memoWorkload(workloadKey{name, scale, nodes, shards, seed}, func() (*Workload, error) {
+		rng := vec.NewRNG(seed)
+		w := &Workload{Name: name, Scale: scale, Nodes: nodes, Degree: degreeFor(nodes)}
+		var err error
+		switch name {
+		case "cifar10":
+			err = buildCIFAR10(w, scale, rng, 2)
+		case "femnist":
+			err = buildFEMNIST(w, scale, rng)
+		case "celeba":
+			err = buildCelebA(w, scale, rng)
+		case "shakespeare":
+			err = buildShakespeare(w, scale, rng)
+		case "movielens":
+			err = buildMovieLens(w, scale, rng)
+		default:
+			return nil, fmt.Errorf("experiments: unknown workload %q", name)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building %s: %w", name, err)
+		}
+		return w, nil
+	})
 }
 
 // NewCIFAR10Shards builds the CIFAR-10-like workload with a custom
 // shards-per-node setting (the scalability study uses 4 instead of 2).
+// Memoized like NewWorkload.
 func NewCIFAR10Shards(scale Scale, nodes, shardsPerNode int, seed uint64) (*Workload, error) {
 	if nodes == 0 {
 		nodes = defaultNodes(scale)
 	}
-	rng := vec.NewRNG(seed)
-	w := &Workload{Name: "cifar10", Scale: scale, Nodes: nodes, Degree: degreeFor(nodes)}
-	if err := buildCIFAR10(w, scale, rng, shardsPerNode); err != nil {
-		return nil, err
-	}
-	return w, nil
+	return memoWorkload(workloadKey{"cifar10", scale, nodes, shardsPerNode, seed}, func() (*Workload, error) {
+		rng := vec.NewRNG(seed)
+		w := &Workload{Name: "cifar10", Scale: scale, Nodes: nodes, Degree: degreeFor(nodes)}
+		if err := buildCIFAR10(w, scale, rng, shardsPerNode); err != nil {
+			return nil, err
+		}
+		return w, nil
+	})
 }
 
 func defaultNodes(scale Scale) int {

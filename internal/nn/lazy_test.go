@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// lazyPair builds an eager MLP and a Lazy wrapper around an identically
+// seeded build closure, both starting from the same initial vector.
+func lazyPair() (eager Trainable, lazy *Lazy, initial []float64) {
+	template := NewMLP(6, 5, 3, vec.NewRNG(1))
+	initial = make([]float64, template.ParamCount())
+	template.CopyParams(initial)
+
+	eager = NewMLP(6, 5, 3, vec.NewRNG(2))
+	eager.SetParams(initial)
+	lazy = NewLazy(template.ParamCount(), initial, func() Trainable {
+		return NewMLP(6, 5, 3, vec.NewRNG(3))
+	})
+	return eager, lazy, initial
+}
+
+func lazyBatch() (*Tensor, []float64) {
+	x := NewTensor(4, 6)
+	rng := vec.NewRNG(9)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return x, []float64{0, 1, 2, 1}
+}
+
+// TestLazyReadsBeforeMaterialization: ParamCount and CopyParams must answer
+// from the shared initial vector without building a model — algorithm
+// constructors (JWINS start state, CHOCO replicas) read through this path.
+func TestLazyReadsBeforeMaterialization(t *testing.T) {
+	_, lazy, initial := lazyPair()
+	if lazy.Materialized() {
+		t.Fatal("fresh Lazy is materialized")
+	}
+	if got, want := lazy.ParamCount(), len(initial); got != want {
+		t.Fatalf("ParamCount() = %d, want %d", got, want)
+	}
+	dst := make([]float64, len(initial))
+	lazy.CopyParams(dst)
+	for i := range dst {
+		if dst[i] != initial[i] {
+			t.Fatalf("CopyParams()[%d] = %v, want initial %v", i, dst[i], initial[i])
+		}
+	}
+	if lazy.Materialized() {
+		t.Fatal("CopyParams materialized the model")
+	}
+}
+
+// TestLazyMatchesEagerUnderTraining: a Lazy node that materializes on first
+// TrainBatch must be bit-identical to an eager node with the same initial
+// weights — the COW fleet's correctness contract.
+func TestLazyMatchesEagerUnderTraining(t *testing.T) {
+	eager, lazy, initial := lazyPair()
+	x, y := lazyBatch()
+	for step := 0; step < 3; step++ {
+		le := eager.TrainBatch(x, y, 0.1)
+		ll := lazy.TrainBatch(x, y, 0.1)
+		if le != ll || math.IsNaN(ll) {
+			t.Fatalf("step %d: eager loss %v != lazy loss %v", step, le, ll)
+		}
+	}
+	if !lazy.Materialized() {
+		t.Fatal("TrainBatch did not materialize")
+	}
+	got := make([]float64, len(initial))
+	want := make([]float64, len(initial))
+	lazy.CopyParams(got)
+	eager.CopyParams(want)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("param %d: lazy %v != eager %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLazyMaterializeOnSetParams: aggregation's SetParams is a write and must
+// materialize; the installed vector wins over the initial one.
+func TestLazyMaterializeOnSetParams(t *testing.T) {
+	_, lazy, initial := lazyPair()
+	repl := make([]float64, len(initial))
+	for i := range repl {
+		repl[i] = float64(i)
+	}
+	lazy.SetParams(repl)
+	if !lazy.Materialized() {
+		t.Fatal("SetParams did not materialize")
+	}
+	got := make([]float64, len(repl))
+	lazy.CopyParams(got)
+	for i := range got {
+		if got[i] != repl[i] {
+			t.Fatalf("param %d: got %v, want %v", i, got[i], repl[i])
+		}
+	}
+}
+
+// TestLazyEvalBatchMatchesEager: evaluation materializes and must score
+// identically to the eager twin.
+func TestLazyEvalBatchMatchesEager(t *testing.T) {
+	eager, lazy, _ := lazyPair()
+	x, y := lazyBatch()
+	el, ec, en := eager.EvalBatch(x, y)
+	ll, lc, ln := lazy.EvalBatch(x, y)
+	if el != ll || ec != lc || en != ln {
+		t.Fatalf("eager (%v,%d,%d) != lazy (%v,%d,%d)", el, ec, en, ll, lc, ln)
+	}
+	if !lazy.Materialized() {
+		t.Fatal("EvalBatch did not materialize")
+	}
+}

@@ -42,6 +42,55 @@ func allocRun(rounds int) (int64, error) {
 	return events, nil
 }
 
+// fleetAllocPerNodeCeiling is the committed per-node allocation budget of
+// copy-on-write fleet construction (ScaleFleet). A lazy node costs its Lazy
+// wrapper, build closure, two RNG splits, loader, and full-sharing shell —
+// measured ~16 allocs/node on go1.24 — while an eager node adds the whole
+// MLP layer graph (~42). The ceiling leaves toolchain headroom but fails if
+// per-node model construction ever sneaks back into the build path.
+const fleetAllocPerNodeCeiling = 24.0
+
+// TestFleetConstructionAllocBudget guards the copy-on-write win the same way
+// TestSchedulerAllocationCeiling guards the event loop: fleets at two sizes
+// are measured and differenced, so the shared template model, topology, and
+// memoized dataset fixture cancel, leaving the marginal cost per node.
+func TestFleetConstructionAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is timing-insensitive but not free")
+	}
+	const (
+		loNodes, hiNodes = 256, 1024
+		samples          = 3
+	)
+	build := func(f func(int) ([]int, error), n int) float64 {
+		return testing.AllocsPerRun(samples, func() {
+			if _, err := f(n); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	lazy := func(n int) ([]int, error) { _, _, _, err := ScaleFleet(n); return nil, err }
+	eager := func(n int) ([]int, error) { _, _, _, err := ScaleFleetEager(n); return nil, err }
+	// Warm the memoized dataset fixtures so synthesis stays out of both
+	// measurements.
+	for _, n := range []int{loNodes, hiNodes} {
+		if _, err := lazy(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	span := float64(hiNodes - loNodes)
+	lazyPerNode := (build(lazy, hiNodes) - build(lazy, loNodes)) / span
+	eagerPerNode := (build(eager, hiNodes) - build(eager, loNodes)) / span
+	t.Logf("fleet construction: lazy %.2f allocs/node, eager %.2f allocs/node", lazyPerNode, eagerPerNode)
+	if lazyPerNode > fleetAllocPerNodeCeiling {
+		t.Fatalf("lazy fleet construction allocates %.2f/node, ceiling is %.1f", lazyPerNode, fleetAllocPerNodeCeiling)
+	}
+	if lazyPerNode >= eagerPerNode {
+		t.Fatalf("lazy construction (%.2f allocs/node) no cheaper than eager (%.2f): copy-on-write is not deferring model builds",
+			lazyPerNode, eagerPerNode)
+	}
+}
+
 // TestSchedulerAllocationCeiling guards the event loop's steady-state
 // allocation rate the way the JWINS hot-path AllocsPerRun tests guard the
 // share/aggregate kernels. Whole runs at two round budgets are measured and

@@ -9,6 +9,7 @@ package perf
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/codec"
@@ -66,30 +67,92 @@ func EngineFleet() ([]core.Node, *datasets.Dataset, topology.Provider, error) {
 	return nodes, ds, topology.NewStatic(g), nil
 }
 
-// ScaleFleet builds an n-node full-sharing raw32 fleet over a 4-regular
-// graph on a deliberately lean task (8×8 single-channel 4-class images, one
-// sample per class per node, a 64→16→4 MLP), so scheduler cost — not SGD —
-// dominates. The fixture of the engine-async256 rows; mirrors
-// experiments.ScaleWorkload.
-func ScaleFleet(n int) ([]core.Node, *datasets.Dataset, topology.Provider, error) {
+// scaleFixtures memoizes the dataset synthesis behind ScaleFleet per node
+// count, mirroring experiments' workload cache: repeated benchmark
+// iterations (and the lazy-vs-eager fleet-build rows) share one read-only
+// dataset and partition instead of re-synthesizing per call.
+var scaleFixtures = struct {
+	sync.Mutex
+	m map[int]*scaleFixture
+}{m: map[int]*scaleFixture{}}
+
+type scaleFixture struct {
+	ds    *datasets.Dataset
+	parts [][]int
+}
+
+func scaleFixtureFor(n int) (*scaleFixture, error) {
+	scaleFixtures.Lock()
+	defer scaleFixtures.Unlock()
+	if f, ok := scaleFixtures.m[n]; ok {
+		return f, nil
+	}
 	rng := vec.NewRNG(Seed)
 	ds, err := datasets.SyntheticImages(datasets.ImageConfig{
 		Classes: 4, Channels: 1, Height: 8, Width: 8,
 		TrainPerClass: n, TestPerClass: 8,
 	}, rng)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	parts, err := datasets.PartitionShards(ds, n, 2, rng)
 	if err != nil {
+		return nil, err
+	}
+	f := &scaleFixture{ds: ds, parts: parts}
+	scaleFixtures.m[n] = f
+	return f, nil
+}
+
+// ScaleFleet builds an n-node full-sharing raw32 fleet over a 4-regular
+// graph on a deliberately lean task (8×8 single-channel 4-class images, one
+// sample per class per node, a 64→16→4 MLP), so scheduler cost — not SGD —
+// dominates. The fixture of the engine-async rows; mirrors
+// experiments.ScaleWorkload, including its copy-on-write models: each node
+// gets an nn.Lazy wrapper over shared initial weights, so construction cost
+// is ~1 model regardless of n.
+func ScaleFleet(n int) ([]core.Node, *datasets.Dataset, topology.Provider, error) {
+	return scaleFleet(n, true)
+}
+
+// ScaleFleetEager is ScaleFleet with every node's layer graph built up
+// front — the baseline of the fleet-build benchmark rows. Fleets behave
+// bit-identically either way.
+func ScaleFleetEager(n int) ([]core.Node, *datasets.Dataset, topology.Provider, error) {
+	return scaleFleet(n, false)
+}
+
+func scaleFleet(n int, lazy bool) ([]core.Node, *datasets.Dataset, topology.Provider, error) {
+	fix, err := scaleFixtureFor(n)
+	if err != nil {
 		return nil, nil, nil, err
 	}
+	// A dedicated RNG stream for the fleet: the dataset RNG lives inside the
+	// memoized fixture, so node seeds must not depend on whether this call
+	// hit the cache.
+	rng := vec.NewRNG(Seed ^ 0x666c65) // "fle"
+	template := nn.NewMLP(64, 16, 4, rng.Split())
+	initial := make([]float64, template.ParamCount())
+	template.CopyParams(initial)
 	opts := core.TrainOpts{LR: 0.05, LocalSteps: 2}
 	nodes := make([]core.Node, n)
 	for i := range nodes {
 		nodeRNG := rng.Split()
-		model := nn.NewMLP(64, 16, 4, nodeRNG)
-		loader := datasets.NewLoader(ds, parts[i], 4, nodeRNG.Split())
+		// Same split discipline as experiments.BuildFleet: the model owns a
+		// dedicated split so loader seeds are independent of when — or
+		// whether — the layer graph is built.
+		modelRNG := nodeRNG.Split()
+		var model nn.Trainable
+		if lazy {
+			model = nn.NewLazy(len(initial), initial, func() nn.Trainable {
+				return nn.NewMLP(64, 16, 4, modelRNG)
+			})
+		} else {
+			m := nn.NewMLP(64, 16, 4, modelRNG)
+			m.SetParams(initial)
+			model = m
+		}
+		loader := datasets.NewLoader(fix.ds, fix.parts[i], 4, nodeRNG.Split())
 		nodes[i], err = core.NewFullSharing(i, model, loader, opts, codec.Raw32{})
 		if err != nil {
 			return nil, nil, nil, err
@@ -99,22 +162,57 @@ func ScaleFleet(n int) ([]core.Node, *datasets.Dataset, topology.Provider, error
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return nodes, ds, topology.NewStatic(g), nil
+	return nodes, fix.ds, topology.NewStatic(g), nil
 }
 
+// ScaleEvalSample is the rotating eval subset size of the 1024/4096-node
+// benchmark arms, matching the ext-scale sweep's sampled tier.
+const ScaleEvalSample = 64
+
 // RunAsync256 executes one iteration of the 256-node event-driven benchmark
-// (heterogeneous profiles, 4 iterations per node, one final eval over 8
-// nodes) and returns the number of scheduler events processed.
+// (heterogeneous profiles, 4 iterations per node, one final eval over a
+// seeded 8-node subset) and returns the number of scheduler events processed.
 func RunAsync256(parallelism int) (int64, error) {
-	nodes, ds, topo, err := ScaleFleet(256)
+	return RunAsyncScale(256, parallelism, 0)
+}
+
+// RunAsync1024 is the 1024-node tier with sampled rotating evaluation
+// (ScaleEvalSample nodes per eval row).
+func RunAsync1024(parallelism int) (int64, error) {
+	return RunAsyncScale(1024, parallelism, ScaleEvalSample)
+}
+
+// RunAsync4096 is the 4096-node tier with sampled rotating evaluation.
+func RunAsync4096(parallelism int) (int64, error) {
+	return RunAsyncScale(4096, parallelism, ScaleEvalSample)
+}
+
+// RunAsyncScale executes one iteration of the n-node event-driven benchmark
+// (heterogeneous profiles, 4 iterations per node, one eval row) and returns
+// the number of scheduler events processed. evalSample > 0 scores a seeded
+// rotating subset of that many nodes per eval row; evalSample == 0 keeps the
+// historical seeded 8-node cap; evalSample < 0 evaluates the whole fleet
+// exactly (the eval-cost suite rows difference full-exact vs sampled).
+func RunAsyncScale(n, parallelism, evalSample int) (int64, error) {
+	nodes, ds, topo, err := ScaleFleet(n)
 	if err != nil {
 		return 0, err
+	}
+	cfg := simulation.Config{
+		Rounds: 4, EvalEvery: 4, EvalNodes: 8,
+		EvalSeed: Seed, Parallelism: parallelism,
+	}
+	switch {
+	case evalSample > 0:
+		cfg.EvalSample = evalSample
+	case evalSample < 0:
+		cfg.EvalNodes = 0 // exact evaluation over the whole fleet
 	}
 	var events int64
 	eng := &simulation.AsyncEngine{
 		Nodes: nodes, Topology: topo, TestSet: ds,
 		Config: simulation.AsyncConfig{
-			Config:  simulation.Config{Rounds: 4, EvalEvery: 4, EvalNodes: 8, Parallelism: parallelism},
+			Config:  cfg,
 			Het:     simulation.Heterogeneity{ComputeSpread: 0.3, Seed: Seed},
 			OnEvent: func(simulation.Event) { events++ },
 		},

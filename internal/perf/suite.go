@@ -40,6 +40,24 @@ func Suite() ([]Bench, error) {
 		{fmt.Sprintf("engine-asyncdyntopo16-p%d", pmax), func() (int64, error) { return RunAsyncDynTopo16(pmax) }},
 		{"engine-async256-p1", func() (int64, error) { return RunAsync256(1) }},
 		{fmt.Sprintf("engine-async256-p%d", pmax), func() (int64, error) { return RunAsync256(pmax) }},
+		{"engine-async1024-p1", func() (int64, error) { return RunAsync1024(1) }},
+		{fmt.Sprintf("engine-async1024-p%d", pmax), func() (int64, error) { return RunAsync1024(pmax) }},
+		{"engine-async4096-p1", func() (int64, error) { return RunAsync4096(1) }},
+		{fmt.Sprintf("engine-async4096-p%d", pmax), func() (int64, error) { return RunAsync4096(pmax) }},
+		// Eval-cost bracket: identical 1024-node runs except the eval row
+		// scores the full fleet exactly vs a 64-node rotating sample; the
+		// ns/op delta is the per-row evaluation cost the sample removes.
+		{"engine-async1024-evalexact-p1", func() (int64, error) { return RunAsyncScale(1024, 1, -1) }},
+		// Fleet-construction bracket: build-only, no run. Lazy is the
+		// copy-on-write default; eager builds every layer graph up front.
+		{"fleet-build-4096-lazy", func() (int64, error) {
+			_, _, _, err := ScaleFleet(4096)
+			return 0, err
+		}},
+		{"fleet-build-4096-eager", func() (int64, error) {
+			_, _, _, err := ScaleFleetEager(4096)
+			return 0, err
+		}},
 	}
 	micro, err := microBenches()
 	if err != nil {

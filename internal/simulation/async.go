@@ -383,6 +383,10 @@ type asyncRun struct {
 	res       *Result
 	stop      bool
 
+	// evalSamp drives sampled rotating evaluation (nil = exact); its subsets
+	// depend only on config + row index, so rows stay parallelism-invariant.
+	evalSamp *evalSampler
+
 	// meshPending buffers mesh messages drained out of order, keyed by
 	// receiver then sender (FIFO per sender).
 	meshPending []map[int][]transport.Message
@@ -457,6 +461,7 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		alphas:       make([]float64, n),
 		isJWINS:      make([]bool, n),
 		churnPending: make([][]float64, n),
+		evalSamp:     newEvalSampler(n, cfg.Config),
 	}
 	if bp, ok := policy.(BoundedStalenessPolicy); ok {
 		r.curTau = bp.Tau
@@ -504,6 +509,9 @@ func (e *AsyncEngine) Run() (*Result, error) {
 			return nil, err
 		}
 		if err := r.validateReplayPolicy(); err != nil {
+			return nil, err
+		}
+		if err := r.validateReplayEval(); err != nil {
 			return nil, err
 		}
 	}
@@ -766,6 +774,33 @@ func (r *asyncRun) validateReplayPolicy() error {
 		}
 	}
 	return nil
+}
+
+// validateReplayEval rejects a replay whose evaluation schedule differs from
+// the recording's. Sampled evaluation never shapes the event schedule, but it
+// does shape the emitted rows, so a replay claiming row parity must score the
+// same subsets. Traces without eval meta (recorded exact, or predating the
+// sampler) skip the check.
+func (r *asyncRun) validateReplayEval() error {
+	h := r.replay.Header()
+	checkInt := func(key string, got int) error {
+		s := h.Meta[key]
+		if s == "" {
+			return nil
+		}
+		rec, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("%w: trace %s %q: %v", ErrReplayConfig, key, s, err)
+		}
+		if rec != got {
+			return fmt.Errorf("%w: trace was recorded with %s=%d, engine uses %d", ErrReplayConfig, key, rec, got)
+		}
+		return nil
+	}
+	if err := checkInt("eval_sample", r.cfg.EvalSample); err != nil {
+		return err
+	}
+	return checkInt("eval_rotate", r.cfg.EvalRotate)
 }
 
 // pushNextReplayEpoch schedules the next recorded rotation. It is called at
@@ -1498,6 +1533,15 @@ func (r *asyncRun) emitRows() error {
 	floor := r.minLiveIter()
 	for r.emitted < floor && r.emitted < r.cfg.Rounds && !r.stop {
 		k := r.emitted
+		// Sampled runs reuse the row's eval subset for the alpha summary too,
+		// keeping emission O(sample); exact runs keep the full-fleet mean.
+		subset := r.evalSamp.subsetFor(k)
+		var alpha float64
+		if subset != nil {
+			alpha = meanOverIdx(r.alphas, subset)
+		} else {
+			alpha = mean(r.alphas)
+		}
 		rm := RoundMetrics{
 			Round:            k,
 			TrainLoss:        math.NaN(),
@@ -1507,7 +1551,7 @@ func (r *asyncRun) emitRows() error {
 			CumModelBytes:    r.ledger.model,
 			CumMetaBytes:     r.ledger.meta,
 			SimTime:          r.now,
-			MeanAlpha:        mean(r.alphas),
+			MeanAlpha:        alpha,
 			Epoch:            r.epoch,
 			SpectralGap:      r.curGap,
 			NeighborTurnover: r.curTurnover,
@@ -1524,7 +1568,20 @@ func (r *asyncRun) emitRows() error {
 			if err := r.drain(); err != nil {
 				return err
 			}
-			loss, acc := evaluateNodesOn(r.pool, r.eng.Nodes, r.eng.TestSet, r.cfg.Config)
+			var live []bool
+			if subset != nil {
+				// Sampled rows skip offline nodes (they contribute NaN); the
+				// exact path keeps its historical all-nodes semantics, so the
+				// live mask only exists when sampling is on.
+				if r.liveBuf == nil {
+					r.liveBuf = make([]bool, len(r.nodes))
+				}
+				for i := range r.nodes {
+					r.liveBuf[i] = r.nodes[i].live
+				}
+				live = r.liveBuf
+			}
+			loss, acc := evaluateNodesOn(r.pool, r.eng.Nodes, r.eng.TestSet, r.cfg.Config, subset, live)
 			rm.TestLoss, rm.TestAcc = loss, acc
 			r.res.FinalAccuracy, r.res.FinalLoss = acc, loss
 			if r.cfg.TargetAccuracy > 0 && acc >= r.cfg.TargetAccuracy && r.res.RoundsToTarget < 0 {

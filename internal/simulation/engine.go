@@ -26,8 +26,27 @@ type Config struct {
 	// round is always evaluated).
 	EvalEvery int
 	// EvalNodes caps how many nodes are evaluated (0 = all). Test accuracy is
-	// the mean over evaluated nodes, as in the paper.
+	// the mean over evaluated nodes, as in the paper. The capped subset is a
+	// seeded uniform sample (fixed for the run, drawn from EvalSeed) — it used
+	// to be the first k nodes, which under churn and heterogeneity
+	// systematically favored low-index nodes.
 	EvalNodes int
+	// EvalSample, when > 0 and below the node count, switches evaluation to a
+	// seeded rotating subset of that many nodes per eval row: each row scores
+	// one window of a per-cycle random permutation, so every node is visited
+	// within ceil(n/EvalSample) (×EvalRotate) eval rows. Deterministic from
+	// EvalSeed + the row's round — parallelism never changes the subset. 0
+	// (the default) keeps exact all-node evaluation. Takes precedence over
+	// EvalNodes.
+	EvalSample int
+	// EvalRotate slows the rotation: the sampling window advances every
+	// EvalRotate eval rows (default 1 = advance each row). Larger values
+	// re-score the same subset across consecutive rows, which smooths the
+	// series at the cost of a longer full-fleet visit cadence.
+	EvalRotate int
+	// EvalSeed seeds the rotating-sample permutations and the EvalNodes cap
+	// subset (typically the run seed).
+	EvalSeed uint64
 	// EvalBatch is the evaluation batch size (default 32).
 	EvalBatch int
 	// EvalMaxSamples caps test samples per node evaluation (0 = all).
@@ -67,6 +86,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.EvalBatch <= 0 {
 		c.EvalBatch = 32
+	}
+	if c.EvalRotate <= 0 {
+		c.EvalRotate = 1
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.NumCPU()
@@ -214,6 +236,7 @@ func (e *Engine) Run() (*Result, error) {
 		faultRNG = vec.NewRNG(cfg.FaultSeed ^ 0xfa017)
 	}
 	offline := make([]bool, n)
+	sampler := newEvalSampler(n, cfg)
 
 	for round := 0; round < cfg.Rounds; round++ {
 		graph, weights := e.Topology.Round(round)
@@ -313,6 +336,9 @@ func (e *Engine) Run() (*Result, error) {
 		stepTime := float64(localSteps(e.Nodes[0])) * cfg.ComputeSecPerStep
 		simTime += stepTime + float64(maxNodeBytes)/cfg.BandwidthBytesPerSec + cfg.LatencySec
 
+		// Sampled runs reuse the row's eval subset for the alpha summary,
+		// keeping row emission O(sample).
+		subset := sampler.subsetFor(round)
 		rm := RoundMetrics{
 			Round:         round,
 			TrainLoss:     mean(losses),
@@ -322,11 +348,11 @@ func (e *Engine) Run() (*Result, error) {
 			CumModelBytes: ledger.model,
 			CumMetaBytes:  ledger.meta,
 			SimTime:       simTime,
-			MeanAlpha:     meanAlphaOf(e.Nodes),
+			MeanAlpha:     meanAlphaOver(e.Nodes, subset),
 		}
 
 		if round%cfg.EvalEvery == cfg.EvalEvery-1 || round == cfg.Rounds-1 {
-			loss, acc := evaluateNodesOn(pool, e.Nodes, e.TestSet, cfg)
+			loss, acc := evaluateNodesOn(pool, e.Nodes, e.TestSet, cfg, subset, nil)
 			rm.TestLoss, rm.TestAcc = loss, acc
 			res.FinalAccuracy, res.FinalLoss = acc, loss
 			if cfg.TargetAccuracy > 0 && acc >= cfg.TargetAccuracy && res.RoundsToTarget < 0 {

@@ -1,0 +1,258 @@
+package simulation
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestEvalSamplerRotationCoverage: with sample size s and rotation k, every
+// node must be visited within ceil(n/s)×k consecutive eval rows (one full
+// cycle), each row's subset must be s distinct nodes, and the schedule must
+// be a pure function of the config — a fresh sampler replays it exactly.
+func TestEvalSamplerRotationCoverage(t *testing.T) {
+	cfg := Config{EvalSample: 3, EvalEvery: 2, EvalRotate: 2, EvalSeed: 5}
+	cfg.setDefaults()
+	const n = 10
+	s := newEvalSampler(n, cfg)
+	if s == nil {
+		t.Fatal("sampler unexpectedly off")
+	}
+	windows := (n + cfg.EvalSample - 1) / cfg.EvalSample
+	budget := windows * cfg.EvalRotate // eval rows per full cycle
+
+	replay := newEvalSampler(n, cfg)
+	seen := make(map[int]bool)
+	for ord := 0; ord < budget; ord++ {
+		round := ord * cfg.EvalEvery // eval rows land every EvalEvery rounds
+		subset := s.subsetFor(round)
+		if len(subset) != cfg.EvalSample {
+			t.Fatalf("row %d: subset size %d, want %d", ord, len(subset), cfg.EvalSample)
+		}
+		dup := make(map[int]bool)
+		for _, idx := range subset {
+			if idx < 0 || idx >= n {
+				t.Fatalf("row %d: node %d out of range", ord, idx)
+			}
+			if dup[idx] {
+				t.Fatalf("row %d: node %d sampled twice", ord, idx)
+			}
+			dup[idx] = true
+			seen[idx] = true
+		}
+		again := replay.subsetFor(round)
+		for i := range subset {
+			if subset[i] != again[i] {
+				t.Fatalf("row %d: fresh sampler diverged: %v vs %v", ord, subset, again)
+			}
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("one cycle (%d eval rows) visited %d/%d nodes", budget, len(seen), n)
+	}
+}
+
+// TestEvalSamplerOffBoundaries: sampling must stay off when the subset would
+// not actually be a proper subset.
+func TestEvalSamplerOffBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		sample int
+	}{
+		{"zero", 0},
+		{"equal-to-fleet", 8},
+		{"above-fleet", 12},
+	} {
+		cfg := Config{EvalSample: tc.sample, EvalEvery: 1, EvalSeed: 1}
+		cfg.setDefaults()
+		if s := newEvalSampler(8, cfg); s != nil {
+			t.Fatalf("%s: sampler on for EvalSample=%d over 8 nodes", tc.name, tc.sample)
+		}
+	}
+	if got := (*evalSampler)(nil).subsetFor(0); got != nil {
+		t.Fatalf("nil sampler returned subset %v", got)
+	}
+}
+
+// TestSampledEvalParallelismInvariance: sampled rows must be bit-identical
+// across worker-pool widths — the subset schedule depends on the config and
+// row index only, never on execution order.
+func TestSampledEvalParallelismInvariance(t *testing.T) {
+	const rounds = 8
+	capture := func(parallelism int) *Result {
+		eng := asyncEngineFor(t, algoJWINS, rounds, func(cfg *AsyncConfig) {
+			cfg.Parallelism = parallelism
+			cfg.EvalEvery = 2
+			cfg.EvalSample = 3
+			cfg.EvalSeed = 17
+			cfg.Het = Heterogeneity{ComputeSpread: 0.4, Seed: 5}
+		})
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := capture(1)
+	levels := []int{2}
+	if n := runtime.NumCPU(); n > 2 {
+		levels = append(levels, n)
+	}
+	for _, p := range levels {
+		got := capture(p)
+		if len(got.Rounds) != len(ref.Rounds) {
+			t.Fatalf("p=%d: row count %d, serial %d", p, len(got.Rounds), len(ref.Rounds))
+		}
+		for i := range ref.Rounds {
+			if !metricsEqual(ref.Rounds[i], got.Rounds[i]) {
+				t.Fatalf("p=%d row %d diverged:\nserial %+v\ngot    %+v", p, i, ref.Rounds[i], got.Rounds[i])
+			}
+		}
+		if !floatsEqualNaN(ref.FinalAccuracy, got.FinalAccuracy) || !floatsEqualNaN(ref.FinalLoss, got.FinalLoss) {
+			t.Fatalf("p=%d finals diverged: (%v,%v) vs (%v,%v)",
+				p, got.FinalAccuracy, got.FinalLoss, ref.FinalAccuracy, ref.FinalLoss)
+		}
+	}
+}
+
+func floatsEqualNaN(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// TestSampledEvalOfflineNaN: subset entries that are offline contribute NaN
+// and fall out of the mean; a fully offline subset yields NaN row metrics
+// instead of scoring dead nodes' stale models.
+func TestSampledEvalOfflineNaN(t *testing.T) {
+	const n = 8
+	ds, parts := buildTask(t, n, 42)
+	nodes := buildNodes(t, algoFull, ds, parts, 7)
+	pool := newComputePool(1)
+	defer pool.close()
+	cfg := Config{EvalEvery: 1}
+	cfg.setDefaults()
+
+	subset := []int{0, 1, 2}
+	live := make([]bool, n)
+
+	loss, acc := evaluateNodesOn(pool, nodes, ds, cfg, subset, live)
+	if !math.IsNaN(loss) || !math.IsNaN(acc) {
+		t.Fatalf("all-offline subset produced (%v, %v), want NaN", loss, acc)
+	}
+
+	live[1] = true
+	loss, acc = evaluateNodesOn(pool, nodes, ds, cfg, subset, live)
+	wantLoss, wantAcc := evaluateNodesOn(pool, nodes, ds, cfg, []int{1}, nil)
+	if loss != wantLoss || acc != wantAcc {
+		t.Fatalf("single live node: got (%v, %v), want node 1 alone (%v, %v)", loss, acc, wantLoss, wantAcc)
+	}
+}
+
+// TestSampledEvalWithinToleranceOfExact: on the micro test task, the sampled
+// estimate must track exact evaluation. The bound is loose — a 3-node sample
+// of an 8-node fleet is noisy by construction — but it catches systematic
+// bias (always scoring the same lucky subset, never visiting stragglers).
+func TestSampledEvalWithinToleranceOfExact(t *testing.T) {
+	const rounds = 12
+	run := func(sample int) *Result {
+		eng := asyncEngineFor(t, algoJWINS, rounds, func(cfg *AsyncConfig) {
+			cfg.EvalEvery = 4
+			cfg.EvalSample = sample
+			cfg.EvalSeed = 9
+		})
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	exact := run(0)
+	sampled := run(3)
+	if math.Abs(exact.FinalAccuracy-sampled.FinalAccuracy) > 0.15 {
+		t.Fatalf("sampled final accuracy %.4f drifted from exact %.4f beyond tolerance 0.15",
+			sampled.FinalAccuracy, exact.FinalAccuracy)
+	}
+	if math.Abs(exact.FinalLoss-sampled.FinalLoss) > 0.5*(1+math.Abs(exact.FinalLoss)) {
+		t.Fatalf("sampled final loss %.4f drifted from exact %.4f", sampled.FinalLoss, exact.FinalLoss)
+	}
+}
+
+// TestReplayValidatesEvalSchedule: a trace recorded under sampled evaluation
+// carries the schedule in its header; replaying under a different schedule
+// must fail with ErrReplayConfig, and replaying under the recorded one must
+// reproduce the rows exactly. Traces without eval meta (recorded before the
+// sampler existed) skip the check.
+func TestReplayValidatesEvalSchedule(t *testing.T) {
+	const rounds = 8
+	recordWith := func(meta map[string]string, sample int) (*trace.Trace, *Result) {
+		rec := trace.NewRecorder(trace.Header{
+			Nodes: 8, Rounds: rounds, Source: trace.SourceSim, Policy: trace.PolicyBarrier, Meta: meta,
+		})
+		eng := asyncEngineFor(t, algoJWINS, rounds, func(cfg *AsyncConfig) {
+			cfg.EvalEvery = 2
+			cfg.EvalSample = sample
+			cfg.EvalSeed = 21
+			cfg.Record = rec
+		})
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.Trace(), res
+	}
+	meta := map[string]string{"eval_sample": "3", "eval_rotate": "1"}
+	recorded, recRes := recordWith(meta, 3)
+
+	replayEng := func(sample int) *AsyncEngine {
+		rp, err := trace.NewReplayer(recorded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return asyncEngineFor(t, algoJWINS, rounds, func(cfg *AsyncConfig) {
+			cfg.EvalEvery = 2
+			cfg.EvalSample = sample
+			cfg.EvalSeed = 21
+			cfg.Replay = rp
+		})
+	}
+
+	// Matching schedule: row-for-row parity with the recording.
+	repRes, err := replayEng(3).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repRes.Rounds) != len(recRes.Rounds) {
+		t.Fatalf("row counts differ: replay %d, recorded %d", len(repRes.Rounds), len(recRes.Rounds))
+	}
+	for i := range recRes.Rounds {
+		if !metricsEqual(repRes.Rounds[i], recRes.Rounds[i]) {
+			t.Fatalf("row %d differs: %+v vs %+v", i, repRes.Rounds[i], recRes.Rounds[i])
+		}
+	}
+
+	// Mismatched schedule: typed configuration error.
+	if _, err := replayEng(5).Run(); !errors.Is(err, ErrReplayConfig) {
+		t.Fatalf("mismatched eval sample: got %v, want ErrReplayConfig", err)
+	}
+	if _, err := replayEng(0).Run(); !errors.Is(err, ErrReplayConfig) {
+		t.Fatalf("exact replay of sampled trace: got %v, want ErrReplayConfig", err)
+	}
+
+	// A header without eval meta skips the check (legacy traces).
+	legacy, _ := recordWith(nil, 3)
+	rp, err := trace.NewReplayer(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := asyncEngineFor(t, algoJWINS, rounds, func(cfg *AsyncConfig) {
+		cfg.EvalEvery = 2
+		cfg.EvalSample = 5 // differs from the recording, but nothing recorded it
+		cfg.EvalSeed = 21
+		cfg.Replay = rp
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatalf("legacy trace without eval meta rejected: %v", err)
+	}
+}
