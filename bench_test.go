@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/codec"
+	"repro/internal/core"
 	"repro/internal/dwt"
 	"repro/internal/experiments"
 	"repro/internal/fourier"
@@ -407,6 +408,39 @@ func BenchmarkJWINSShare(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkJWINSShareBatch is BenchmarkJWINSShare through the batched
+// pipeline: one op runs a SharePipeline batch of 8 plan-sharing
+// 100k-parameter nodes, and the reported ns/share compares directly against
+// BenchmarkJWINSShare's ns/op (the batched path's acceptance bar is >= 30%
+// under it). Per-node observables stay bit-identical to looped Share calls —
+// this measures the same work, scheduled better.
+func BenchmarkJWINSShareBatch(b *testing.B) {
+	const width = 8
+	for _, v := range microCodecVariants() {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			nodes, err := perf.JWINSBatchNodes(100_000, width, v.fc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pipe := &core.SharePipeline{}
+			payloads := make([][]byte, width)
+			bds := make([]codec.ByteBreakdown, width)
+			if err := pipe.ShareBatch(nodes, payloads, bds); err != nil { // warm the scratch
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pipe.ShareBatch(nodes, payloads, bds); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*width), "ns/share")
 		})
 	}
 }

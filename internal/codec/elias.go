@@ -2,6 +2,7 @@ package codec
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 )
 
@@ -86,7 +87,16 @@ func AppendDecodeIndicesGamma(dst []int, buf []byte, count int) ([]int, error) {
 		if err != nil {
 			return nil, fmt.Errorf("codec: index %d: %w", i, err)
 		}
+		// Valid gaps never exceed the (u32-bounded) vector dimension; larger
+		// ones are corruption, and letting them through would overflow prev
+		// into a negative index that panics in downstream scatters.
+		if gap > math.MaxUint32 {
+			return nil, fmt.Errorf("codec: index %d: gap %d out of range: %w", i, gap, ErrCorrupt)
+		}
 		prev += int(gap)
+		if prev < 0 {
+			return nil, fmt.Errorf("codec: index %d overflows: %w", i, ErrCorrupt)
+		}
 		dst = append(dst, prev)
 	}
 	return dst, nil

@@ -1,0 +1,82 @@
+package codec
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzSeedPayloads builds one valid payload per (index mode, codec) pair —
+// the corpus the fuzzer mutates from, so it starts inside the wire format
+// instead of rediscovering the header layout bit by bit.
+func fuzzSeedPayloads(tb testing.TB) [][]byte {
+	tb.Helper()
+	vals := []float64{0.5, -1.25, 3.75, 0, -0.0625, 2}
+	dense := SparseVector{Dim: 6, Values: vals}
+	sparse := SparseVector{Dim: 40, Indices: []int{1, 4, 17, 18, 31, 39}, Values: vals}
+	seeded := SparseVector{Dim: 40, Seed: 0xfeed, Values: vals}
+	codecs := []FloatCodec{Raw32{}, PlaneFlate32{}, XOR32{}, NewQSGD(64, 9)}
+	var out [][]byte
+	for _, fc := range codecs {
+		for _, c := range []struct {
+			sv   SparseVector
+			mode IndexMode
+		}{{dense, IndexDense}, {sparse, IndexGamma}, {seeded, IndexSeed}} {
+			buf, _, err := EncodeSparse(c.sv, c.mode, fc)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			out = append(out, buf)
+		}
+	}
+	return out
+}
+
+// FuzzDecodeSparseInto hammers the payload decoder with mutated wire bytes:
+// it must never panic or allocate proportionally to a corrupt header's
+// claims, and anything it accepts must satisfy the invariants the aggregation
+// path relies on without further checks (count within dim, indices strictly
+// increasing and in range).
+func FuzzDecodeSparseInto(f *testing.F) {
+	for _, buf := range fuzzSeedPayloads(f) {
+		f.Add(buf)
+	}
+	// A few structurally corrupt mutants to steer early coverage.
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 255, 255, 255, 255, 255, 255, 255, 255})
+	f.Add([]byte{2, 3, 40, 0, 0, 0, 6, 0, 0, 0, 0xed, 0xfe, 0, 0, 0, 0, 0, 0})
+	var sv SparseVector
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		// The harness bounds the claimed dimension: a 10-byte header may
+		// declare dim up to 2^32, and legitimate seeded/QSGD payloads have no
+		// per-value size floor, so dim itself is the only allocation bound.
+		if len(data) >= 10 {
+			if dim := binary.LittleEndian.Uint32(data[2:]); dim > 1<<20 {
+				return
+			}
+		}
+		// Reuse one scratch vector across inputs — the engines decode every
+		// payload into warm scratch, so stale Indices/Values contents must
+		// never leak into a later decode.
+		if err := DecodeSparseInto(&sv, data); err != nil {
+			return
+		}
+		if len(sv.Values) > sv.Dim {
+			t.Fatalf("decoded %d values for dim %d", len(sv.Values), sv.Dim)
+		}
+		if sv.Indices != nil {
+			if len(sv.Indices) != len(sv.Values) {
+				t.Fatalf("%d indices for %d values", len(sv.Indices), len(sv.Values))
+			}
+			prev := -1
+			for _, idx := range sv.Indices {
+				if idx <= prev || idx >= sv.Dim {
+					t.Fatalf("index %d out of order or range (prev %d, dim %d)", idx, prev, sv.Dim)
+				}
+				prev = idx
+			}
+		}
+	})
+}

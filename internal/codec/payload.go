@@ -235,6 +235,11 @@ func DecodeSparseInto(sv *SparseVector, buf []byte) error {
 		if err != nil {
 			return err
 		}
+		// Decoded indices are strictly increasing, so the last one bounds them
+		// all; one out of range would panic in the receiver's scatter.
+		if count > 0 && sv.Indices[count-1] >= sv.Dim {
+			return fmt.Errorf("codec: index %d exceeds dim %d: %w", sv.Indices[count-1], sv.Dim, ErrCorrupt)
+		}
 		pos += idxLen
 	case IndexSeed:
 		if len(buf) < pos+8 {
@@ -242,7 +247,6 @@ func DecodeSparseInto(sv *SparseVector, buf []byte) error {
 		}
 		sv.Seed = binary.LittleEndian.Uint64(buf[pos:])
 		pos += 8
-		sv.Indices = SeededIndices(sv.Seed, sv.Dim, count)
 	default:
 		return fmt.Errorf("codec: unknown index mode %d: %w", mode, ErrCorrupt)
 	}
@@ -259,6 +263,12 @@ func DecodeSparseInto(sv *SparseVector, buf []byte) error {
 	// here keeps the value-buffer allocation behind real evidence.
 	if need, ok := minValueBytes(fc, count); ok && valLen < need {
 		return fmt.Errorf("codec: %d value bytes cannot hold %d %s values: %w", valLen, count, fc.Name(), ErrCorrupt)
+	}
+	// Seeded index regeneration is count-sized work, so it waits until the
+	// value section has passed every structural check: a corrupt seeded header
+	// must fail cheaply, not after rebuilding a huge index set.
+	if mode == IndexSeed {
+		sv.Indices = SeededIndices(sv.Seed, sv.Dim, count)
 	}
 	if cap(sv.Values) < count {
 		sv.Values = make([]float64, count)

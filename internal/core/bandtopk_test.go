@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/sparsify"
+)
+
+// bandNode builds a 16-dim, 2-level haar JWINS node whose coefficient layout
+// is exactly [cA2: 0-3 | cD2: 4-7 | cD1: 8-15], with a zeroed accumulator
+// the tests write into directly.
+func bandNode(t *testing.T, disableWavelet bool) *JWINSNode {
+	t.Helper()
+	cfg := DefaultJWINSConfig()
+	cfg.Wavelet = "haar"
+	cfg.Levels = 2
+	cfg.BandAdaptive = true
+	cfg.DisableWavelet = disableWavelet
+	cfg.FloatCodec = codec.Raw32{}
+	nodes := pipelineFleet(t, 1, 16, cfg)
+	n := nodes[0]
+	if n.CoeffDim() != 16 {
+		t.Fatalf("coeffDim %d, want 16", n.CoeffDim())
+	}
+	for i := range n.acc {
+		n.acc[i] = 0
+	}
+	return n
+}
+
+func assertSelection(t *testing.T, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("selected %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("selected %v, want %v", got, want)
+		}
+		if i > 0 && got[i] <= got[i-1] {
+			t.Fatalf("selection %v not strictly ascending", got)
+		}
+	}
+}
+
+// TestBandAdaptiveZeroMassBands: bands with zero accumulated mass receive no
+// budget; the whole budget lands in the single live band.
+func TestBandAdaptiveZeroMassBands(t *testing.T) {
+	n := bandNode(t, false)
+	n.acc[0] = 5
+	n.acc[1] = 3
+	assertSelection(t, n.bandAdaptiveTopK(2), []int{0, 1})
+}
+
+// TestBandAdaptiveZeroTotalMass: an all-zero accumulator falls back to the
+// global ranking, whose zero ties break toward the lowest indices.
+func TestBandAdaptiveZeroTotalMass(t *testing.T) {
+	n := bandNode(t, false)
+	assertSelection(t, n.bandAdaptiveTopK(3), []int{0, 1, 2})
+}
+
+// TestBandAdaptiveTinyMassGetsOne: a band whose proportional budget rounds
+// to zero still contributes its single largest coefficient when its mass is
+// non-zero, and the k cap truncates in band order.
+func TestBandAdaptiveTinyMassGetsOne(t *testing.T) {
+	n := bandNode(t, false)
+	n.acc[0] = 0.001 // cA2: rounds to zero budget, bumped to one
+	for i := 8; i < 16; i++ {
+		n.acc[i] = 1 // cD1 holds effectively all the mass
+	}
+	assertSelection(t, n.bandAdaptiveTopK(2), []int{0, 8})
+}
+
+// TestBandAdaptiveFullBudget: k = coeffDim selects everything.
+func TestBandAdaptiveFullBudget(t *testing.T) {
+	n := bandNode(t, false)
+	for i := range n.acc {
+		n.acc[i] = 1
+	}
+	want := make([]int, 16)
+	for i := range want {
+		want[i] = i
+	}
+	assertSelection(t, n.bandAdaptiveTopK(16), want)
+}
+
+// TestBandAdaptiveSingleBandFallback: without a wavelet the transform has a
+// single (identity) band and no band table, so selection degrades to the
+// plain global TopK.
+func TestBandAdaptiveSingleBandFallback(t *testing.T) {
+	n := bandNode(t, true)
+	n.acc[3] = 2
+	n.acc[11] = 5
+	n.acc[12] = 1
+	got := n.bandAdaptiveTopK(2)
+	assertSelection(t, got, []int{3, 11})
+	want := sparsify.TopKIndices(n.acc, 2)
+	assertSelection(t, got, want)
+}
+
+// TestBandAdaptiveRemainderFill: when band budgets cannot absorb k (one live
+// band shorter than k), the remainder comes from the global ranking in rank
+// order — here the zero ties fill lowest-index-first — and the result stays
+// ascending.
+func TestBandAdaptiveRemainderFill(t *testing.T) {
+	n := bandNode(t, false)
+	for i := 4; i < 8; i++ {
+		n.acc[i] = 1 // cD2 is the only live band, 4 slots, k = 6
+	}
+	assertSelection(t, n.bandAdaptiveTopK(6), []int{0, 1, 4, 5, 6, 7})
+}

@@ -100,6 +100,9 @@ type JWINSNode struct {
 	// LastAlpha records the cut-off sampled in the most recent Share call
 	// (instrumented for the Figure 3 experiment).
 	LastAlpha float64
+	// lastK is the budget derived from LastAlpha in the most recent
+	// shareSelect, carried to shareEncode's dense-vs-sparse decision.
+	lastK int
 }
 
 var _ Node = (*JWINSNode)(nil)
@@ -170,12 +173,32 @@ func (n *JWINSNode) Accumulator() []float64 { return n.acc }
 // model change, sample the cut-off, select TopK of the accumulated scores,
 // and encode the selected coefficients of DWT(x^(t,tau)) with compressed
 // index metadata.
+//
+// The body is split into stages (sharePrep, shareSelect, shareEncode, with
+// the two forward transforms between them) so SharePipeline can run the same
+// stages for a batch of nodes through one shared plan; the per-node order of
+// operations here is the reference the batch path must match bit for bit.
 func (n *JWINSNode) Share(round int) ([]byte, codec.ByteBreakdown, error) {
-	n.model.CopyParams(n.params)
-
-	// V' = V + DWT(x^(t,tau) - x^(t,0))   (eq. 3)
-	vec.DiffInto(n.deltaPar, n.params, n.startPar)
+	n.sharePrep()
 	n.transform.Forward(n.deltaPar, n.deltaCoeff)
+	n.shareSelect()
+	// Share DWT(x^(t,tau))[I] with compressed indices (line 8).
+	n.transform.Forward(n.params, n.curCoeffs)
+	return n.shareEncode()
+}
+
+// sharePrep snapshots the model and computes the round's parameter change
+// x^(t,tau) - x^(t,0) into deltaPar.
+func (n *JWINSNode) sharePrep() {
+	n.model.CopyParams(n.params)
+	vec.DiffInto(n.deltaPar, n.params, n.startPar)
+}
+
+// shareSelect folds deltaCoeff — which must already hold DWT(deltaPar) —
+// into the accumulator (eq. 3), samples the randomized cut-off (line 6), and
+// selects the round's index set (line 7).
+func (n *JWINSNode) shareSelect() {
+	// V' = V + DWT(x^(t,tau) - x^(t,0))   (eq. 3)
 	switch {
 	case n.cfg.DisableAccumulation:
 		copy(n.acc, n.deltaCoeff)
@@ -199,6 +222,7 @@ func (n *JWINSNode) Share(round int) ([]byte, codec.ByteBreakdown, error) {
 	if k > n.coeffDim {
 		k = n.coeffDim
 	}
+	n.lastK = k
 
 	// TopK over accumulated importance (line 7), optionally split per band.
 	if n.cfg.BandAdaptive {
@@ -206,12 +230,14 @@ func (n *JWINSNode) Share(round int) ([]byte, codec.ByteBreakdown, error) {
 	} else {
 		n.lastShared = sparsify.TopKIndicesWith(&n.topk, n.acc, k)
 	}
+}
 
-	// Share DWT(x^(t,tau))[I] with compressed indices (line 8).
-	n.transform.Forward(n.params, n.curCoeffs)
+// shareEncode gathers and encodes the selected coefficients of curCoeffs —
+// which must already hold DWT(params).
+func (n *JWINSNode) shareEncode() ([]byte, codec.ByteBreakdown, error) {
 	sv := codec.SparseVector{Dim: n.coeffDim}
 	mode := codec.IndexGamma
-	if k == n.coeffDim {
+	if n.lastK == n.coeffDim {
 		mode = codec.IndexDense // full share: skip index metadata entirely
 		sv.Values = n.curCoeffs
 	} else {

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/dwt"
+)
+
+// SharePlan returns the immutable DWT plan backing this node's transform, or
+// nil when the transform is not plan-backed (the DisableWavelet ablation's
+// Identity). Nodes returning the same *Plan can run through one SharePipeline
+// batch.
+func (n *JWINSNode) SharePlan() *dwt.Plan {
+	if tr, ok := n.transform.(*dwt.Transformer); ok {
+		return tr.Plan()
+	}
+	return nil
+}
+
+// SharePipeline runs the share phase of a batch of JWINS nodes through their
+// fleet-shared DWT plan: stage by stage — model snapshot and delta, batched
+// forward transform of the deltas, accumulator update + cut-off + top-k,
+// batched forward transform of the current parameters, gather + encode —
+// with one set of batch scratch instead of per-node ping-pong buffers.
+//
+// Every per-node observable (accumulator, selected indices, LastAlpha,
+// encoded payload, RNG stream) is bit-identical to calling Share on each
+// node in order: the stages are literally the same methods the per-node path
+// runs, nodes are independent, and the batched transform is bit-identical to
+// the looped one (see dwt's differential tests). A SharePipeline reuses its
+// scratch across calls and is NOT safe for concurrent use.
+type SharePipeline struct {
+	scratch dwt.Scratch
+	ins     [][]float64
+	outs    [][]float64
+}
+
+// ShareBatch runs the share phase for all nodes, which must share one
+// non-nil plan, writing each node's payload and byte breakdown into
+// payloads/bds. (JWINSNode.Share ignores its round argument, so the batch
+// needs none.) On error the batch stops at the first failing node, in batch
+// order.
+func (p *SharePipeline) ShareBatch(nodes []*JWINSNode, payloads [][]byte, bds []codec.ByteBreakdown) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	if len(payloads) != len(nodes) || len(bds) != len(nodes) {
+		return fmt.Errorf("core: ShareBatch result slices sized %d/%d, want %d", len(payloads), len(bds), len(nodes))
+	}
+	plan := nodes[0].SharePlan()
+	if plan == nil {
+		return fmt.Errorf("core: ShareBatch node %d has no shared plan (identity transform)", nodes[0].ID())
+	}
+	for _, n := range nodes[1:] {
+		if n.SharePlan() != plan {
+			return fmt.Errorf("core: ShareBatch node %d does not share the batch plan", n.ID())
+		}
+	}
+
+	// Stage 1: snapshot models and form parameter deltas.
+	p.ins, p.outs = p.ins[:0], p.outs[:0]
+	for _, n := range nodes {
+		n.sharePrep()
+		p.ins = append(p.ins, n.deltaPar)
+		p.outs = append(p.outs, n.deltaCoeff)
+	}
+	// Stage 2: one batched pass turns every node's delta into coefficients.
+	plan.ForwardBatch(p.ins, p.outs, &p.scratch)
+
+	// Stage 3: accumulate, sample cut-offs, select indices (per-node RNGs).
+	for _, n := range nodes {
+		n.shareSelect()
+	}
+
+	// Stage 4: batched forward of the current parameters.
+	p.ins, p.outs = p.ins[:0], p.outs[:0]
+	for _, n := range nodes {
+		p.ins = append(p.ins, n.params)
+		p.outs = append(p.outs, n.curCoeffs)
+	}
+	plan.ForwardBatch(p.ins, p.outs, &p.scratch)
+
+	// Stage 5: gather and encode each node's payload.
+	for i, n := range nodes {
+		payload, bd, err := n.shareEncode()
+		if err != nil {
+			return err
+		}
+		payloads[i], bds[i] = payload, bd
+	}
+	return nil
+}

@@ -1,7 +1,5 @@
 package dwt
 
-import "fmt"
-
 // Transform maps a flat parameter vector to a flat coefficient vector and
 // back. JWINS ranks, shares, and averages in the coefficient domain; the
 // ablation "JWINS without wavelet" swaps in Identity, which degenerates the
@@ -27,143 +25,58 @@ type Band struct {
 // Transformer is a multi-level periodized DWT bound to a fixed input length.
 // The input is zero-padded once to a multiple of 2^levels so every level sees
 // an even-length signal; the coefficient vector length equals the padded
-// length. A Transformer reuses internal scratch buffers and is therefore NOT
+// length. The immutable layout (filter bank, padding, band table) lives in a
+// memoized Plan shared across every transformer with the same
+// (dim, wavelet, levels); only the lazily-grown scratch buffers are per
+// instance. A Transformer is therefore cheap to construct in a fleet but NOT
 // safe for concurrent use; each DL node owns its own instance.
 type Transformer struct {
-	wavelet   Wavelet
-	g         []float64 // cached high-pass filter (Wavelet.G allocates)
-	n         int       // original input length
-	padded    int       // padded length (multiple of 2^levels)
-	levels    int
-	bands     []Band
-	scratchA  []float64
-	scratchB  []float64
-	scratchIn []float64
+	plan    *Plan
+	scratch Scratch
 }
 
 var _ Transform = (*Transformer)(nil)
 
 // NewTransformer builds a transformer for input vectors of length n using the
 // given wavelet and number of decomposition levels. JWINS uses four levels of
-// sym2, per the paper.
+// sym2, per the paper. The heavy layout work is memoized in the plan cache,
+// so repeated construction across a fleet costs one small struct per node.
 func NewTransformer(n int, w Wavelet, levels int) (*Transformer, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("dwt: input length must be positive, got %d", n)
+	p, err := PlanFor(n, w, levels)
+	if err != nil {
+		return nil, err
 	}
-	if levels <= 0 {
-		return nil, fmt.Errorf("dwt: levels must be positive, got %d", levels)
-	}
-	if len(w.H) == 0 {
-		return nil, fmt.Errorf("dwt: wavelet has no filter coefficients")
-	}
-	block := 1 << uint(levels)
-	padded := ((n + block - 1) / block) * block
-	// Keep the coarsest band at least as long as half the filter so the
-	// periodized convolution wraps at most once per tap in the common case.
-	for padded>>uint(levels) < 2 {
-		padded += block
-	}
-	t := &Transformer{
-		wavelet:   w,
-		g:         w.G(),
-		n:         n,
-		padded:    padded,
-		levels:    levels,
-		scratchA:  make([]float64, padded),
-		scratchB:  make([]float64, padded),
-		scratchIn: make([]float64, padded),
-	}
-	// Flat layout: [cA_L | cD_L | cD_{L-1} | ... | cD_1].
-	lens := make([]int, levels) // lens[i] = detail length of level i+1
-	cur := padded
-	for lvl := 1; lvl <= levels; lvl++ {
-		cur /= 2
-		lens[lvl-1] = cur
-	}
-	off := 0
-	t.bands = append(t.bands, Band{Name: fmt.Sprintf("cA%d", levels), Offset: 0, Len: lens[levels-1]})
-	off += lens[levels-1]
-	for lvl := levels; lvl >= 1; lvl-- {
-		t.bands = append(t.bands, Band{Name: fmt.Sprintf("cD%d", lvl), Offset: off, Len: lens[lvl-1]})
-		off += lens[lvl-1]
-	}
-	if off != padded {
-		return nil, fmt.Errorf("dwt: internal layout error: bands sum to %d, padded %d", off, padded)
-	}
-	return t, nil
+	return &Transformer{plan: p}, nil
 }
 
+// Plan returns the shared immutable plan backing this transformer. Batch
+// pipelines group nodes by plan identity: nodes whose transformers return the
+// same *Plan can run through one batched pass.
+func (t *Transformer) Plan() *Plan { return t.plan }
+
 // InputLen returns the original (unpadded) input length.
-func (t *Transformer) InputLen() int { return t.n }
+func (t *Transformer) InputLen() int { return t.plan.n }
 
 // CoeffLen returns the flat coefficient vector length (the padded length).
-func (t *Transformer) CoeffLen() int { return t.padded }
+func (t *Transformer) CoeffLen() int { return t.plan.padded }
 
 // Levels returns the number of decomposition levels.
-func (t *Transformer) Levels() int { return t.levels }
+func (t *Transformer) Levels() int { return t.plan.levels }
 
 // Bands returns the coefficient layout. The returned slice is shared; callers
 // must not modify it.
-func (t *Transformer) Bands() []Band { return t.bands }
+func (t *Transformer) Bands() []Band { return t.plan.bands }
 
 // Forward computes the multi-level DWT of x into out.
 // len(x) must equal InputLen and len(out) must equal CoeffLen.
 func (t *Transformer) Forward(x, out []float64) {
-	if len(x) != t.n {
-		panic(fmt.Sprintf("dwt: Forward input length %d, want %d", len(x), t.n))
-	}
-	if len(out) != t.padded {
-		panic(fmt.Sprintf("dwt: Forward output length %d, want %d", len(out), t.padded))
-	}
-	cur := t.scratchIn[:t.padded]
-	copy(cur, x)
-	for i := t.n; i < t.padded; i++ {
-		cur[i] = 0
-	}
-	next := t.scratchA
-	curLen := t.padded
-	// Details are emitted from finest (cD1, at the tail of out) to coarsest;
-	// the shrinking approximation ping-pongs between the two scratch buffers
-	// instead of copying back each level.
-	for lvl := 1; lvl <= t.levels; lvl++ {
-		half := curLen / 2
-		approx := next[:half]
-		detail := t.detailSlot(out, lvl)
-		AnalyzePeriodicFilters(cur[:curLen], t.wavelet.H, t.g, approx, detail)
-		cur, next = next, cur
-		curLen = half
-	}
-	copy(out[:curLen], cur[:curLen]) // cA_L
+	t.plan.Forward(x, out, &t.scratch)
 }
 
 // Inverse reconstructs the signal from coeffs into out.
 // len(coeffs) must equal CoeffLen and len(out) must equal InputLen.
 func (t *Transformer) Inverse(coeffs, out []float64) {
-	if len(coeffs) != t.padded {
-		panic(fmt.Sprintf("dwt: Inverse input length %d, want %d", len(coeffs), t.padded))
-	}
-	if len(out) != t.n {
-		panic(fmt.Sprintf("dwt: Inverse output length %d, want %d", len(out), t.n))
-	}
-	coarse := t.padded >> uint(t.levels)
-	cur := t.scratchA
-	next := t.scratchB
-	copy(cur[:coarse], coeffs[:coarse]) // cA_L
-	curLen := coarse
-	for lvl := t.levels; lvl >= 1; lvl-- {
-		detail := t.detailSlot(coeffs, lvl)
-		SynthesizePeriodicFilters(cur[:curLen], detail, t.wavelet.H, t.g, next[:2*curLen])
-		cur, next = next, cur
-		curLen *= 2
-	}
-	copy(out, cur[:t.n])
-}
-
-// detailSlot returns the cD_lvl slice inside a flat coefficient vector.
-func (t *Transformer) detailSlot(flat []float64, lvl int) []float64 {
-	// bands[0] is cA_L; bands[1] is cD_L ... bands[levels] is cD_1.
-	b := t.bands[t.levels-lvl+1]
-	return flat[b.Offset : b.Offset+b.Len]
+	t.plan.Inverse(coeffs, out, &t.scratch)
 }
 
 // Identity is a Transform that passes vectors through unchanged. It backs the

@@ -3,6 +3,8 @@ package perf
 import (
 	"testing"
 
+	"repro/internal/codec"
+	"repro/internal/core"
 	"repro/internal/simulation"
 )
 
@@ -88,6 +90,45 @@ func TestFleetConstructionAllocBudget(t *testing.T) {
 	if lazyPerNode >= eagerPerNode {
 		t.Fatalf("lazy construction (%.2f allocs/node) no cheaper than eager (%.2f): copy-on-write is not deferring model builds",
 			lazyPerNode, eagerPerNode)
+	}
+}
+
+// shareBatchAllocCeiling is the committed per-share allocation budget of the
+// batched pipeline. Each share inherently allocates its freshly encoded
+// payload (retained by neighbors, so it cannot be pooled) plus the raw32
+// value-section copy; the batch's shared DWT scratch amortizes to ~zero.
+// Measured ~2.1 allocs/share on go1.24; the ceiling matches the scheduler's
+// per-event budget so a regression in either pipeline half fails the same
+// kind of guard.
+const shareBatchAllocCeiling = 4.0
+
+// TestShareBatchAllocationBudget guards the batched share pipeline's
+// steady-state allocation rate: a warm SharePipeline over 8 plan-sharing
+// 100k-parameter nodes must stay under the committed per-share ceiling.
+func TestShareBatchAllocationBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is timing-insensitive but not free")
+	}
+	const width = 8
+	nodes, err := JWINSBatchNodes(100_000, width, codec.Raw32{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := &core.SharePipeline{}
+	payloads := make([][]byte, width)
+	bds := make([]codec.ByteBreakdown, width)
+	// Warm the batch scratch and every node's share buffers.
+	if err := pipe.ShareBatch(nodes, payloads, bds); err != nil {
+		t.Fatal(err)
+	}
+	perShare := testing.AllocsPerRun(10, func() {
+		if err := pipe.ShareBatch(nodes, payloads, bds); err != nil {
+			t.Fatal(err)
+		}
+	}) / width
+	t.Logf("batched share: %.2f allocs/share over a width-%d batch", perShare, width)
+	if perShare > shareBatchAllocCeiling {
+		t.Fatalf("batched share allocates %.2f/share, ceiling is %.1f", perShare, shareBatchAllocCeiling)
 	}
 }
 

@@ -165,6 +165,106 @@ func scaleFleet(n int, lazy bool) ([]core.Node, *datasets.Dataset, topology.Prov
 	return nodes, fix.ds, topology.NewStatic(g), nil
 }
 
+// ScaleFleetJWINS builds an n-node JWINS raw32 fleet on the same lean scale
+// task, partitions, and RNG discipline as ScaleFleet (lazy copy-on-write
+// models included). Every node's transformer resolves to the one cached DWT
+// plan for the model dimension, so the fleet is share-batchable end to end —
+// the fixture of the engine-asyncjwins rows that measure the batched share
+// pipeline inside a full scheduler run.
+func ScaleFleetJWINS(n int) ([]core.Node, *datasets.Dataset, topology.Provider, error) {
+	fix, err := scaleFixtureFor(n)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Same dedicated fleet stream as scaleFleet, so JWINS rows and
+	// full-sharing rows run over identically seeded models and loaders.
+	rng := vec.NewRNG(Seed ^ 0x666c65) // "fle"
+	template := nn.NewMLP(64, 16, 4, rng.Split())
+	initial := make([]float64, template.ParamCount())
+	template.CopyParams(initial)
+	opts := core.TrainOpts{LR: 0.05, LocalSteps: 2}
+	cfg := core.DefaultJWINSConfig()
+	cfg.FloatCodec = codec.Raw32{}
+	nodes := make([]core.Node, n)
+	for i := range nodes {
+		nodeRNG := rng.Split()
+		modelRNG := nodeRNG.Split()
+		model := nn.NewLazy(len(initial), initial, func() nn.Trainable {
+			return nn.NewMLP(64, 16, 4, modelRNG)
+		})
+		loader := datasets.NewLoader(fix.ds, fix.parts[i], 4, nodeRNG.Split())
+		nodes[i], err = core.NewJWINS(i, model, loader, opts, cfg, nodeRNG.Split())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	g, err := topology.Regular(n, 4, vec.NewRNG(Seed^1))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return nodes, fix.ds, topology.NewStatic(g), nil
+}
+
+// RunAsyncScaleJWINS is RunAsyncScale over a JWINS fleet with the share-batch
+// width set: shareBatch 0 runs the per-node reference dispatch, >= 2 folds
+// chained speculative dispatches into batched SharePipeline runs. Schedules
+// are bit-identical either way; only the compute cost differs.
+func RunAsyncScaleJWINS(n, parallelism, evalSample, shareBatch int) (int64, error) {
+	nodes, ds, topo, err := ScaleFleetJWINS(n)
+	if err != nil {
+		return 0, err
+	}
+	cfg := simulation.Config{
+		Rounds: 4, EvalEvery: 4, EvalNodes: 8,
+		EvalSeed: Seed, Parallelism: parallelism,
+	}
+	if evalSample > 0 {
+		cfg.EvalSample = evalSample
+	}
+	var events int64
+	eng := &simulation.AsyncEngine{
+		Nodes: nodes, Topology: topo, TestSet: ds,
+		Config: simulation.AsyncConfig{
+			Config:     cfg,
+			Het:        simulation.Heterogeneity{ComputeSpread: 0.3, Seed: Seed},
+			ShareBatch: shareBatch,
+			OnEvent:    func(simulation.Event) { events++ },
+		},
+	}
+	if _, err := eng.Run(); err != nil {
+		return 0, err
+	}
+	return events, nil
+}
+
+// JWINSBatchNodes builds n JWINS nodes over dim-parameter flat models; the
+// plan cache hands every node the same *dwt.Plan, so the slice drops straight
+// into core.SharePipeline.ShareBatch. The fixture of the share-batch
+// micro-benchmarks and the batched allocation budget test.
+func JWINSBatchNodes(dim, n int, fc codec.FloatCodec) ([]*core.JWINSNode, error) {
+	rng := vec.NewRNG(3)
+	ds, err := datasets.SyntheticImages(datasets.ImageConfig{
+		Classes: 2, Channels: 1, Height: 4, Width: 4, TrainPerClass: 4, TestPerClass: 2,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	loader := datasets.NewLoader(ds, []int{0, 1, 2, 3}, 2, rng.Split())
+	opts := core.TrainOpts{LR: 0.1, LocalSteps: 1}
+	cfg := core.DefaultJWINSConfig()
+	if fc != nil {
+		cfg.FloatCodec = fc
+	}
+	nodes := make([]*core.JWINSNode, n)
+	for i := range nodes {
+		nodes[i], err = core.NewJWINS(i, NewFlatModel(randomParams(dim, uint64(i+1))), loader, opts, cfg, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nodes, nil
+}
+
 // ScaleEvalSample is the rotating eval subset size of the 1024/4096-node
 // benchmark arms, matching the ext-scale sweep's sampled tier.
 const ScaleEvalSample = 64

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/core"
 	"repro/internal/simulation"
 	"repro/internal/trace"
 )
@@ -48,6 +49,22 @@ func Suite() ([]Bench, error) {
 		// scores the full fleet exactly vs a 64-node rotating sample; the
 		// ns/op delta is the per-row evaluation cost the sample removes.
 		{"engine-async1024-evalexact-p1", func() (int64, error) { return RunAsyncScale(1024, 1, -1) }},
+		// Share-batch bracket: identical JWINS runs except the batched arm
+		// folds chained speculative dispatches into SharePipeline batches of
+		// 8. Schedules are bit-identical (the parity suites enforce it), so
+		// the ns/op delta is purely the batched compute win.
+		{"engine-asyncjwins1024-p1", func() (int64, error) {
+			return RunAsyncScaleJWINS(1024, 1, ScaleEvalSample, 0)
+		}},
+		{"engine-asyncjwins1024-p1-b8", func() (int64, error) {
+			return RunAsyncScaleJWINS(1024, 1, ScaleEvalSample, 8)
+		}},
+		{"engine-asyncjwins4096-p1", func() (int64, error) {
+			return RunAsyncScaleJWINS(4096, 1, ScaleEvalSample, 0)
+		}},
+		{"engine-asyncjwins4096-p1-b8", func() (int64, error) {
+			return RunAsyncScaleJWINS(4096, 1, ScaleEvalSample, 8)
+		}},
 		// Fleet-construction bracket: build-only, no run. Lazy is the
 		// copy-on-write default; eager builds every layer graph up front.
 		{"fleet-build-4096-lazy", func() (int64, error) {
@@ -110,7 +127,35 @@ func microPair(suffix string, fc codec.FloatCodec) ([]Bench, error) {
 	aggregate := Bench{"jwins-aggregate-100k" + suffix, func() (int64, error) {
 		return 0, a.Aggregate(round, wA, msgsA)
 	}}
-	return []Bench{share, aggregate}, nil
+	benches := []Bench{share, aggregate}
+	batch, err := microShareBatch(suffix, fc)
+	if err != nil {
+		return nil, err
+	}
+	return append(benches, batch), nil
+}
+
+// microShareBatch is the batched counterpart of the jwins-share row: one op
+// runs a SharePipeline batch of 8 plan-sharing 100k-parameter nodes, so its
+// ns/op divided by 8 compares directly against jwins-share-100k ns/op.
+func microShareBatch(suffix string, fc codec.FloatCodec) (Bench, error) {
+	const (
+		dim   = 100_000
+		width = 8
+	)
+	nodes, err := JWINSBatchNodes(dim, width, fc)
+	if err != nil {
+		return Bench{}, err
+	}
+	pipe := &core.SharePipeline{}
+	payloads := make([][]byte, width)
+	bds := make([]codec.ByteBreakdown, width)
+	if err := pipe.ShareBatch(nodes, payloads, bds); err != nil { // warm the scratch
+		return Bench{}, err
+	}
+	return Bench{fmt.Sprintf("jwins-sharebatch%d-100k%s", width, suffix), func() (int64, error) {
+		return 0, pipe.ShareBatch(nodes, payloads, bds)
+	}}, nil
 }
 
 // Report is the schema of a BENCH_*.json artifact.

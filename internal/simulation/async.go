@@ -212,6 +212,14 @@ type AsyncConfig struct {
 	// aggregates cover sampled epochs only. Neighbor turnover (O(edges)) is
 	// always reported.
 	MixingEvery int
+	// ShareBatch batches the speculative train+share dispatches of
+	// plan-sharing JWINS nodes: up to ShareBatch queued dispatches become one
+	// pooled task running a single core.SharePipeline pass (one cache-blocked
+	// DWT sweep over all members' deltas instead of per-node cascades). 0 or
+	// 1 runs the per-node reference path. Only compute is batched — each
+	// member's result still commits at its own train-done event, so results
+	// are bit-identical either way (see sharebatch.go).
+	ShareBatch int
 	// OnEvent, if set, observes every processed event in order — the
 	// deterministic event trace.
 	OnEvent func(Event)
@@ -376,6 +384,16 @@ type asyncRun struct {
 	// event could fire before the speculated train-done commits.
 	churnPending [][]float64
 
+	// Share-batch state (cfg.ShareBatch >= 2): eligible speculative
+	// dispatches are deferred into specQueue and flushed as grouped
+	// SharePipeline tasks — when the queue reaches the batch size, once after
+	// the schedule is seeded, and always before processing an event at or
+	// after specDue (the earliest queued train-done time), which keeps every
+	// commit point exactly where the serial schedule has it. See sharebatch.go.
+	specQueue []specEntry
+	specDue   float64
+	ctxPool   batchCtxPool
+
 	// per-iteration training-loss accumulators for row emission
 	lossSum   []float64
 	lossCount []int
@@ -461,6 +479,7 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		alphas:       make([]float64, n),
 		isJWINS:      make([]bool, n),
 		churnPending: make([][]float64, n),
+		specDue:      math.Inf(1),
 		evalSamp:     newEvalSampler(n, cfg.Config),
 	}
 	if bp, ok := policy.(BoundedStalenessPolicy); ok {
@@ -565,6 +584,9 @@ func (e *AsyncEngine) Run() (*Result, error) {
 	for i := 0; i < n; i++ {
 		r.scheduleTrain(i)
 	}
+	// Flush the partial seed batch so its compute overlaps the schedule from
+	// the start instead of waiting for the event loop's first due check.
+	r.flushSpec()
 	if r.replay != nil {
 		// The recorded leave/join sequence is the churn schedule.
 		for _, ev := range r.replay.Churn() {
@@ -648,6 +670,13 @@ func (r *asyncRun) eventLoop() error {
 	for r.queue.Len() > 0 && !r.stop {
 		ev := r.queue.pop()
 		r.now = ev.Time
+		// A queued speculative dispatch must be in flight before its own
+		// train-done commits; flushing at the first event at or after the
+		// earliest queued train-done time guarantees that (and never changes
+		// results — dispatching earlier is always safe).
+		if len(r.specQueue) > 0 && ev.Time >= r.specDue {
+			r.flushSpec()
+		}
 		if r.tel != nil {
 			// Depth at pop, inclusive of the event just taken.
 			r.tel.queueDepth.Observe(float64(r.queue.Len() + 1))
@@ -1028,20 +1057,34 @@ func (r *asyncRun) scheduleTrain(i int) {
 	// committed at the preceding train-done event (commit precedes the
 	// aggregate that led to this scheduleTrain).
 	if r.specSafe(i, t) {
-		iter := st.iter
-		tt := &r.trainTasks[i]
-		tt.loss, tt.payload, tt.bd = 0, nil, codec.ByteBreakdown{}
-		tt.fut = r.pool.submit(r.tails[i], func() error {
-			loss, payload, bd, err := trainShare(r.eng.Nodes[i], iter)
-			if err != nil {
-				return fmt.Errorf("node %d share: %w", i, err)
+		if r.cfg.ShareBatch >= 2 {
+			if jn, ok := r.eng.Nodes[i].(*core.JWINSNode); ok {
+				if plan := jn.SharePlan(); plan != nil {
+					r.enqueueSpec(i, st.iter, t, jn, plan)
+					return
+				}
 			}
-			tt.loss, tt.payload, tt.bd = loss, payload, bd
-			return nil
-		})
-		r.pendTrain[i] = tt
-		r.tails[i] = tt.fut
+		}
+		r.dispatchSpec(i, st.iter)
 	}
+}
+
+// dispatchSpec submits node i's speculative train+share for iteration iter
+// on the pool — the per-node reference path (see scheduleTrain); the batched
+// path in sharebatch.go must be bit-identical to it.
+func (r *asyncRun) dispatchSpec(i, iter int) {
+	tt := &r.trainTasks[i]
+	tt.loss, tt.payload, tt.bd = 0, nil, codec.ByteBreakdown{}
+	tt.fut = r.pool.submit(r.tails[i], func() error {
+		loss, payload, bd, err := trainShare(r.eng.Nodes[i], iter)
+		if err != nil {
+			return fmt.Errorf("node %d share: %w", i, err)
+		}
+		tt.loss, tt.payload, tt.bd = loss, payload, bd
+		return nil
+	})
+	r.pendTrain[i] = tt
+	r.tails[i] = tt.fut
 }
 
 // onTrainDone runs the node's local steps and broadcast, then either blocks

@@ -1,0 +1,251 @@
+package simulation
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/choco"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/nn"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/vec"
+)
+
+// buildNodesWithCodec mirrors buildNodes but injects a per-node float codec —
+// per node because stateful codecs (QSGD's call counter) must not be shared
+// across nodes, or encode order would leak into the payload bytes.
+func buildNodesWithCodec(t *testing.T, kind algo, ds *datasets.Dataset, parts [][]int, seed uint64, fc func(i int) codec.FloatCodec) []core.Node {
+	t.Helper()
+	opts := core.TrainOpts{LR: 0.05, LocalSteps: 2}
+	rootRNG := vec.NewRNG(seed)
+	var nodes []core.Node
+	for i := range parts {
+		nodeRNG := rootRNG.Split()
+		model := nn.NewMLP(64, 24, 4, nodeRNG)
+		loader := datasets.NewLoader(ds, parts[i], 8, nodeRNG.Split())
+		var (
+			n   core.Node
+			err error
+		)
+		switch kind {
+		case algoFull:
+			n, err = core.NewFullSharing(i, model, loader, opts, fc(i))
+		case algoRandom:
+			n, err = core.NewRandomSampling(i, model, loader, opts, 0.37, fc(i), nodeRNG.Split())
+		case algoJWINS:
+			cfg := core.DefaultJWINSConfig()
+			cfg.FloatCodec = fc(i)
+			n, err = core.NewJWINS(i, model, loader, opts, cfg, nodeRNG.Split())
+		case algoChoco:
+			n, err = choco.New(i, model, loader, opts, choco.Config{Fraction: 0.2, Gamma: 0.2, FloatCodec: fc(i)})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes
+}
+
+// goldenRun executes one recorded 64-node async run and returns the binary
+// trace bytes plus the result. Heterogeneous profiles make train-done events
+// chain at staggered times, so the share-batch queue exercises both its
+// size-triggered and due-time-triggered flushes.
+func goldenRun(t *testing.T, kind algo, fc func(i int) codec.FloatCodec, shareBatch int) ([]byte, *Result) {
+	t.Helper()
+	const (
+		n      = 64
+		rounds = 3
+	)
+	ds, parts := buildTask(t, n, 42)
+	nodes := buildNodesWithCodec(t, kind, ds, parts, 7, fc)
+	g, err := topology.Regular(n, 4, vec.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(trace.Header{
+		Nodes: n, Rounds: rounds, Source: trace.SourceSim, Policy: trace.PolicyBarrier,
+	})
+	eng := &AsyncEngine{
+		Nodes:    nodes,
+		Topology: topology.NewStatic(g),
+		TestSet:  ds,
+		Config: AsyncConfig{
+			Config:     Config{Rounds: rounds, EvalEvery: rounds, Parallelism: 2},
+			Het:        Heterogeneity{ComputeSpread: 0.4, BandwidthSpread: 0.3, Seed: 5},
+			ShareBatch: shareBatch,
+			Record:     rec,
+		},
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, rec.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestShareBatchEngineGoldenParity is the engine half of the differential
+// test layer: a batched 64-node async run must byte-match the per-node path
+// — identical binary trace (every event, send byte-breakdown, and aggregate
+// record), identical byte ledger, identical result rows — for all four
+// algorithms crossed with all four codecs. Non-JWINS fleets never enter the
+// batch queue; running them locks in that the ShareBatch knob cannot perturb
+// their schedule either.
+func TestShareBatchEngineGoldenParity(t *testing.T) {
+	algos := []struct {
+		name string
+		kind algo
+	}{
+		{"full-sharing", algoFull},
+		{"random-sampling", algoRandom},
+		{"jwins", algoJWINS},
+		{"choco", algoChoco},
+	}
+	codecs := []struct {
+		name string
+		fc   func(i int) codec.FloatCodec
+	}{
+		{"raw32", func(int) codec.FloatCodec { return codec.Raw32{} }},
+		{"flate32", func(int) codec.FloatCodec { return codec.PlaneFlate32{} }},
+		{"xor32", func(int) codec.FloatCodec { return codec.XOR32{} }},
+		{"qsgd", func(i int) codec.FloatCodec { return codec.NewQSGD(64, uint64(4000+i)) }},
+	}
+	for _, al := range algos {
+		for _, cd := range codecs {
+			al, cd := al, cd
+			t.Run(al.name+"/"+cd.name, func(t *testing.T) {
+				refTrace, refRes := goldenRun(t, al.kind, cd.fc, 0)
+				batTrace, batRes := goldenRun(t, al.kind, cd.fc, 8)
+				if !bytes.Equal(refTrace, batTrace) {
+					t.Fatalf("batched run's binary trace differs from per-node path (%d vs %d bytes)",
+						len(batTrace), len(refTrace))
+				}
+				if refRes.TotalBytes != batRes.TotalBytes || refRes.ModelBytes != batRes.ModelBytes ||
+					refRes.MetaBytes != batRes.MetaBytes {
+					t.Fatalf("ledger differs: batched (%d,%d,%d), per-node (%d,%d,%d)",
+						batRes.TotalBytes, batRes.ModelBytes, batRes.MetaBytes,
+						refRes.TotalBytes, refRes.ModelBytes, refRes.MetaBytes)
+				}
+				if refRes.SimTime != batRes.SimTime {
+					t.Fatalf("simulated time differs: batched %v, per-node %v", batRes.SimTime, refRes.SimTime)
+				}
+				if len(refRes.Rounds) != len(batRes.Rounds) {
+					t.Fatalf("row counts differ: batched %d, per-node %d", len(batRes.Rounds), len(refRes.Rounds))
+				}
+				for i := range refRes.Rounds {
+					a, b := refRes.Rounds[i], batRes.Rounds[i]
+					if !sameFloat(a.TrainLoss, b.TrainLoss) || !sameFloat(a.TestLoss, b.TestLoss) ||
+						!sameFloat(a.TestAcc, b.TestAcc) || !sameFloat(a.MeanAlpha, b.MeanAlpha) {
+						t.Fatalf("row %d differs: batched (%v,%v,%v,%v), per-node (%v,%v,%v,%v)",
+							i, b.TrainLoss, b.TestLoss, b.TestAcc, b.MeanAlpha,
+							a.TrainLoss, a.TestLoss, a.TestAcc, a.MeanAlpha)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShareBatchParallelismInvariance: the batched engine keeps the repo's
+// parallelism invariant — identical trace, ledger, and rows at P ∈ {1, 2,
+// NumCPU} — including under churn and stragglers, where queued members churn
+// out of eligibility and batches mix with per-node dispatches.
+func TestShareBatchParallelismInvariance(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*AsyncConfig)
+	}{
+		{"homogeneous", func(cfg *AsyncConfig) {
+			cfg.ShareBatch = 8
+		}},
+		{"het+churn+drops", func(cfg *AsyncConfig) {
+			cfg.ShareBatch = 4
+			cfg.Het = Heterogeneity{ComputeSpread: 0.5, BandwidthSpread: 0.4, LatencySpread: 0.2, Seed: 5}
+			cfg.Churn = GenerateChurn(16, 0.25, 0.02, 0.2, 0.1, 77)
+			cfg.DropProb = 0.1
+			cfg.FaultSeed = 3
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ref := captureAsyncRun(t, 16, 10, 1, tc.mut)
+			if len(ref.trace) == 0 {
+				t.Fatal("no events traced")
+			}
+			for _, p := range parallelismLevels()[1:] {
+				got := captureAsyncRun(t, 16, 10, p, tc.mut)
+				assertRunsIdentical(t, tc.name, ref, got, p)
+			}
+		})
+	}
+}
+
+// TestShareBatchRecordReplayCross: record→replay byte equality must hold
+// across the batching boundary in both directions — a per-node recording
+// replayed on the batched engine and a batched recording replayed on the
+// per-node engine both reproduce the trace event for event, because
+// ShareBatch never shapes the schedule, only the dispatch.
+func TestShareBatchRecordReplayCross(t *testing.T) {
+	const rounds = 8
+	mut := func(batch int) func(*AsyncConfig) {
+		return func(cfg *AsyncConfig) {
+			cfg.ShareBatch = batch
+			cfg.Het = Heterogeneity{ComputeSpread: 0.4, BandwidthSpread: 0.3, Seed: 5}
+			cfg.Churn = GenerateChurn(8, 0.25, 0.02, 0.2, 0.1, 77)
+			cfg.DropProb = 0.1
+			cfg.FaultSeed = 3
+		}
+	}
+	for _, dir := range []struct {
+		name               string
+		recBatch, repBatch int
+	}{
+		{"record-pernode-replay-batched", 0, 8},
+		{"record-batched-replay-pernode", 8, 0},
+	} {
+		dir := dir
+		t.Run(dir.name, func(t *testing.T) {
+			recorded, recRes := recordedRun(t, rounds, mut(dir.recBatch))
+			rp, err := trace.NewReplayer(recorded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec2 := trace.NewRecorder(recorded.Header)
+			eng := asyncEngineFor(t, algoJWINS, rounds, func(cfg *AsyncConfig) {
+				mut(dir.repBatch)(cfg)
+				cfg.Het = Heterogeneity{ComputeSpread: 9, Seed: 1234} // replay must override
+				cfg.Churn = nil
+				cfg.DropProb = 0
+				cfg.Replay = rp
+				cfg.Record = rec2
+			})
+			repRes, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayed := rec2.Trace()
+			if len(replayed.Events) != len(recorded.Events) {
+				t.Fatalf("event counts differ: replay %d, recorded %d", len(replayed.Events), len(recorded.Events))
+			}
+			for i := range recorded.Events {
+				if replayed.Events[i] != recorded.Events[i] {
+					t.Fatalf("event %d differs:\nreplay   %+v\nrecorded %+v", i, replayed.Events[i], recorded.Events[i])
+				}
+			}
+			if repRes.TotalBytes != recRes.TotalBytes || repRes.SimTime != recRes.SimTime ||
+				!sameFloat(repRes.FinalAccuracy, recRes.FinalAccuracy) {
+				t.Fatalf("replay result differs: (%d bytes, %v, %v) vs (%d bytes, %v, %v)",
+					repRes.TotalBytes, repRes.SimTime, repRes.FinalAccuracy,
+					recRes.TotalBytes, recRes.SimTime, recRes.FinalAccuracy)
+			}
+		})
+	}
+}

@@ -6,7 +6,6 @@ package sparsify
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/vec"
 )
@@ -28,15 +27,23 @@ func TopKIndices(v []float64, k int) []int {
 // TopKScratch holds the reusable selection buffers of TopKIndicesWith. The
 // zero value is ready; a warm scratch makes selection allocation-free.
 type TopKScratch struct {
-	abs []float64
-	idx []int
-	out []int
+	bits []uint64
+	cand []int
+	out  []int
 }
 
 // TopKIndicesWith is TopKIndices backed by caller-owned scratch. The returned
 // slice is owned by s and valid until its next use; selection semantics
 // (magnitude ranking, low-index tie-breaking, ascending result) are identical
 // to TopKIndices.
+//
+// Selection runs as a byte-wise radix select over the IEEE-754 bit patterns
+// of |v[i]| — for non-negative floats, unsigned bit order equals numeric
+// order — which finds the k-th largest magnitude in a few counting passes
+// with no data movement, then emits the selected indices in one ascending
+// sweep. The top-k set under (magnitude desc, index asc) ordering is unique,
+// so this is output-identical to any comparison-based select. NaN magnitudes
+// order above +Inf (deterministically).
 func TopKIndicesWith(s *TopKScratch, v []float64, k int) []int {
 	n := len(v)
 	if k <= 0 {
@@ -52,62 +59,146 @@ func TopKIndicesWith(s *TopKScratch, v []float64, k int) []int {
 		}
 		return all
 	}
-	// Work on (abs value, index) pairs so selection is deterministic.
-	if cap(s.abs) < n {
-		s.abs = make([]float64, n)
-		s.idx = make([]int, n)
+	if cap(s.bits) < n {
+		s.bits = make([]uint64, n)
+		s.cand = make([]int, n)
 	}
-	abs, idx := s.abs[:n], s.idx[:n]
+	bits := s.bits[:n]
 	for i, x := range v {
-		abs[i] = math.Abs(x)
-		idx[i] = i
+		bits[i] = math.Float64bits(math.Abs(x))
 	}
-	quickselectTopK(abs, idx, k)
-	out := s.out[:k]
-	copy(out, idx[:k])
-	sort.Ints(out)
+	var thresh uint64
+	if eq, val := allCandidatesEqual(bits, nil, false); eq {
+		// Fully tied input (e.g. a freshly zeroed accumulator): the
+		// threshold is the common value and the sweep's lowest-index-first
+		// tie quota does the whole selection.
+		thresh = val
+	} else {
+		thresh = radixThreshold(bits, s.cand[:0], k)
+	}
+	// Two-pass emit: everything above the threshold is selected; ties at the
+	// threshold are filled lowest-index-first by the ascending sweep.
+	above := 0
+	for _, b := range bits {
+		if b > thresh {
+			above++
+		}
+	}
+	quota := k - above
+	out := s.out[:0]
+	for i, b := range bits {
+		if b > thresh {
+			out = append(out, i)
+		} else if b == thresh && quota > 0 {
+			quota--
+			out = append(out, i)
+		}
+	}
 	return out
 }
 
-// quickselectTopK partitions (abs, idx) so the k pairs with the largest abs
-// values (ties by smaller index first) occupy positions [0, k).
-func quickselectTopK(abs []float64, idx []int, k int) {
-	lo, hi := 0, len(abs)
-	// Deterministic pseudo-random pivots to defeat adversarial orderings.
-	seed := uint64(len(abs))*0x9e3779b97f4a7c15 + uint64(k)
-	for hi-lo > 1 {
-		p := lo + int(vec.SplitMix64(&seed)%uint64(hi-lo))
-		pAbs, pIdx := abs[p], idx[p]
-		abs[p], abs[hi-1] = abs[hi-1], abs[p]
-		idx[p], idx[hi-1] = idx[hi-1], idx[p]
-		store := lo
-		for i := lo; i < hi-1; i++ {
-			if greater(abs[i], idx[i], pAbs, pIdx) {
-				abs[i], abs[store] = abs[store], abs[i]
-				idx[i], idx[store] = idx[store], idx[i]
-				store++
+// radixThreshold returns the bit pattern of the k-th largest value in bits,
+// refining one byte per pass from the most significant byte down over a
+// shrinking candidate set. When every remaining candidate must be selected
+// the low bytes are left zero, which the caller's >=-style sweep absorbs.
+func radixThreshold(bits []uint64, cand []int, k int) uint64 {
+	var thresh uint64
+	need := k
+	compacted := false // false: the candidate set is all of bits
+	checkedEqual := false
+	for byteIdx := 7; byteIdx >= 0; byteIdx-- {
+		shift := uint(byteIdx * 8)
+		var hist [256]int
+		var total int
+		if !compacted {
+			total = len(bits)
+			for _, b := range bits {
+				hist[(b>>shift)&0xff]++
+			}
+		} else {
+			total = len(cand)
+			for _, p := range cand {
+				hist[(bits[p]>>shift)&0xff]++
 			}
 		}
-		abs[store], abs[hi-1] = abs[hi-1], abs[store]
-		idx[store], idx[hi-1] = idx[hi-1], idx[store]
-		switch {
-		case store == k || store == k-1:
-			return
-		case store > k:
-			hi = store
-		default:
-			lo = store + 1
+		cum := 0
+		bsel := 0
+		for b := 255; b >= 0; b-- {
+			if cum+hist[b] >= need {
+				bsel = b
+				break
+			}
+			cum += hist[b]
+		}
+		thresh |= uint64(bsel) << shift
+		need -= cum
+		if byteIdx == 0 {
+			break
+		}
+		if hist[bsel] == total {
+			// Every candidate shares this byte, so compaction would be a
+			// no-op. If the whole set is one repeated value — common for a
+			// freshly zeroed accumulator — resolve the threshold in a single
+			// comparison pass instead of byte-by-byte.
+			if !checkedEqual {
+				checkedEqual = true
+				if eq, val := allCandidatesEqual(bits, cand, compacted); eq {
+					return val
+				}
+			}
+			continue
+		}
+		checkedEqual = false
+		if !compacted {
+			cand = cand[:0]
+			for i, b := range bits {
+				if int((b>>shift)&0xff) == bsel {
+					cand = append(cand, i)
+				}
+			}
+			compacted = true
+		} else {
+			w := 0
+			for _, p := range cand {
+				if int((bits[p]>>shift)&0xff) == bsel {
+					cand[w] = p
+					w++
+				}
+			}
+			cand = cand[:w]
+		}
+		if need == len(cand) {
+			// All remaining candidates are selected; the unresolved low
+			// bytes stay zero and the sweep's tie quota covers them.
+			break
+		}
+		if len(cand) == 1 {
+			thresh = bits[cand[0]]
+			break
 		}
 	}
+	return thresh
 }
 
-// greater reports whether (a1, i1) outranks (a2, i2): larger magnitude first,
-// then lower index.
-func greater(a1 float64, i1 int, a2 float64, i2 int) bool {
-	if a1 != a2 {
-		return a1 > a2
+// allCandidatesEqual reports whether every candidate carries the same bit
+// pattern, returning that pattern when so.
+func allCandidatesEqual(bits []uint64, cand []int, compacted bool) (bool, uint64) {
+	if !compacted {
+		ref := bits[0]
+		for _, b := range bits[1:] {
+			if b != ref {
+				return false, 0
+			}
+		}
+		return true, ref
 	}
-	return i1 < i2
+	ref := bits[cand[0]]
+	for _, p := range cand[1:] {
+		if bits[p] != ref {
+			return false, 0
+		}
+	}
+	return true, ref
 }
 
 // RandomIndices returns k uniformly random distinct indices from [0, dim) in
