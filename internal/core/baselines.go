@@ -52,14 +52,19 @@ func (n *FullSharingNode) Share(round int) ([]byte, codec.ByteBreakdown, error) 
 	return encodeSparsePayloadWith(&n.enc, sv, codec.IndexDense, n.fc)
 }
 
+// SetDecodeCache attaches the fleet-shared decoded-payload cache.
+func (n *FullSharingNode) SetDecodeCache(c *DecodeCache) { n.dec.cache = c }
+
 // Aggregate implements Node: the classic weighted average
 // x_i <- w_ii x_i + sum_j w_ij x_j.
 func (n *FullSharingNode) Aggregate(round int, w topology.Weights, msgs map[int][]byte) error {
 	decoded, err := n.dec.decodeAll(n.dim, w, msgs)
 	if err != nil {
+		n.dec.releaseHeld()
 		return err
 	}
 	partialAverage(n.params, w.Self, decoded, n.newPar, n.wsum)
+	n.dec.releaseHeld()
 	n.model.SetParams(n.newPar)
 	return nil
 }
@@ -130,13 +135,18 @@ func (n *RandomSamplingNode) Share(round int) ([]byte, codec.ByteBreakdown, erro
 	return encodeSparsePayloadWith(&n.enc, sv, codec.IndexSeed, n.fc)
 }
 
+// SetDecodeCache attaches the fleet-shared decoded-payload cache.
+func (n *RandomSamplingNode) SetDecodeCache(c *DecodeCache) { n.dec.cache = c }
+
 // Aggregate implements Node: per-parameter weighted average over providers.
 func (n *RandomSamplingNode) Aggregate(round int, w topology.Weights, msgs map[int][]byte) error {
 	decoded, err := n.dec.decodeAll(n.dim, w, msgs)
 	if err != nil {
+		n.dec.releaseHeld()
 		return err
 	}
 	partialAverage(n.params, w.Self, decoded, n.newPar, n.wsum)
+	n.dec.releaseHeld()
 	n.model.SetParams(n.newPar)
 	return nil
 }

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/codec"
+)
+
+// testPayload encodes a small dense vector whose values are a deterministic
+// function of seed, returning a freshly allocated buffer each call — the
+// same allocation discipline Share has, which the cache's identity keying
+// relies on.
+func testPayload(t *testing.T, dim int, seed float64) []byte {
+	t.Helper()
+	vals := make([]float64, dim)
+	for i := range vals {
+		vals[i] = seed + float64(i)
+	}
+	buf, _, err := codec.EncodeSparse(codec.SparseVector{Dim: dim, Values: vals},
+		codec.IndexDense, codec.Raw32{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func decodeRef(t *testing.T, buf []byte) codec.SparseVector {
+	t.Helper()
+	var sv codec.SparseVector
+	if err := codec.DecodeSparseInto(&sv, buf); err != nil {
+		t.Fatal(err)
+	}
+	return sv
+}
+
+// TestDecodeCacheServesDecodedPayload: a hit returns the identical decoded
+// vector the miss produced, for the identical buffer, and the counters see
+// one miss plus the hits.
+func TestDecodeCacheServesDecodedPayload(t *testing.T) {
+	dc := &DecodeCache{}
+	buf := testPayload(t, 64, 1)
+	want := decodeRef(t, buf)
+
+	e1 := dc.acquire(3, buf)
+	if e1.err != nil {
+		t.Fatal(e1.err)
+	}
+	if !floatsBitEqual(e1.sv.Values, want.Values) || e1.sv.Dim != want.Dim {
+		t.Fatal("miss decode differs from reference decode")
+	}
+	e2 := dc.acquire(3, buf)
+	if e2 != e1 {
+		t.Fatal("second acquire of the same buffer did not hit the cached entry")
+	}
+	hits, misses := dc.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+	dc.release(e1)
+	dc.release(e2)
+}
+
+// TestDecodeCacheReusedKeyNeverStale is the invalidation-correctness test
+// the engine's churn and bounded-staleness paths depend on: a sender that
+// re-broadcasts for the SAME iteration (a rejoin re-send, a deadline
+// re-merge, a stale-inbox reuse) produces a new buffer with different
+// contents, and the cache must decode that buffer — identity keying, not any
+// (sender, iteration) key, decides hits. The recipient's per-node path would
+// decode exactly what it was handed; the cache must never serve anything
+// else.
+func TestDecodeCacheReusedKeyNeverStale(t *testing.T) {
+	dc := &DecodeCache{}
+	const sender = 5
+	first := testPayload(t, 64, 1)
+	second := testPayload(t, 64, 2) // same sender, same nominal iteration, new bytes
+
+	e1 := dc.acquire(sender, first)
+	if e1.err != nil {
+		t.Fatal(e1.err)
+	}
+	e2 := dc.acquire(sender, second)
+	if e2.err != nil {
+		t.Fatal(e2.err)
+	}
+	if e2 == e1 {
+		t.Fatal("different payload served from a previous broadcast's entry")
+	}
+	if !floatsBitEqual(e2.sv.Values, decodeRef(t, second).Values) {
+		t.Fatal("re-broadcast decoded to stale values")
+	}
+	// A third acquire of each buffer still resolves to its own entry.
+	if dc.acquire(sender, first) != e1 || dc.acquire(sender, second) != e2 {
+		t.Fatal("identity lookup confused the two broadcasts")
+	}
+	h, m := dc.Stats()
+	if h != 2 || m != 2 {
+		t.Fatalf("stats (%d hits, %d misses), want (2, 2)", h, m)
+	}
+}
+
+// TestDecodeCacheEviction: a sender's slot set is bounded at decodeCacheWays;
+// the oldest entry is evicted, and an evicted-but-held entry stays valid for
+// its holder until released (epoch rotation severing edges mid-aggregate is
+// exactly this shape).
+func TestDecodeCacheEviction(t *testing.T) {
+	dc := &DecodeCache{}
+	bufs := make([][]byte, decodeCacheWays+1)
+	entries := make([]*cacheEntry, decodeCacheWays+1)
+	for i := range bufs {
+		bufs[i] = testPayload(t, 32, float64(i))
+		entries[i] = dc.acquire(7, bufs[i])
+		if entries[i].err != nil {
+			t.Fatal(entries[i].err)
+		}
+	}
+	if got := len(dc.slots[7]); got != decodeCacheWays {
+		t.Fatalf("sender slot holds %d entries, want %d", got, decodeCacheWays)
+	}
+	// The oldest entry was evicted while still held: its decoded view must
+	// survive until release.
+	if !entries[0].dead {
+		t.Fatal("oldest entry was not retired on overflow")
+	}
+	if !floatsBitEqual(entries[0].sv.Values, decodeRef(t, bufs[0]).Values) {
+		t.Fatal("held evicted entry lost its decoded values")
+	}
+	// Re-acquiring the evicted buffer is a miss into a fresh entry.
+	again := dc.acquire(7, bufs[0])
+	if again == entries[0] {
+		t.Fatal("evicted entry resurrected on lookup")
+	}
+	for _, e := range entries {
+		dc.release(e)
+	}
+	dc.release(again)
+}
+
+// TestDecodeCacheInvalidateSender: invalidation drops a sender's entries
+// (releasing the retained payload references) without touching other
+// senders, and entries still held at invalidation time recycle only at their
+// last release.
+func TestDecodeCacheInvalidateSender(t *testing.T) {
+	dc := &DecodeCache{}
+	a := dc.acquire(1, testPayload(t, 32, 1))
+	b := dc.acquire(2, testPayload(t, 32, 2))
+	dc.release(a)
+
+	dc.InvalidateSender(1)
+	if _, ok := dc.slots[1]; ok {
+		t.Fatal("invalidated sender still has a slot set")
+	}
+	if len(dc.free) != 1 {
+		t.Fatalf("released+invalidated entry not recycled (free list %d)", len(dc.free))
+	}
+	if _, ok := dc.slots[2]; !ok {
+		t.Fatal("invalidation of sender 1 dropped sender 2's entries")
+	}
+
+	dc.InvalidateSender(2) // b still held: retire, don't recycle
+	if len(dc.free) != 1 {
+		t.Fatal("held entry recycled while a holder remains")
+	}
+	vals := decodeRef(t, testPayload(t, 32, 2))
+	if !floatsBitEqual(b.sv.Values, vals.Values) {
+		t.Fatal("held entry invalidated out from under its holder")
+	}
+	dc.release(b)
+	if len(dc.free) != 2 {
+		t.Fatal("entry not recycled at last release")
+	}
+}
+
+// TestDecodeCacheConcurrentDecodeOnce: many goroutines acquiring the same
+// buffer get one decode (the ready channel publishes it) and every acquirer
+// observes the same values — the fan-out case the cache exists for.
+func TestDecodeCacheConcurrentDecodeOnce(t *testing.T) {
+	dc := &DecodeCache{}
+	buf := testPayload(t, 256, 3)
+	want := decodeRef(t, buf)
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := dc.acquire(9, buf)
+			defer dc.release(e)
+			if e.err != nil {
+				errs <- e.err
+				return
+			}
+			if !floatsBitEqual(e.sv.Values, want.Values) {
+				errs <- errStaleDecode
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	h, m := dc.Stats()
+	if m != 1 || h != workers-1 {
+		t.Fatalf("stats (%d hits, %d misses), want (%d, 1)", h, m, workers-1)
+	}
+}
+
+var errStaleDecode = &staleDecodeError{}
+
+type staleDecodeError struct{}
+
+func (*staleDecodeError) Error() string { return "concurrent acquirer observed wrong decoded values" }
+
+// TestDecodeCacheErrorPropagates: a corrupt payload's decode error reaches
+// every acquirer, exactly like the per-node decode path's error would.
+func TestDecodeCacheErrorPropagates(t *testing.T) {
+	dc := &DecodeCache{}
+	corrupt := []byte{0xff, 0xff, 0xff}
+	e1 := dc.acquire(4, corrupt)
+	if e1.err == nil {
+		t.Fatal("corrupt payload decoded without error")
+	}
+	e2 := dc.acquire(4, corrupt)
+	if e2 != e1 || e2.err == nil {
+		t.Fatal("hit on the corrupt entry did not surface the decode error")
+	}
+	dc.release(e1)
+	dc.release(e2)
+}

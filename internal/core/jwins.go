@@ -97,6 +97,13 @@ type JWINSNode struct {
 	dec         decodeScratch
 	enc         codec.EncodeScratch
 
+	// Band-adaptive selection scratch (BandAdaptive only): per-band masses,
+	// the cross-band selection set, and the sorted result, reused per call so
+	// the band path matches the flat path's zero steady-state allocations.
+	bandMasses []float64
+	bandSel    map[int]bool
+	bandOut    []int
+
 	// LastAlpha records the cut-off sampled in the most recent Share call
 	// (instrumented for the Figure 3 experiment).
 	LastAlpha float64
@@ -251,23 +258,61 @@ func (n *JWINSNode) shareEncode() ([]byte, codec.ByteBreakdown, error) {
 // Aggregate implements lines 9-12 of Algorithm 1: average the received
 // partial wavelet vectors with the node's own coefficients (per-coefficient,
 // weight-normalized), invert the transform, and update the accumulator.
+//
+// Like Share, the body is split into stages (aggMerge, the inverse
+// transform, aggInstall, the eq.-4 forward transform, aggFold) so
+// AggregatePipeline can run the same stages for a batch of nodes through one
+// shared plan; the per-node order of operations here is the reference the
+// batch path must match bit for bit.
 func (n *JWINSNode) Aggregate(round int, w topology.Weights, msgs map[int][]byte) error {
+	if err := n.aggMerge(w, msgs); err != nil {
+		return err
+	}
+	n.transform.Inverse(n.newCoeffs, n.newParams)
+	n.aggInstall()
+	if !n.cfg.DisableAccumulation {
+		// Fold in the round's remaining model change (eq. 4).
+		n.transform.Forward(n.newParams, n.installed)
+	}
+	n.aggFold()
+	return nil
+}
+
+// SetDecodeCache attaches the fleet-shared decoded-payload cache; aggMerge
+// then serves neighbor decodes from it instead of decoding per recipient.
+func (n *JWINSNode) SetDecodeCache(c *DecodeCache) { n.dec.cache = c }
+
+// aggMerge decodes the neighbor payloads (once fleet-wide when a
+// DecodeCache is attached) and computes the weight-normalized partial
+// average into newCoeffs (lines 9-10).
+func (n *JWINSNode) aggMerge(w topology.Weights, msgs map[int][]byte) error {
 	decoded, err := n.dec.decodeAll(n.coeffDim, w, msgs)
 	if err != nil {
+		n.dec.releaseHeld()
 		return err
 	}
 	partialAverage(n.curCoeffs, w.Self, decoded, n.newCoeffs, n.wsum)
+	n.dec.releaseHeld()
+	return nil
+}
 
-	n.transform.Inverse(n.newCoeffs, n.newParams)
+// aggInstall installs the reconstructed model — newParams must already hold
+// the inverse transform of newCoeffs — and resets V for the coefficients
+// just shared (line 12, first half).
+func (n *JWINSNode) aggInstall() {
 	n.model.SetParams(n.newParams)
-
 	if !n.cfg.DisableAccumulation {
-		// Reset V for the coefficients we just shared (line 12)...
 		for _, idx := range n.lastShared {
 			n.acc[idx] = 0
 		}
-		// ...then fold in the round's remaining model change (eq. 4).
-		n.transform.Forward(n.newParams, n.installed)
+	}
+}
+
+// aggFold folds the round's remaining change into the accumulator —
+// installed must already hold DWT(newParams) when accumulation is on — and
+// advances the round baseline x^(t+1,0).
+func (n *JWINSNode) aggFold() {
+	if !n.cfg.DisableAccumulation {
 		if n.cfg.AccumulateLiteralEq4 {
 			if n.startCoeffs == nil {
 				n.startCoeffs = make([]float64, n.coeffDim)
@@ -283,7 +328,6 @@ func (n *JWINSNode) Aggregate(round int, w topology.Weights, msgs map[int][]byte
 		}
 	}
 	copy(n.startPar, n.newParams)
-	return nil
 }
 
 // bandAdaptiveTopK distributes the budget k over wavelet sub-bands
@@ -291,29 +335,38 @@ func (n *JWINSNode) Aggregate(round int, w topology.Weights, msgs map[int][]byte
 // inside each band. Bands whose share rounds to zero still contribute their
 // single largest coefficient when mass is non-zero, and any remainder is
 // filled from the globally best unselected coefficients.
+// Every call runs through per-node scratch (bandMasses, bandSel, bandOut,
+// the shared top-k scratch): the band path is on the share hot path for
+// band-adaptive fleets and must stay allocation-free in steady state. Each
+// top-k call's result is consumed before the next reuses the scratch; the
+// returned slice stays valid until the next selection, like the flat path.
 func (n *JWINSNode) bandAdaptiveTopK(k int) []int {
 	tr, ok := n.transform.(*dwt.Transformer)
 	if !ok {
-		return sparsify.TopKIndices(n.acc, k)
+		return sparsify.TopKIndicesWith(&n.topk, n.acc, k)
 	}
 	bands := tr.Bands()
-	masses := make([]float64, len(bands))
+	n.bandMasses = n.bandMasses[:0]
 	var total float64
-	for bi, b := range bands {
+	for _, b := range bands {
 		var m float64
 		for _, v := range n.acc[b.Offset : b.Offset+b.Len] {
 			m += math.Abs(v)
 		}
-		masses[bi] = m
+		n.bandMasses = append(n.bandMasses, m)
 		total += m
 	}
 	if total == 0 {
-		return sparsify.TopKIndices(n.acc, k)
+		return sparsify.TopKIndicesWith(&n.topk, n.acc, k)
 	}
-	selected := make(map[int]bool, k)
+	if n.bandSel == nil {
+		n.bandSel = make(map[int]bool, k)
+	}
+	clear(n.bandSel)
+	selected := n.bandSel
 	for bi, b := range bands {
-		kb := int(math.Round(float64(k) * masses[bi] / total))
-		if kb == 0 && masses[bi] > 0 {
+		kb := int(math.Round(float64(k) * n.bandMasses[bi] / total))
+		if kb == 0 && n.bandMasses[bi] > 0 {
 			kb = 1
 		}
 		if kb > b.Len {
@@ -322,7 +375,7 @@ func (n *JWINSNode) bandAdaptiveTopK(k int) []int {
 		if kb == 0 {
 			continue
 		}
-		local := sparsify.TopKIndices(n.acc[b.Offset:b.Offset+b.Len], kb)
+		local := sparsify.TopKIndicesWith(&n.topk, n.acc[b.Offset:b.Offset+b.Len], kb)
 		for _, li := range local {
 			if len(selected) >= k {
 				break
@@ -332,19 +385,19 @@ func (n *JWINSNode) bandAdaptiveTopK(k int) []int {
 	}
 	// Fill any remainder from the global ranking.
 	if len(selected) < k {
-		for _, idx := range sparsify.TopKIndices(n.acc, k+len(selected)) {
+		for _, idx := range sparsify.TopKIndicesWith(&n.topk, n.acc, k+len(selected)) {
 			if len(selected) >= k {
 				break
 			}
 			selected[idx] = true
 		}
 	}
-	out := make([]int, 0, len(selected))
+	n.bandOut = n.bandOut[:0]
 	for idx := range selected {
-		out = append(out, idx)
+		n.bandOut = append(n.bandOut, idx)
 	}
-	sort.Ints(out)
-	return out
+	sort.Ints(n.bandOut)
+	return n.bandOut
 }
 
 // encodeSparsePayloadWith wraps codec.EncodeSparseWith — the node's reusable

@@ -108,9 +108,12 @@ func partialAverage(own []float64, selfWeight float64, msgs []decodedMsg, out, w
 	}
 }
 
-// decodedMsg pairs a decoded sparse vector with its mixing weight.
+// decodedMsg pairs a decoded sparse vector with its mixing weight. sv is a
+// view: it aliases either the slot's own decode scratch (own) or an
+// immutable shared DecodeCache entry — readers must treat it as read-only.
 type decodedMsg struct {
 	sv     codec.SparseVector
+	own    codec.SparseVector
 	weight float64
 }
 
@@ -118,10 +121,25 @@ type decodedMsg struct {
 // sender list and one sparse-vector slot per neighbor, so steady-state
 // aggregation decodes every payload into warm buffers. Each node owns one;
 // it is not safe for concurrent use (nodes are single-threaded by the
-// engines' per-node task chains).
+// engines' per-node task chains). With a DecodeCache attached, slots alias
+// shared cache entries instead of decoding locally; held tracks the entries
+// to release once the aggregate no longer reads them.
 type decodeScratch struct {
 	senders []int
 	msgs    []decodedMsg
+	cache   *DecodeCache
+	held    []*cacheEntry
+}
+
+// releaseHeld returns every cache entry acquired by the last decodeAll. Call
+// it as soon as the decoded vectors are no longer read (after the partial
+// average); safe to call when no cache is attached or nothing is held.
+func (d *decodeScratch) releaseHeld() {
+	for i, e := range d.held {
+		d.cache.release(e)
+		d.held[i] = nil
+	}
+	d.held = d.held[:0]
 }
 
 // decodeAll decodes neighbor payloads and attaches mixing weights, erroring
@@ -149,8 +167,19 @@ func (d *decodeScratch) decodeAll(dim int, w topology.Weights, msgs map[int][]by
 		}
 		m := &out[slot]
 		m.weight = weight
-		if err := codec.DecodeSparseInto(&m.sv, buf); err != nil {
-			return nil, fmt.Errorf("core: payload from %d: %w", from, err)
+		if d.cache != nil && len(buf) > 0 {
+			e := d.cache.acquire(from, buf)
+			if e.err != nil {
+				d.cache.release(e)
+				return nil, fmt.Errorf("core: payload from %d: %w", from, e.err)
+			}
+			d.held = append(d.held, e)
+			m.sv = e.sv
+		} else {
+			if err := codec.DecodeSparseInto(&m.own, buf); err != nil {
+				return nil, fmt.Errorf("core: payload from %d: %w", from, err)
+			}
+			m.sv = m.own
 		}
 		if m.sv.Dim != dim {
 			return nil, fmt.Errorf("core: payload from %d has dim %d, want %d", from, m.sv.Dim, dim)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/dwt"
+	"repro/internal/topology"
 )
 
 // SharePlan returns the immutable DWT plan backing this node's transform, or
@@ -88,6 +89,86 @@ func (p *SharePipeline) ShareBatch(nodes []*JWINSNode, payloads [][]byte, bds []
 			return err
 		}
 		payloads[i], bds[i] = payload, bd
+	}
+	return nil
+}
+
+// AggregatePipeline is SharePipeline's mirror for lines 9-12 of Algorithm 1:
+// the aggregate phase of a batch of plan-sharing JWINS nodes runs stage by
+// stage — decode-or-cache-hit + partial average, batched inverse transform,
+// model install + accumulator reset, batched forward transform for the
+// eq.-4 update, accumulator fold — through one shared plan and one set of
+// batch scratch.
+//
+// The stages are literally the same methods the per-node Aggregate runs, in
+// the same per-node order, and the batched transforms are bit-identical to
+// the looped ones (dwt's differential tests), so every per-node observable
+// — installed model, accumulator, startPar baseline — matches calling
+// Aggregate on each node in batch order bit for bit. An AggregatePipeline
+// reuses its scratch across calls and is NOT safe for concurrent use.
+type AggregatePipeline struct {
+	scratch dwt.Scratch
+	ins     [][]float64
+	outs    [][]float64
+}
+
+// AggregateBatch runs the aggregate phase for all nodes, which must share
+// one non-nil plan; ws[i] and msgs[i] are node i's mixing weights and
+// received payloads. On a decode/weight error the batch stops at the first
+// failing node (earlier nodes have merged but not installed — callers treat
+// any error as fatal to the run, as the engine does).
+func (p *AggregatePipeline) AggregateBatch(nodes []*JWINSNode, ws []topology.Weights, msgs []map[int][]byte) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	if len(ws) != len(nodes) || len(msgs) != len(nodes) {
+		return fmt.Errorf("core: AggregateBatch input slices sized %d/%d, want %d", len(ws), len(msgs), len(nodes))
+	}
+	plan := nodes[0].SharePlan()
+	if plan == nil {
+		return fmt.Errorf("core: AggregateBatch node %d has no shared plan (identity transform)", nodes[0].ID())
+	}
+	for _, n := range nodes[1:] {
+		if n.SharePlan() != plan {
+			return fmt.Errorf("core: AggregateBatch node %d does not share the batch plan", n.ID())
+		}
+	}
+
+	// Stage 1: decode (once fleet-wide under a DecodeCache) and partial-average.
+	for i, n := range nodes {
+		if err := n.aggMerge(ws[i], msgs[i]); err != nil {
+			return err
+		}
+	}
+
+	// Stage 2: one batched inverse pass reconstructs every node's parameters.
+	p.ins, p.outs = p.ins[:0], p.outs[:0]
+	for _, n := range nodes {
+		p.ins = append(p.ins, n.newCoeffs)
+		p.outs = append(p.outs, n.newParams)
+	}
+	plan.InverseBatch(p.ins, p.outs, &p.scratch)
+
+	// Stage 3: install models and reset the shared accumulator entries.
+	for _, n := range nodes {
+		n.aggInstall()
+	}
+
+	// Stage 4: batched forward of the installed parameters (eq. 4), for the
+	// accumulation-enabled nodes only.
+	p.ins, p.outs = p.ins[:0], p.outs[:0]
+	for _, n := range nodes {
+		if n.cfg.DisableAccumulation {
+			continue
+		}
+		p.ins = append(p.ins, n.newParams)
+		p.outs = append(p.outs, n.installed)
+	}
+	plan.ForwardBatch(p.ins, p.outs, &p.scratch)
+
+	// Stage 5: fold accumulators and advance the round baselines.
+	for _, n := range nodes {
+		n.aggFold()
 	}
 	return nil
 }

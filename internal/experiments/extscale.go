@@ -88,10 +88,13 @@ type ExtScaleRow struct {
 	TraceBytes int64
 
 	// Engine telemetry (internal/metrics registry, snapshotted per arm):
-	// queue-depth p95, simulated policy-wait p95, speculation hit rate.
-	QueueP95    float64
-	WaitP95     float64
-	SpecHitRate float64
+	// queue-depth p95, simulated policy-wait p95, speculation hit rate, and
+	// the decoded-payload cache's hit rate (decodes served from the
+	// fleet-shared cache / all payload decodes).
+	QueueP95      float64
+	WaitP95       float64
+	SpecHitRate   float64
+	DecodeHitRate float64
 }
 
 // ExtScaleResult is the sweep over node counts × arms.
@@ -247,6 +250,7 @@ func ExtScaleWith(scale Scale, seed uint64, opts ExtScaleOpts) (*ExtScaleResult,
 			row.QueueP95 = tel.QueueP95
 			row.WaitP95 = tel.WaitP95
 			row.SpecHitRate = tel.SpecHitRate
+			row.DecodeHitRate = tel.DecodeHitRate
 			res.Rows = append(res.Rows, row)
 		}
 	}
@@ -279,8 +283,8 @@ func (c *countingSink) Record(trace.Event) { c.n++ }
 func (r *ExtScaleResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Extension: async engine at scale (scale=%s, lean MLP task, JWINS)\n", r.Scale)
-	fmt.Fprintf(&b, "%-6s %-6s %-8s %-5s | %9s %9s %12s | %8s %8s | %7s %8s | %8s %8s %7s | %-8s\n",
-		"nodes", "degree", "arm", "eval", "events", "wall-ms", "events/s", "sim-time", "acc", "epochs", "gap", "q-p95", "wait-p95", "spec", "trace")
+	fmt.Fprintf(&b, "%-6s %-6s %-8s %-5s | %9s %9s %12s | %8s %8s | %7s %8s | %8s %8s %7s %7s | %-8s\n",
+		"nodes", "degree", "arm", "eval", "events", "wall-ms", "events/s", "sim-time", "acc", "epochs", "gap", "q-p95", "wait-p95", "spec", "decode", "trace")
 	for _, row := range r.Rows {
 		traceCol := "-"
 		if row.Streamed {
@@ -290,30 +294,30 @@ func (r *ExtScaleResult) String() string {
 		if row.EvalSample > 0 {
 			evalCol = fmt.Sprintf("s%d", row.EvalSample)
 		}
-		fmt.Fprintf(&b, "%-6d %-6d %-8s %-5s | %9d %9.1f %12.0f | %7.2fs %7.1f%% | %7d %8.4f | %8.1f %7.3fs %6.0f%% | %-8s\n",
+		fmt.Fprintf(&b, "%-6d %-6d %-8s %-5s | %9d %9.1f %12.0f | %7.2fs %7.1f%% | %7d %8.4f | %8.1f %7.3fs %6.0f%% %6.0f%% | %-8s\n",
 			row.Nodes, row.Degree, row.Arm, evalCol,
 			row.Events, row.WallMS, row.EventsPerSec,
 			row.SimTime, row.Acc,
 			row.Epochs, row.GapMean,
-			row.QueueP95, row.WaitP95, row.SpecHitRate*100, traceCol)
+			row.QueueP95, row.WaitP95, row.SpecHitRate*100, row.DecodeHitRate*100, traceCol)
 	}
 	b.WriteString("streamed arms record their full schedule through trace.StreamRecorder (bounded memory).\n")
 	b.WriteString("eval sN arms score a seeded rotating n-node subset per eval row (exact below 2048 nodes).\n")
-	b.WriteString("q-p95/wait-p95/spec come from the engine telemetry registry (internal/metrics).\n")
+	b.WriteString("q-p95/wait-p95/spec/decode come from the engine telemetry registry (internal/metrics).\n")
 	return b.String()
 }
 
 // CSV implements CSVer.
 func (r *ExtScaleResult) CSV() string {
 	var b strings.Builder
-	b.WriteString("nodes,degree,arm,rounds,eval_sample,events,wall_ms,events_per_sec,sim_time,bytes,acc,epochs,gap_mean,stale_mean,streamed,trace_bytes,queue_p95,wait_p95,spec_hit_rate\n")
+	b.WriteString("nodes,degree,arm,rounds,eval_sample,events,wall_ms,events_per_sec,sim_time,bytes,acc,epochs,gap_mean,stale_mean,streamed,trace_bytes,queue_p95,wait_p95,spec_hit_rate,decode_hit_rate\n")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%d,%d,%s,%d,%d,%d,%.1f,%.0f,%.4f,%d,%.2f,%d,%.4f,%.4f,%v,%d,%.1f,%.4f,%.4f\n",
+		fmt.Fprintf(&b, "%d,%d,%s,%d,%d,%d,%.1f,%.0f,%.4f,%d,%.2f,%d,%.4f,%.4f,%v,%d,%.1f,%.4f,%.4f,%.4f\n",
 			row.Nodes, row.Degree, row.Arm, row.Rounds, row.EvalSample,
 			row.Events, row.WallMS, row.EventsPerSec,
 			row.SimTime, row.Bytes, row.Acc,
 			row.Epochs, row.GapMean, row.StaleMean, row.Streamed, row.TraceBytes,
-			row.QueueP95, row.WaitP95, row.SpecHitRate)
+			row.QueueP95, row.WaitP95, row.SpecHitRate, row.DecodeHitRate)
 	}
 	return b.String()
 }

@@ -205,11 +205,13 @@ func ScaleFleetJWINS(n int) ([]core.Node, *datasets.Dataset, topology.Provider, 
 	return nodes, fix.ds, topology.NewStatic(g), nil
 }
 
-// RunAsyncScaleJWINS is RunAsyncScale over a JWINS fleet with the share-batch
-// width set: shareBatch 0 runs the per-node reference dispatch, >= 2 folds
-// chained speculative dispatches into batched SharePipeline runs. Schedules
-// are bit-identical either way; only the compute cost differs.
-func RunAsyncScaleJWINS(n, parallelism, evalSample, shareBatch int) (int64, error) {
+// RunAsyncScaleJWINS is RunAsyncScale over a JWINS fleet with the batch
+// widths set: shareBatch/aggregateBatch 0 run the per-node reference
+// dispatch, >= 2 fold chained dispatches into batched SharePipeline /
+// AggregatePipeline runs. Schedules are bit-identical either way; only the
+// compute cost differs. Batching is forced on so single-core benchmark hosts
+// measure the batched path rather than the GOMAXPROCS gate.
+func RunAsyncScaleJWINS(n, parallelism, evalSample, shareBatch, aggregateBatch int) (int64, error) {
 	nodes, ds, topo, err := ScaleFleetJWINS(n)
 	if err != nil {
 		return 0, err
@@ -225,10 +227,12 @@ func RunAsyncScaleJWINS(n, parallelism, evalSample, shareBatch int) (int64, erro
 	eng := &simulation.AsyncEngine{
 		Nodes: nodes, Topology: topo, TestSet: ds,
 		Config: simulation.AsyncConfig{
-			Config:     cfg,
-			Het:        simulation.Heterogeneity{ComputeSpread: 0.3, Seed: Seed},
-			ShareBatch: shareBatch,
-			OnEvent:    func(simulation.Event) { events++ },
+			Config:          cfg,
+			Het:             simulation.Heterogeneity{ComputeSpread: 0.3, Seed: Seed},
+			ShareBatch:      shareBatch,
+			AggregateBatch:  aggregateBatch,
+			ShareBatchForce: true,
+			OnEvent:         func(simulation.Event) { events++ },
 		},
 	}
 	if _, err := eng.Run(); err != nil {

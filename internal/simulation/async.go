@@ -54,6 +54,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
 
@@ -220,6 +221,28 @@ type AsyncConfig struct {
 	// member's result still commits at its own train-done event, so results
 	// are bit-identical either way (see sharebatch.go).
 	ShareBatch int
+	// AggregateBatch is ShareBatch's mirror for the aggregate half: up to
+	// AggregateBatch pool-dispatched aggregates of plan-sharing JWINS nodes
+	// become one core.AggregatePipeline pass (one decode-or-cache-hit sweep,
+	// one batched inverse DWT, one batched accumulator forward). 0 or 1 runs
+	// the per-node reference path. Only compute is batched — staleness
+	// accounting, trace records, inbox cleanup, and iteration advances stay
+	// at the aggregate event, so results are bit-identical either way (see
+	// aggbatch.go).
+	AggregateBatch int
+	// ShareBatchForce overrides the single-core gate on both batch knobs:
+	// with GOMAXPROCS=1 deferred dispatch cannot overlap anything and costs
+	// a measured 1–5% wall, so ShareBatch/AggregateBatch auto-disable there
+	// unless this is set (differential tests and benchmarks set it so the
+	// batched code paths run regardless of host shape).
+	ShareBatchForce bool
+	// NoDecodeCache disables the fleet-shared decoded-payload cache that
+	// otherwise lets every broadcast payload be entropy-decoded once instead
+	// of once per recipient. Identity-keyed and invalidated on churn/epoch
+	// rotation, the cache never changes results (decoding is a pure function
+	// of the payload bytes) — the knob exists for differential tests and
+	// perf comparisons.
+	NoDecodeCache bool
 	// OnEvent, if set, observes every processed event in order — the
 	// deterministic event trace.
 	OnEvent func(Event)
@@ -394,6 +417,23 @@ type asyncRun struct {
 	specDue   float64
 	ctxPool   batchCtxPool
 
+	// Aggregate-batch state (cfg.AggregateBatch >= 2): eligible aggregates
+	// (and the speculative train each would have dispatched) are deferred
+	// into aggQueue and flushed as grouped AggregatePipeline tasks — when
+	// the queue reaches the batch size, before processing any event at or
+	// after aggDue (every queued node's next train-done time bounds it), at
+	// the top of drain, and at onJoin. aggIdx[i] is node i's queue position
+	// (-1 when not queued). See aggbatch.go.
+	aggQueue []aggEntry
+	aggIdx   []int
+	aggDue   float64
+	aggCtxs  aggCtxPool
+
+	// dcache is the fleet-shared decoded-payload cache (nil when disabled):
+	// each broadcast payload is entropy-decoded once, by its first
+	// aggregating recipient, and served by identity to the rest.
+	dcache *core.DecodeCache
+
 	// per-iteration training-loss accumulators for row emission
 	lossSum   []float64
 	lossCount []int
@@ -430,6 +470,11 @@ type asyncRun struct {
 func (e *AsyncEngine) Run() (*Result, error) {
 	cfg := e.Config
 	cfg.setDefaults()
+	// Single-core gate: deferred batch dispatch only pays off when the pool
+	// can overlap it (see gatedBatchWidth).
+	gmp := runtime.GOMAXPROCS(0)
+	cfg.ShareBatch = gatedBatchWidth(cfg.ShareBatch, cfg.ShareBatchForce, gmp)
+	cfg.AggregateBatch = gatedBatchWidth(cfg.AggregateBatch, cfg.ShareBatchForce, gmp)
 	n := len(e.Nodes)
 	if n == 0 {
 		return nil, fmt.Errorf("simulation: no nodes")
@@ -480,7 +525,23 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		isJWINS:      make([]bool, n),
 		churnPending: make([][]float64, n),
 		specDue:      math.Inf(1),
+		aggIdx:       make([]int, n),
+		aggDue:       math.Inf(1),
 		evalSamp:     newEvalSampler(n, cfg.Config),
+	}
+	for i := range r.aggIdx {
+		r.aggIdx[i] = -1
+	}
+	if !cfg.NoDecodeCache {
+		// One decode per broadcast payload fleet-wide: every node whose
+		// aggregate path supports the cache shares this one. Attached per
+		// run so reused fleets never serve a previous run's buffers.
+		r.dcache = &core.DecodeCache{}
+		for _, nd := range e.Nodes {
+			if u, ok := nd.(core.DecodeCacheUser); ok {
+				u.SetDecodeCache(r.dcache)
+			}
+		}
 	}
 	if bp, ok := policy.(BoundedStalenessPolicy); ok {
 		r.curTau = bp.Tau
@@ -659,6 +720,14 @@ func (e *AsyncEngine) Run() (*Result, error) {
 		r.res.TimeToTarget = r.now
 	}
 	if r.tel != nil {
+		if r.dcache != nil {
+			// Fold the decode cache's counters in before the snapshot. Hit/miss
+			// totals depend on pool interleaving, so they are telemetry only —
+			// never part of a determinism comparison.
+			h, m := r.dcache.Stats()
+			r.tel.decodeHits.Add(h)
+			r.tel.decodeMisses.Add(m)
+		}
 		r.res.Telemetry = r.tel.Snapshot()
 	}
 	return r.res, nil
@@ -670,6 +739,14 @@ func (r *asyncRun) eventLoop() error {
 	for r.queue.Len() > 0 && !r.stop {
 		ev := r.queue.pop()
 		r.now = ev.Time
+		// A deferred aggregate must be on its node's tail before the node's
+		// next train-done commits (deferTrain folds every queued node's next
+		// train-done time into aggDue); flush first — it may enqueue the
+		// members' deferred speculative trains, which the spec check below
+		// then picks up in the same pass.
+		if len(r.aggQueue) > 0 && ev.Time >= r.aggDue {
+			r.flushAgg()
+		}
 		// A queued speculative dispatch must be in flight before its own
 		// train-done commits; flushing at the first event at or after the
 		// earliest queued train-done time guarantees that (and never changes
@@ -934,6 +1011,16 @@ func (r *asyncRun) onEpoch(ev *Event) error {
 			}
 		}
 	}
+	if r.dcache != nil {
+		// A sender the rotation fully disconnected has no recipients left for
+		// its cached decodes; drop them (hygiene — identity keying already
+		// rules out stale hits).
+		for j := range r.nodes {
+			if gNew.Degree(j) == 0 {
+				r.dcache.InvalidateSender(j)
+			}
+		}
+	}
 
 	// State sync over fresh edges, serialized through each sender's uplink
 	// like a broadcast. Both endpoints push, so a lagging node also receives
@@ -980,6 +1067,13 @@ func (r *asyncRun) popChurn(i int) {
 // lowest-node-index error. It must run before Run returns so no pool worker
 // keeps mutating node state after the caller regains control.
 func (r *asyncRun) drain() error {
+	// Deferred aggregates (and the speculative trains deferred with them)
+	// must be in flight before the barrier: drain precedes evaluation rows,
+	// error returns, and the end of the run, all of which read node state.
+	r.flushAgg()
+	if len(r.specQueue) > 0 {
+		r.flushSpec()
+	}
 	var first error
 	for i := range r.tails {
 		if err := r.tails[i].wait(); err != nil && first == nil {
@@ -1056,6 +1150,13 @@ func (r *asyncRun) scheduleTrain(i int) {
 	// node's trainTask slot is reusable here: its previous result was
 	// committed at the preceding train-done event (commit precedes the
 	// aggregate that led to this scheduleTrain).
+	if r.aggIdx[i] >= 0 {
+		// The aggregate this train chains on is still queued: defer the
+		// dispatch into the same queue entry so it chains on the batched
+		// future at flush time (see aggbatch.go).
+		r.deferTrain(i, st.iter, t, r.specSafe(i, t))
+		return
+	}
 	if r.specSafe(i, t) {
 		if r.cfg.ShareBatch >= 2 {
 			if jn, ok := r.eng.Nodes[i].(*core.JWINSNode); ok {
@@ -1393,16 +1494,8 @@ func (r *asyncRun) aggregate(i int) error {
 	// evaluation and Run's exit wait for every chain. The worker returns the
 	// msgs map to the pool once Aggregate has consumed it — map identity
 	// cannot affect results because nodes sort senders before merging.
-	{
-		iter, wi := st.iter, w[i]
-		r.tails[i] = r.pool.submit(r.tails[i], func() error {
-			err := r.eng.Nodes[i].Aggregate(iter, wi, msgs)
-			r.msgsPool.put(msgs)
-			if err != nil {
-				return fmt.Errorf("node %d aggregate: %w", i, err)
-			}
-			return nil
-		})
+	if !r.enqueueAgg(i, st.iter, w[i], msgs) {
+		r.submitAggregate(i, st.iter, w[i], msgs)
 	}
 	r.stale.add(st.iter, lags)
 	if r.tel != nil {
@@ -1476,6 +1569,11 @@ func (r *asyncRun) onLeave(i int) error {
 	st.waiting = false
 	st.deadlineFired = false
 	r.topo.SetLive(i, false)
+	if r.dcache != nil {
+		// Hygiene, not correctness: entries are identity-keyed, so dropping
+		// the leaver's cached decodes just releases memory sooner.
+		r.dcache.InvalidateSender(i)
+	}
 	// Departure can unblock waiting neighbors and lower the row floor.
 	return r.recheckAll()
 }
@@ -1486,6 +1584,10 @@ func (r *asyncRun) onLeave(i int) error {
 // while it was away — without it, a joiner and a waiting neighbor could each
 // block on a message the other will never resend), and starts training.
 func (r *asyncRun) onJoin(i int) error {
+	// onJoin re-dispatches work (the joiner's train, neighbor re-sends)
+	// outside the aggregate→scheduleTrain flow; a queued aggregate for the
+	// joiner must be on its tail before anything new chains after it.
+	r.flushAgg()
 	st := &r.nodes[i]
 	if st.live {
 		return nil

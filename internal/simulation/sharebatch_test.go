@@ -54,7 +54,7 @@ func buildNodesWithCodec(t *testing.T, kind algo, ds *datasets.Dataset, parts []
 // trace bytes plus the result. Heterogeneous profiles make train-done events
 // chain at staggered times, so the share-batch queue exercises both its
 // size-triggered and due-time-triggered flushes.
-func goldenRun(t *testing.T, kind algo, fc func(i int) codec.FloatCodec, shareBatch int) ([]byte, *Result) {
+func goldenRun(t *testing.T, kind algo, fc func(i int) codec.FloatCodec, shareBatch, aggBatch int) ([]byte, *Result) {
 	t.Helper()
 	const (
 		n      = 64
@@ -74,10 +74,14 @@ func goldenRun(t *testing.T, kind algo, fc func(i int) codec.FloatCodec, shareBa
 		Topology: topology.NewStatic(g),
 		TestSet:  ds,
 		Config: AsyncConfig{
-			Config:     Config{Rounds: rounds, EvalEvery: rounds, Parallelism: 2},
-			Het:        Heterogeneity{ComputeSpread: 0.4, BandwidthSpread: 0.3, Seed: 5},
-			ShareBatch: shareBatch,
-			Record:     rec,
+			Config:         Config{Rounds: rounds, EvalEvery: rounds, Parallelism: 2},
+			Het:            Heterogeneity{ComputeSpread: 0.4, BandwidthSpread: 0.3, Seed: 5},
+			ShareBatch:     shareBatch,
+			AggregateBatch: aggBatch,
+			// Batching must actually run on single-core CI hosts, where the
+			// GOMAXPROCS gate would otherwise disable it.
+			ShareBatchForce: true,
+			Record:          rec,
 		},
 	}
 	res, err := eng.Run()
@@ -121,8 +125,8 @@ func TestShareBatchEngineGoldenParity(t *testing.T) {
 		for _, cd := range codecs {
 			al, cd := al, cd
 			t.Run(al.name+"/"+cd.name, func(t *testing.T) {
-				refTrace, refRes := goldenRun(t, al.kind, cd.fc, 0)
-				batTrace, batRes := goldenRun(t, al.kind, cd.fc, 8)
+				refTrace, refRes := goldenRun(t, al.kind, cd.fc, 0, 0)
+				batTrace, batRes := goldenRun(t, al.kind, cd.fc, 8, 0)
 				if !bytes.Equal(refTrace, batTrace) {
 					t.Fatalf("batched run's binary trace differs from per-node path (%d vs %d bytes)",
 						len(batTrace), len(refTrace))
@@ -164,9 +168,11 @@ func TestShareBatchParallelismInvariance(t *testing.T) {
 	}{
 		{"homogeneous", func(cfg *AsyncConfig) {
 			cfg.ShareBatch = 8
+			cfg.ShareBatchForce = true
 		}},
 		{"het+churn+drops", func(cfg *AsyncConfig) {
 			cfg.ShareBatch = 4
+			cfg.ShareBatchForce = true
 			cfg.Het = Heterogeneity{ComputeSpread: 0.5, BandwidthSpread: 0.4, LatencySpread: 0.2, Seed: 5}
 			cfg.Churn = GenerateChurn(16, 0.25, 0.02, 0.2, 0.1, 77)
 			cfg.DropProb = 0.1
@@ -198,6 +204,7 @@ func TestShareBatchRecordReplayCross(t *testing.T) {
 	mut := func(batch int) func(*AsyncConfig) {
 		return func(cfg *AsyncConfig) {
 			cfg.ShareBatch = batch
+			cfg.ShareBatchForce = true
 			cfg.Het = Heterogeneity{ComputeSpread: 0.4, BandwidthSpread: 0.3, Seed: 5}
 			cfg.Churn = GenerateChurn(8, 0.25, 0.02, 0.2, 0.1, 77)
 			cfg.DropProb = 0.1

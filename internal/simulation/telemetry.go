@@ -51,6 +51,12 @@ const (
 	// result rows.
 	MetricAggregations = "jwins_engine_aggregations_total"
 	MetricRows         = "jwins_engine_rows_total"
+	// MetricDecodeHits / MetricDecodeMisses count payload decodes served from
+	// the fleet-shared decoded-payload cache vs decoded fresh. Totals depend
+	// on pool interleaving (which recipient reaches a broadcast first), so
+	// they are telemetry only — never part of a determinism comparison.
+	MetricDecodeHits   = "jwins_engine_decode_cache_hits_total"
+	MetricDecodeMisses = "jwins_engine_decode_cache_misses_total"
 )
 
 // eventKindLabels maps EventKind to its Prometheus label value. Indexed by
@@ -86,6 +92,8 @@ type Telemetry struct {
 	bytesMeta      *metrics.Counter
 	aggregations   *metrics.Counter
 	rows           *metrics.Counter
+	decodeHits     *metrics.Counter
+	decodeMisses   *metrics.Counter
 }
 
 // NewTelemetry builds a Telemetry on a fresh registry.
@@ -108,6 +116,8 @@ func NewTelemetry() *Telemetry {
 	t.bytesMeta = t.reg.Counter(MetricBytesMeta, "cumulative metadata+framing bytes")
 	t.aggregations = t.reg.Counter(MetricAggregations, "committed aggregations")
 	t.rows = t.reg.Counter(MetricRows, "emitted result rows")
+	t.decodeHits = t.reg.Counter(MetricDecodeHits, "payload decodes served from the shared cache")
+	t.decodeMisses = t.reg.Counter(MetricDecodeMisses, "payload decodes performed fresh")
 	return t
 }
 
@@ -127,9 +137,10 @@ func WaitKey(policy string) string {
 // TelemetrySummary distills a snapshot into the headline scalars experiment
 // CSVs and perf reports carry alongside accuracy and bytes.
 type TelemetrySummary struct {
-	QueueP95    float64 // event-queue depth at pop, 95th percentile
-	WaitP95     float64 // simulated policy-wait seconds, 95th percentile
-	SpecHitRate float64 // speculative train dispatches committed / all dispatches; 0 when none ran
+	QueueP95      float64 // event-queue depth at pop, 95th percentile
+	WaitP95       float64 // simulated policy-wait seconds, 95th percentile
+	SpecHitRate   float64 // speculative train dispatches committed / all dispatches; 0 when none ran
+	DecodeHitRate float64 // decode-cache hits / all payload decodes; 0 when none ran
 }
 
 // Summarize extracts the summary from a snapshot. The wait series is matched
@@ -157,6 +168,11 @@ func Summarize(snap *metrics.Snapshot) TelemetrySummary {
 	misses := snap.Counter(MetricSpecMisses)
 	if hits+misses > 0 {
 		s.SpecHitRate = float64(hits) / float64(hits+misses)
+	}
+	dh := snap.Counter(MetricDecodeHits)
+	dm := snap.Counter(MetricDecodeMisses)
+	if dh+dm > 0 {
+		s.DecodeHitRate = float64(dh) / float64(dh+dm)
 	}
 	return s
 }
